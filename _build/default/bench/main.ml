@@ -1,0 +1,200 @@
+(* Benchmark harness: one Bechamel test per paper table/figure, plus
+   engine micro-benchmarks and the ablations, followed by a full
+   regeneration of the evaluation tables.
+
+     dune exec bench/main.exe
+
+   The Bechamel numbers measure the *reproduction's* real wall time per
+   experiment kernel (host-machine performance of this OCaml engine);
+   the tables printed afterwards carry the paper's simulated metrics. *)
+
+open Bechamel
+open Toolkit
+module Engine = Ldx_core.Engine
+module Workload = Ldx_workloads.Workload
+module Registry = Ldx_workloads.Registry
+module Experiments = Ldx_report.Experiments
+module Counter = Ldx_instrument.Counter
+module Align = Ldx_core.Align
+
+(* ------------------------------------------------------------------ *)
+(* Kernels.                                                            *)
+
+let instrument_all () =
+  List.iter (fun w -> ignore (Workload.instrumented w)) Registry.all
+
+(* Pre-instrumented programs so dual-run kernels measure the engine,
+   not the compiler. *)
+let prepared =
+  lazy
+    (List.map
+       (fun (w : Workload.t) -> (w, fst (Workload.instrumented w)))
+       Registry.all)
+
+let prepared_for cat =
+  List.filter (fun ((w : Workload.t), _) -> w.Workload.category = cat)
+    (Lazy.force prepared)
+
+let dual_run (w, prog) config =
+  ignore (Engine.run ~config prog w.Workload.world)
+
+let kernel_fig6 () =
+  List.iter
+    (fun ((w, _) as p) ->
+       dual_run p (Workload.no_mutation_config w);
+       dual_run p (Workload.leak_config w))
+    (List.filter
+       (fun ((w : Workload.t), _) -> not w.Workload.interactive)
+       (Lazy.force prepared))
+
+let kernel_table2 () =
+  List.iter
+    (fun ((w, _) as p) ->
+       dual_run p (Workload.leak_config w);
+       match Workload.benign_config w with
+       | Some c -> dual_run p c
+       | None -> ())
+    (prepared_for Workload.Leak_detection)
+
+let kernel_table3 () =
+  List.iter
+    (fun ((w : Workload.t), _) ->
+       let config =
+         { Ldx_taint.Tracker.model = Ldx_taint.Shadow.Taintgrind;
+           sources = w.Workload.leak_sources;
+           sinks = w.Workload.sinks;
+           max_steps = 30_000_000 }
+       in
+       ignore (Ldx_taint.Tracker.run ~config (Workload.lower w) w.Workload.world))
+    (Lazy.force prepared)
+
+let kernel_table4 () =
+  List.iter
+    (fun ((w, _) as p) ->
+       for i = 1 to 5 do
+         dual_run p
+           { (Workload.leak_config w) with
+             Engine.master_seed = i;
+             slave_seed = 1000 + i }
+       done)
+    (prepared_for Workload.Concurrency)
+
+let kernel_case_studies () =
+  ignore (Experiments.case_gcc ());
+  ignore (Experiments.case_firefox ())
+
+let kernel_fp_check () =
+  ignore (Experiments.fp_check ())
+
+let kernel_mutation () =
+  let w = Registry.find_exn "Nginx" in
+  let prog = fst (Workload.instrumented w) in
+  List.iter
+    (fun (_, strategy) ->
+       dual_run (w, prog) (Workload.leak_config ~strategy w))
+    Ldx_core.Mutation.all_strategies
+
+let kernel_ablation_align () =
+  let w = Registry.find_exn "Tnftp" in
+  let prog = fst (Workload.instrumented w) in
+  ignore (Ldx_core.Tightlip.run ~config:(Workload.leak_config w) prog
+            w.Workload.world);
+  dual_run (w, prog) (Workload.leak_config w)
+
+let kernel_ablation_loops () =
+  let w = Registry.find_exn "400.perlbench" in
+  List.iter
+    (fun loop_reset ->
+       let config = { Counter.default_config with Counter.loop_reset } in
+       let prog, _ = Counter.instrument ~config (Workload.lower w) in
+       match Workload.benign_config w with
+       | Some c -> ignore (Engine.run ~config:c prog w.Workload.world)
+       | None -> ())
+    [ true; false ]
+
+(* Micro-benchmarks of the engine's hot paths. *)
+let kernel_position_compare =
+  let a = [ { Align.cnt = 7; loops = [ (1, 3); (2, 0) ] };
+            { Align.cnt = 2; loops = [] } ]
+  and b = [ { Align.cnt = 7; loops = [ (1, 3); (2, 1) ] } ] in
+  fun () ->
+    for _ = 1 to 1000 do
+      ignore (Align.compare a b);
+      ignore (Align.compare b a);
+      ignore (Align.compare a a)
+    done
+
+let kernel_counter_instrument =
+  let prog = lazy (Workload.lower (Registry.find_exn "403.gcc")) in
+  fun () -> ignore (Counter.instrument (Lazy.force prog))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing.                                                  *)
+
+let tests =
+  Test.make_grouped ~name:"ldx" ~fmt:"%s %s"
+    [ Test.make ~name:"table1_instrumentation" (Staged.stage instrument_all);
+      Test.make ~name:"fig6_overhead" (Staged.stage kernel_fig6);
+      Test.make ~name:"table2_effectiveness" (Staged.stage kernel_table2);
+      Test.make ~name:"table3_tainting" (Staged.stage kernel_table3);
+      Test.make ~name:"table4_concurrency" (Staged.stage kernel_table4);
+      Test.make ~name:"case_studies" (Staged.stage kernel_case_studies);
+      Test.make ~name:"fp_check" (Staged.stage kernel_fp_check);
+      Test.make ~name:"mutation_strategies" (Staged.stage kernel_mutation);
+      Test.make ~name:"ablation_alignment" (Staged.stage kernel_ablation_align);
+      Test.make ~name:"ablation_loops" (Staged.stage kernel_ablation_loops);
+      Test.make ~name:"micro_position_compare"
+        (Staged.stage kernel_position_compare);
+      Test.make ~name:"micro_counter_instrument"
+        (Staged.stage kernel_counter_instrument) ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Printf.printf "%-34s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 52 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _instance tbl ->
+       Hashtbl.iter
+         (fun name ols ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> e
+              | Some [] | None -> nan
+            in
+            rows := (name, est) :: !rows)
+         tbl)
+    results;
+  List.iter
+    (fun (name, est) ->
+       let human =
+         if Float.is_nan est then "n/a"
+         else if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+         else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+         else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+         else Printf.sprintf "%.0f ns" est
+       in
+       Printf.printf "%-34s %16s\n" name human)
+    (List.sort compare !rows)
+
+let () =
+  Printf.printf
+    "=== Bechamel: wall time per experiment kernel (host machine) ===\n\n%!";
+  print_results (benchmark ());
+  Printf.printf
+    "\n=== Regenerated evaluation (simulated metrics, cf. EXPERIMENTS.md) \
+     ===\n\n%!";
+  print_string (Experiments.all ~runs:50 ())

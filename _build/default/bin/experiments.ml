@@ -1,0 +1,52 @@
+(* Experiment driver: regenerates every table and figure of the paper.
+
+     dune exec bin/experiments.exe -- all --runs 100
+     dune exec bin/experiments.exe -- table3
+     dune exec bin/experiments.exe -- case_gcc *)
+
+open Cmdliner
+module E = Ldx_report.Experiments
+module T = Ldx_report.Table
+
+let experiments : (string * (int -> string)) list =
+  [ ("table1", fun _ -> T.render (E.table1 ()));
+    ("fig6", fun _ -> T.render (E.fig6 ()));
+    ("table2", fun _ -> T.render (E.table2 ()));
+    ("table3", fun _ -> T.render (E.table3 ()));
+    ("table4", fun runs -> T.render (E.table4 ~runs ()));
+    ("case_gcc", fun _ -> E.case_gcc ());
+    ("case_firefox", fun _ -> E.case_firefox ());
+    ("fp_check", fun _ -> T.render (E.fp_check ()));
+    ("mutation", fun _ -> T.render (E.mutation_study ()));
+    ("ablation_align", fun _ -> T.render (E.ablation_alignment ()));
+    ("ablation_loops", fun _ -> T.render (E.ablation_loops ()));
+    ("all", fun runs -> E.all ~runs ()) ]
+
+let which =
+  let doc =
+    "Which experiment to run: " ^ String.concat ", " (List.map fst experiments)
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let runs =
+  let doc = "Trials for the Table 4 concurrency experiment." in
+  Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc)
+
+let run which runs =
+  match List.assoc_opt which experiments with
+  | Some f ->
+    print_string (f runs);
+    `Ok ()
+  | None ->
+    `Error
+      (false,
+       Printf.sprintf "unknown experiment %S (try: %s)" which
+         (String.concat ", " (List.map fst experiments)))
+
+let cmd =
+  let info =
+    Cmd.info "experiments" ~doc:"Regenerate the LDX paper's tables and figures"
+  in
+  Cmd.v info Term.(ret (const run $ which $ runs))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,126 @@
+(* ldx_fuzz: standalone invariant fuzzer for the alignment machinery.
+
+     dune exec bin/ldx_fuzz.exe -- --runs 2000 --seed 7
+
+   Generates random structured MiniC programs (the same generator the
+   property suite uses, from ldx.genprog) and checks, per program:
+   - instrumentation is semantically transparent (P2),
+   - no-mutation dual execution aligns perfectly (P3),
+   - mutation never makes the slave trap (P4),
+   - random race-free concurrent programs align under random seeds (P13).
+
+   Exits non-zero and prints the offending program on the first failure —
+   useful for long soak runs beyond the CI-sized qcheck budgets. *)
+
+open Cmdliner
+module Gen_minic = Ldx_genprog.Gen_minic
+module Engine = Ldx_core.Engine
+module Counter = Ldx_instrument.Counter
+module Lower = Ldx_cfg.Lower
+module Driver = Ldx_vm.Driver
+module World = Ldx_osim.World
+
+let test_world =
+  World.(
+    empty
+    |> with_endpoint "in" [ "3"; "14"; "15"; "9"; "2"; "6"; "5"; "35"; "8" ])
+
+type failure = { f_check : string; f_detail : string; f_program : string }
+
+let check_program (p : Ldx_lang.Ast.program) : failure option =
+  let src = Gen_minic.print_program p in
+  let fail f_check f_detail = Some { f_check; f_detail; f_program = src } in
+  let plainp = Lower.lower_program p in
+  let instp, _ = Counter.instrument (Lower.lower_program p) in
+  let plain = Driver.run plainp test_world in
+  let inst = Driver.run instp test_world in
+  if plain.Driver.trap <> None || inst.Driver.trap <> None then
+    fail "transparency" "a native run trapped"
+  else if not (String.equal plain.Driver.stdout inst.Driver.stdout) then
+    fail "transparency" "instrumentation changed the output"
+  else begin
+    let no_mut = { Engine.default_config with Engine.sources = [] } in
+    let r = Engine.run ~config:no_mut instp test_world in
+    if r.Engine.syscall_diffs <> 0 || r.Engine.leak then
+      fail "alignment"
+        (Printf.sprintf "diffs=%d leak=%b" r.Engine.syscall_diffs r.Engine.leak)
+    else begin
+      let mut =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"recv" () ] }
+      in
+      let r = Engine.run ~config:mut instp test_world in
+      match r.Engine.slave.Engine.trap with
+      | Some m -> fail "divergence tolerance" ("slave trapped: " ^ m)
+      | None -> None
+    end
+  end
+
+let check_concurrent (p : Ldx_lang.Ast.program) ms ss : failure option =
+  let src = Gen_minic.print_program p in
+  let instp, _ = Counter.instrument (Lower.lower_program p) in
+  let config =
+    { Engine.default_config with
+      Engine.sources = []; Engine.master_seed = ms; slave_seed = ss }
+  in
+  let r = Engine.run ~config instp World.empty in
+  if r.Engine.syscall_diffs <> 0 || r.Engine.leak
+     || r.Engine.slave.Engine.trap <> None
+  then
+    Some
+      { f_check = Printf.sprintf "concurrent alignment (seeds %d/%d)" ms ss;
+        f_detail =
+          Printf.sprintf "diffs=%d leak=%b trap=%s" r.Engine.syscall_diffs
+            r.Engine.leak
+            (Option.value ~default:"-" r.Engine.slave.Engine.trap);
+        f_program = src }
+  else None
+
+let runs_arg =
+  Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Programs per class.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let fuzz runs seed =
+  let rand = Random.State.make [| seed |] in
+  let sequential = QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_program in
+  let concurrent =
+    QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_conc_program
+  in
+  let checked = ref 0 in
+  let failed = ref None in
+  let note f = if !failed = None then failed := Some f in
+  List.iter
+    (fun p ->
+       if !failed = None then begin
+         incr checked;
+         Option.iter note (check_program p)
+       end)
+    sequential;
+  List.iter
+    (fun p ->
+       if !failed = None then begin
+         incr checked;
+         Option.iter note
+           (check_concurrent p
+              (Random.State.int rand 1000)
+              (Random.State.int rand 1000))
+       end)
+    concurrent;
+  match !failed with
+  | None ->
+    Printf.printf "ok: %d programs checked, all invariants hold\n" !checked;
+    `Ok ()
+  | Some f ->
+    Printf.printf "FAILURE after %d programs\ncheck:  %s\ndetail: %s\n\n%s\n"
+      !checked f.f_check f.f_detail f.f_program;
+    `Error (false, "invariant violated")
+
+let cmd =
+  let info =
+    Cmd.info "ldx_fuzz" ~doc:"Fuzz the LDX alignment invariants"
+  in
+  Cmd.v info Term.(ret (const fuzz $ runs_arg $ seed_arg))
+
+let () = exit (Cmd.eval cmd)

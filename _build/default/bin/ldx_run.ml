@@ -1,0 +1,185 @@
+(* ldx_run: dual-execute a MiniC program file under LDX.
+
+     dune exec bin/ldx_run.exe -- prog.minic \
+       --file /data/in=secret --endpoint srv=hello,world \
+       --source recv --sink network
+
+   Runs the master against the described world, spawns the mutated slave,
+   and prints the causality report. *)
+
+open Cmdliner
+module Engine = Ldx_core.Engine
+module Mutation = Ldx_core.Mutation
+module World = Ldx_osim.World
+
+let split_once ch s =
+  match String.index_opt s ch with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let prog_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.minic")
+
+let files =
+  let doc = "Add a file to the simulated world: PATH=CONTENTS (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "file" ] ~docv:"PATH=DATA" ~doc)
+
+let endpoints =
+  let doc =
+    "Add a network endpoint: NAME=MSG1,MSG2,... (inbound script, repeatable)."
+  in
+  Arg.(value & opt_all string [] & info [ "endpoint" ] ~docv:"NAME=MSGS" ~doc)
+
+let sources =
+  let doc =
+    "Source syscalls to mutate in the slave, e.g. 'recv' or \
+     'read@/etc/secret' (syscall@resource-substring, repeatable)."
+  in
+  Arg.(value & opt_all string [ "recv" ] & info [ "source" ] ~docv:"SPEC" ~doc)
+
+let sink =
+  let doc = "Sink set: network | files | outputs | attack." in
+  Arg.(value & opt string "outputs" & info [ "sink" ] ~docv:"KIND" ~doc)
+
+let strategy =
+  let doc = "Mutation strategy: off-by-one | bitflip | zero | random." in
+  Arg.(value & opt string "off-by-one" & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-sink reports.")
+
+let trace =
+  Arg.(value & flag
+       & info [ "trace" ]
+         ~doc:"Print the side-by-side aligned syscall trace (Fig. 3 style).")
+
+let dot =
+  Arg.(value & flag
+       & info [ "dot" ]
+         ~doc:"Print the instrumented program's CFGs as Graphviz and exit.")
+
+let attribute =
+  Arg.(value & flag
+       & info [ "attribute" ]
+         ~doc:"Run one dual execution per source and print which source \
+               each flagged sink depends on.")
+
+let final_state =
+  Arg.(value & flag
+       & info [ "final-state" ]
+         ~doc:"Also diff the two filesystems (contents and mtimes) after \
+               the run.")
+
+let build_world files endpoints =
+  let w = ref World.empty in
+  List.iter
+    (fun spec ->
+       let path, data = split_once '=' spec in
+       w := World.with_file path data !w)
+    files;
+  List.iter
+    (fun spec ->
+       let name, msgs = split_once '=' spec in
+       let script = if msgs = "" then [] else String.split_on_char ',' msgs in
+       w := World.with_endpoint name script !w)
+    endpoints;
+  !w
+
+let parse_sources specs =
+  List.map
+    (fun spec ->
+       let sys, arg = split_once '@' spec in
+       Engine.source ~sys ?arg:(if arg = "" then None else Some arg) ())
+    specs
+
+let parse_sinks = function
+  | "network" -> Ok Engine.Network_outputs
+  | "files" -> Ok Engine.File_outputs
+  | "outputs" -> Ok Engine.Output_syscalls
+  | "attack" -> Ok Engine.Attack_sinks
+  | s -> Error (Printf.sprintf "unknown sink set %S" s)
+
+let parse_strategy = function
+  | "off-by-one" -> Ok Mutation.Off_by_one
+  | "bitflip" -> Ok Mutation.Bitflip
+  | "zero" -> Ok Mutation.Zero
+  | "random" -> Ok (Mutation.Random_replace 7)
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let run prog_file files endpoints sources sink strategy verbose trace dot
+    attribute final_state =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
+  let* sinks = parse_sinks sink in
+  let* strategy = parse_strategy strategy in
+  let src = In_channel.with_open_text prog_file In_channel.input_all in
+  let world = build_world files endpoints in
+  let config =
+    { Engine.default_config with
+      Engine.sources = parse_sources sources;
+      sinks;
+      strategy;
+      record_trace = trace;
+      check_final_state = final_state }
+  in
+  if dot then begin
+    match Ldx_cfg.Lower.lower_source src with
+    | exception Failure msg -> `Error (false, msg)
+    | prog ->
+      let prog, _ = Ldx_instrument.Counter.instrument prog in
+      print_string (Ldx_cfg.Dot.program_to_dot prog);
+      `Ok ()
+  end
+  else if attribute then begin
+    match Ldx_cfg.Lower.lower_source src with
+    | exception Failure msg -> `Error (false, msg)
+    | prog ->
+      let prog, _ = Ldx_instrument.Counter.instrument prog in
+      let attrs = Ldx_core.Attribute.per_source ~config prog world in
+      print_string (Ldx_core.Attribute.render attrs);
+      `Ok ()
+  end
+  else
+  match Engine.run_source ~config src world with
+  | exception Failure msg -> `Error (false, msg)
+  | r ->
+    Printf.printf "master: %d syscalls, %d cycles%s\n"
+      r.Engine.master.Engine.syscalls r.Engine.master.Engine.cycles
+      (match r.Engine.master.Engine.trap with
+       | None -> ""
+       | Some m -> ", TRAP: " ^ m);
+    Printf.printf "slave:  %d syscalls, %d cycles%s\n"
+      r.Engine.slave.Engine.syscalls r.Engine.slave.Engine.cycles
+      (match r.Engine.slave.Engine.trap with
+       | None -> ""
+       | Some m -> ", TRAP: " ^ m);
+    Printf.printf "mutated inputs: %d, syscall differences: %d/%d\n"
+      r.Engine.mutated_inputs r.Engine.syscall_diffs r.Engine.total_syscalls;
+    if r.Engine.leak then begin
+      Printf.printf
+        "CAUSALITY DETECTED: %d tainted sink(s) of %d dynamic sinks\n"
+        r.Engine.tainted_sinks r.Engine.total_sinks;
+      if verbose then
+        List.iter
+          (fun rep -> print_endline ("  " ^ Engine.report_to_string rep))
+          r.Engine.reports
+    end
+    else
+      Printf.printf "no causality: sinks are independent of the sources\n";
+    if trace then begin
+      Printf.printf "\nAligned trace (master | slave):\n";
+      print_string (Ldx_report.Trace_view.render r.Engine.trace)
+    end;
+    `Ok ()
+
+let cmd =
+  let info =
+    Cmd.info "ldx_run" ~doc:"Dual-execute a MiniC program under LDX"
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ prog_file $ files $ endpoints $ sources $ sink $ strategy
+         $ verbose $ trace $ dot $ attribute $ final_state))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/attack_detection.ml: Ldx_core Ldx_osim Ldx_workloads List Printf

@@ -1,0 +1,1 @@
+examples/attribution_demo.ml: Ldx_cfg Ldx_core Ldx_instrument Ldx_osim Printf

@@ -1,0 +1,1 @@
+examples/concurrent_leak.ml: Ldx_core Ldx_workloads List Printf

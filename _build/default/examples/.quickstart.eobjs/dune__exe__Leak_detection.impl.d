@@ -1,0 +1,1 @@
+examples/leak_detection.ml: Ldx_core Ldx_osim Ldx_taint List Printf

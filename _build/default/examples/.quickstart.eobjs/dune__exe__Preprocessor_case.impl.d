@@ -1,0 +1,1 @@
+examples/preprocessor_case.ml: Ldx_core Ldx_report Ldx_workloads Printf

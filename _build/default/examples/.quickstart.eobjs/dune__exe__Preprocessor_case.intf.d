@@ -1,0 +1,1 @@
+examples/preprocessor_case.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ldx_core Ldx_osim List Printf

@@ -1,0 +1,69 @@
+(* Source attribution: which secret does each network message leak?
+
+     dune exec examples/attribution_demo.exe
+
+   A sync agent reads three credentials and talks to two services.  The
+   combined dual execution says "something leaks"; the attribution pass
+   runs one dual execution per source and maps each flagged sink to the
+   credentials it actually depends on. *)
+
+module Engine = Ldx_core.Engine
+module Attribute = Ldx_core.Attribute
+module World = Ldx_osim.World
+
+let program =
+  {| fn read_all(path) {
+       let fd = open(path);
+       if (fd < 0) { return ""; }
+       let d = read(fd, 64);
+       close(fd);
+       return d;
+     }
+     fn main() {
+       let api_key = read_all("/etc/keys/api");
+       let db_pass = read_all("/etc/keys/db");
+       let smtp_pass = read_all("/etc/keys/smtp");
+       let api = socket("api.example");
+       // the API request carries the key outright (data dependence)
+       send(api, "auth " + api_key);
+       // the DB health probe leaks only WHETHER the password is still
+       // the vendor default (a control dependence)
+       let db = socket("db.example");
+       if (starts_with(db_pass, "default")) { send(db, "probe insecure"); }
+       else { send(db, "probe ok"); }
+       // the SMTP password is read but never influences any output
+       print("sync done\n");
+     } |}
+
+let world =
+  World.(
+    empty
+    |> with_dir "/etc" |> with_dir "/etc/keys"
+    |> with_file "/etc/keys/api" "AK-123456"
+    |> with_file "/etc/keys/db" "default-pw"
+    |> with_file "/etc/keys/smtp" "relay-pass"
+    |> with_endpoint "api.example" []
+    |> with_endpoint "db.example" [])
+
+let () =
+  let config =
+    { Engine.default_config with
+      Engine.sources =
+        [ Engine.source ~sys:"read" ~arg:"/etc/keys/api" ();
+          Engine.source ~sys:"read" ~arg:"/etc/keys/db" ();
+          Engine.source ~sys:"read" ~arg:"/etc/keys/smtp" () ];
+      sinks = Engine.Network_outputs }
+  in
+  (* one combined run: detects leakage but not which key *)
+  let combined = Engine.run_source ~config program world in
+  Printf.printf "combined run: leak=%b, %d tainted sink(s)\n\n"
+    combined.Engine.leak combined.Engine.tainted_sinks;
+  (* per-source attribution *)
+  let prog = Ldx_cfg.Lower.lower_source program in
+  let prog, _ = Ldx_instrument.Counter.instrument prog in
+  let attrs = Attribute.per_source ~config prog world in
+  print_string (Attribute.render attrs);
+  Printf.printf
+    "\nReading: the api key flows straight into its request; the db \
+     password\ninfluences the probe only through a branch (taint \
+     tracking would miss it);\nthe smtp password reaches nothing.\n"

@@ -1,0 +1,40 @@
+(* Concurrency: dual-executing a multithreaded server (Sec. 7).
+
+     dune exec examples/concurrent_leak.exe
+
+   Master and slave each run two worker threads.  LDX pairs the threads,
+   gives each pair its own counter, shares the master's lock-acquisition
+   order with the slave, and still aligns per-thread syscalls by
+   position.  We run the same program under several schedule seeds to
+   show the verdict is stable even though the interleavings (and the
+   deliberate data race on the stats cell) are not. *)
+
+module Engine = Ldx_core.Engine
+module Workload = Ldx_workloads.Workload
+module Registry = Ldx_workloads.Registry
+
+let () =
+  let w = Registry.find_exn "Apache" in
+  let prog, _ = Workload.instrumented w in
+  Printf.printf
+    "Apache-like worker pool: 8 requests, 2 workers, lock-protected \
+     dispatch,\nracy byte counter.  Source: client requests.  Sinks: \
+     worker responses.\n\n";
+  Printf.printf "%-6s %-6s %-14s %-13s %s\n" "seed_m" "seed_s" "syscall_diffs"
+    "tainted_sinks" "verdict";
+  List.iter
+    (fun (ms, ss) ->
+       let config =
+         { (Workload.leak_config w) with
+           Engine.master_seed = ms;
+           slave_seed = ss }
+       in
+       let r = Engine.run ~config prog w.Workload.world in
+       Printf.printf "%-6d %-6d %-14d %-13d %s\n" ms ss r.Engine.syscall_diffs
+         r.Engine.tainted_sinks
+         (if r.Engine.leak then "leak" else "clean"))
+    [ (0, 0); (1, 1001); (2, 1002); (3, 1003); (42, 4242) ];
+  Printf.printf
+    "\nThe tainted-sink count is schedule-independent: the 8 responses \
+     always\ndepend on the 8 mutated requests.  The diff count wobbles \
+     with the racy\nstats cell — exactly the Table 4 behaviour.\n"

@@ -1,0 +1,29 @@
+(* The 403.gcc case study (Fig. 7): configuration leak through a
+   preprocessor.
+
+     dune exec examples/preprocessor_case.exe
+
+   The mini C preprocessor expands an nginx-like source tree.  Whether
+   poll.h is included — and therefore what the emitted translation unit
+   looks like — is decided by the NGX_HAVE_POLL configuration value
+   through an #if, i.e. purely through control dependences.  LDX flips
+   the value in the slave and reads the causality off the aligned output
+   writes; the side-by-side trace below is the Fig. 3-style view of how
+   the two executions diverge and re-join. *)
+
+module Engine = Ldx_core.Engine
+module Mutation = Ldx_core.Mutation
+module Workload = Ldx_workloads.Workload
+module Registry = Ldx_workloads.Registry
+
+let () =
+  print_string (Ldx_report.Experiments.case_gcc ());
+  Printf.printf "\n--- side-by-side syscall trace (master | slave) ---\n";
+  let w = Registry.find_exn "403.gcc" in
+  let strategy =
+    Mutation.Swap_substring ("NGX_HAVE_POLL 1", "NGX_HAVE_POLL 0")
+  in
+  let prog, _ = Workload.instrumented w in
+  let config = Workload.leak_config ~strategy w in
+  print_string
+    (Ldx_report.Trace_view.side_by_side ~config prog w.Workload.world)

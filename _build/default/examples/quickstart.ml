@@ -1,0 +1,56 @@
+(* Quickstart: causality inference on a ten-line program.
+
+     dune exec examples/quickstart.exe
+
+   The program replies to a client with a tone that depends on the
+   received name only through a branch — a pure control dependence,
+   which classic data-dependence taint tracking cannot see, but LDX's
+   counterfactual test does. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+
+let program =
+  {| fn main() {
+       let s = socket("client");
+       let name = recv(s);
+       let tone = "meh";
+       if (starts_with(name, "a")) { tone = "wow"; }
+       send(s, tone);
+       print("served\n");
+     } |}
+
+let run_with name =
+  let world = World.(empty |> with_endpoint "client" [ name ]) in
+  let config =
+    { Engine.default_config with
+      Engine.sources = [ Engine.source ~sys:"recv" () ];
+      sinks = Engine.Network_outputs }
+  in
+  Engine.run_source ~config program world
+
+let () =
+  (* LDX parses, checks, lowers, instruments the alignment counters,
+     runs master + mutated slave, and compares the aligned sinks. *)
+  let r = run_with "ada" in
+  Printf.printf "input \"ada\":\n";
+  Printf.printf "  mutated inputs : %d\n" r.Engine.mutated_inputs;
+  Printf.printf "  syscall diffs  : %d of %d\n" r.Engine.syscall_diffs
+    r.Engine.total_syscalls;
+  Printf.printf "  causality      : %b\n" r.Engine.leak;
+  List.iter
+    (fun rep -> Printf.printf "    %s\n" (Engine.report_to_string rep))
+    r.Engine.reports;
+
+  (* The reply depends on [name] only through the branch: the master
+     answers "wow" (a-name), the off-by-one slave answers "meh" — a
+     strong counterfactual causality that taint engines miss. *)
+
+  (* Contrast: a name far from the "a" boundary.  The neighbourhood
+     mutation keeps the branch stable, so the reply reveals (almost)
+     nothing about this name — LDX stays silent where
+     track-all-control-dependences tainting would cry wolf. *)
+  let r2 = run_with "grace" in
+  Printf.printf "input \"grace\":\n";
+  Printf.printf "  causality      : %b (weak dependence, not reported)\n"
+    r2.Engine.leak

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Array Hashtbl Ir List Set String

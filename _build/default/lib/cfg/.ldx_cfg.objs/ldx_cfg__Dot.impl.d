@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Buffer Hashtbl Ir List Loops Printf String

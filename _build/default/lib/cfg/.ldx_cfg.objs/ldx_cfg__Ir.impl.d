@@ -1,0 +1,1 @@
+lib/cfg/ir.ml: Array Buffer Ldx_lang List Printf String

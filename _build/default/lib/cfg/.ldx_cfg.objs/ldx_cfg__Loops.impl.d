@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Dominators Hashtbl Int Ir List Set

@@ -1,0 +1,1 @@
+lib/cfg/lower.ml: Array Ast Check Ir Ldx_lang List Names Parser Printf

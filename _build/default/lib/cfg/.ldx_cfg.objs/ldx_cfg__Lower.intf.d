@@ -1,0 +1,1 @@
+lib/cfg/lower.mli: Ir Ldx_lang

@@ -1,0 +1,104 @@
+(* Call graph over direct calls, with Tarjan SCCs.
+
+   INSTRUMENTPROG (Algorithm 1) walks functions in reverse topological
+   order of the call graph so FCNT of callees is known; recursive
+   functions (non-trivial SCCs or self loops) are excluded from that
+   scheme and handled with the counter stack (Sec. 5/6). *)
+
+module StrSet = Set.Make (String)
+
+type t = {
+  callees : (string, StrSet.t) Hashtbl.t;       (* direct-call edges *)
+  sccs : string list list;                      (* reverse topological order *)
+  recursive : StrSet.t;                         (* funcs in cycles *)
+  order : string list;                          (* callees-before-callers *)
+}
+
+let direct_callees (f : Ir.func) : StrSet.t =
+  let acc = ref StrSet.empty in
+  Array.iter
+    (fun (b : Ir.block) ->
+       Array.iter
+         (fun i ->
+            match i with
+            | Ir.Call { callee; _ } -> acc := StrSet.add callee !acc
+            | Ir.Call_indirect _ | Ir.Syscall _ | Ir.Assign _ | Ir.Store _
+            | Ir.Cnt_add _ | Ir.Loop_enter _ | Ir.Loop_back _ | Ir.Loop_exit _ ->
+              ())
+         b.Ir.instrs)
+    f.blocks;
+  !acc
+
+(* Tarjan's strongly connected components; emits SCCs in reverse
+   topological order (callees before callers). *)
+let tarjan (nodes : string list) (succs : string -> StrSet.t) : string list list =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    StrSet.iter
+      (fun w ->
+         if not (Hashtbl.mem index w) then begin
+           strongconnect w;
+           Hashtbl.replace lowlink v
+             (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+         end
+         else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+           Hashtbl.replace lowlink v
+             (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan produces SCCs in reverse topological order of the condensation
+     when collected in emission order. *)
+  List.rev !sccs
+
+let compute (p : Ir.program) : t =
+  let callees = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Ir.func) ->
+       let cs =
+         StrSet.filter
+           (fun c -> Ir.find_func p c <> None)
+           (direct_callees f)
+       in
+       Hashtbl.replace callees f.Ir.fname cs)
+    p.funcs;
+  let nodes = Array.to_list (Array.map (fun f -> f.Ir.fname) p.funcs) in
+  let succs v = try Hashtbl.find callees v with Not_found -> StrSet.empty in
+  let sccs = tarjan nodes succs in
+  let recursive =
+    List.fold_left
+      (fun acc scc ->
+         match scc with
+         | [ v ] ->
+           if StrSet.mem v (succs v) then StrSet.add v acc else acc
+         | vs -> List.fold_left (fun a v -> StrSet.add v a) acc vs)
+      StrSet.empty sccs
+  in
+  let order = List.concat sccs in
+  { callees; sccs; recursive; order }
+
+let is_recursive t name = StrSet.mem name t.recursive
+
+let callees_of t name =
+  try Hashtbl.find t.callees name with Not_found -> StrSet.empty

@@ -1,0 +1,22 @@
+(** Call graph over direct calls, with Tarjan SCCs.
+
+    INSTRUMENTPROG (Algorithm 1) walks functions callees-first so FCNT of
+    callees is known; functions on call-graph cycles are flagged
+    recursive and handled with the counter stack instead (Sec. 6). *)
+
+module StrSet : Set.S with type elt = string
+
+type t = {
+  callees : (string, StrSet.t) Hashtbl.t;  (** direct-call edges *)
+  sccs : string list list;                 (** callees before callers *)
+  recursive : StrSet.t;                    (** functions on cycles *)
+  order : string list;                     (** flattened SCC order *)
+}
+
+(** Direct callees of a function that are user functions (builtins and
+    syscalls excluded by the caller). *)
+val direct_callees : Ir.func -> StrSet.t
+
+val compute : Ir.program -> t
+val is_recursive : t -> string -> bool
+val callees_of : t -> string -> StrSet.t

@@ -1,0 +1,51 @@
+(* Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+   Needed to identify back edges and natural loops for Algorithm 3. *)
+
+type t = {
+  idom : int array;          (* immediate dominator; idom.(entry) = entry;
+                                -1 for unreachable blocks *)
+  rpo_index : int array;     (* position in reverse postorder; -1 if unreachable *)
+}
+
+let compute (f : Ir.func) : t =
+  let n = Array.length f.blocks in
+  let rpo = Ir.reverse_postorder f in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Ir.predecessors f in
+  let idom = Array.make n (-1) in
+  idom.(f.entry) <- f.entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+         if b <> f.entry then begin
+           let processed =
+             List.filter (fun p -> idom.(p) <> -1 && rpo_index.(p) <> -1) preds.(b)
+           in
+           match processed with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if idom.(b) <> new_idom then begin
+               idom.(b) <- new_idom;
+               changed := true
+             end
+         end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+(* Does [a] dominate [b]?  (Reflexive.) *)
+let dominates (d : t) a b =
+  let rec up x = if x = a then true else if x = d.idom.(x) then false else up d.idom.(x) in
+  if d.idom.(b) = -1 then false else up b
+
+let immediate_dominator d b = d.idom.(b)

@@ -1,0 +1,124 @@
+(* Natural-loop detection.
+
+   A back edge is t -> h where h dominates t.  The natural loop of h is
+   the union, over its back edges, of h plus all blocks that can reach a
+   back-edge tail without passing through h.  Loops sharing a header are
+   merged (standard), which is what Algorithm 3 needs: one barrier set and
+   one reset value per header. *)
+
+module IntSet = Set.Make (Int)
+
+type loop = {
+  header : int;
+  body : IntSet.t;            (* includes the header *)
+  back_tails : int list;      (* tails of the back edges into header *)
+  exits : (int * int) list;   (* edges (x, n): x in body, n outside *)
+}
+
+type t = {
+  loops : loop list;          (* innermost-last order not guaranteed *)
+  loop_of_header : (int, loop) Hashtbl.t;
+}
+
+let natural_loop (f : Ir.func) preds header tails =
+  let body = ref (IntSet.singleton header) in
+  let stack = ref [] in
+  List.iter
+    (fun t ->
+       if not (IntSet.mem t !body) then begin
+         body := IntSet.add t !body;
+         stack := t :: !stack
+       end)
+    tails;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+      stack := rest;
+      List.iter
+        (fun p ->
+           if not (IntSet.mem p !body) then begin
+             body := IntSet.add p !body;
+             stack := p :: !stack
+           end)
+        preds.(b)
+  done;
+  let body = !body in
+  let exits = ref [] in
+  IntSet.iter
+    (fun b ->
+       List.iter
+         (fun s -> if not (IntSet.mem s body) then exits := (b, s) :: !exits)
+         (Ir.successors f.blocks.(b).Ir.term))
+    body;
+  { header; body; back_tails = tails; exits = List.rev !exits }
+
+let detect (f : Ir.func) : t =
+  let doms = Dominators.compute f in
+  let preds = Ir.predecessors f in
+  let reach = Ir.reachable_blocks f in
+  (* collect back edges grouped by header *)
+  let by_header = Hashtbl.create 8 in
+  Array.iter
+    (fun (b : Ir.block) ->
+       if reach.(b.Ir.bid) then
+         List.iter
+           (fun s ->
+              if Dominators.dominates doms s b.Ir.bid then
+                Hashtbl.replace by_header s
+                  (b.Ir.bid :: (try Hashtbl.find by_header s with Not_found -> [])))
+           (Ir.successors b.Ir.term))
+    f.blocks;
+  let loops =
+    Hashtbl.fold
+      (fun header tails acc -> natural_loop f preds header tails :: acc)
+      by_header []
+  in
+  let loop_of_header = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace loop_of_header l.header l) loops;
+  { loops; loop_of_header }
+
+(* Loops containing block b, innermost determined by body size. *)
+let loops_containing (t : t) b =
+  List.filter (fun l -> IntSet.mem b l.body) t.loops
+
+(* Is the CFG reducible?  With our structured lowering it always is; the
+   instrumenter asserts this.  A CFG is irreducible iff some cycle has no
+   back edge to a dominating header, i.e. removing all back edges leaves a
+   cycle. *)
+let is_reducible (f : Ir.func) (t : t) : bool =
+  let n = Array.length f.blocks in
+  let is_back b s =
+    List.exists (fun l -> l.header = s && List.mem b l.back_tails) t.loops
+  in
+  (* Kahn's algorithm on the graph minus back edges *)
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun (b : Ir.block) ->
+       List.iter
+         (fun s ->
+            if not (is_back b.Ir.bid s) then begin
+              succs.(b.Ir.bid) <- s :: succs.(b.Ir.bid);
+              indeg.(s) <- indeg.(s) + 1
+            end)
+         (Ir.successors b.Ir.term))
+    f.blocks;
+  let queue = ref [] in
+  for b = 0 to n - 1 do
+    if indeg.(b) = 0 then queue := b :: !queue
+  done;
+  let seen = ref 0 in
+  while !queue <> [] do
+    match !queue with
+    | [] -> ()
+    | b :: rest ->
+      queue := rest;
+      incr seen;
+      List.iter
+        (fun s ->
+           indeg.(s) <- indeg.(s) - 1;
+           if indeg.(s) = 0 then queue := s :: !queue)
+        succs.(b)
+  done;
+  !seen = n

@@ -1,0 +1,17 @@
+(** AST -> CFG lowering.
+
+    Guarantees the properties the alignment algorithms rely on:
+    - one exit block per function (so FCNT is path-independent);
+    - [&&]/[||] lower to control flow (C short-circuit semantics);
+    - calls are extracted out of expressions in evaluation order, leaving
+      every embedded expression pure (builtin calls only);
+    - unreachable blocks are pruned and ids renumbered densely. *)
+
+exception Lower_error of string
+
+(** Lower a checked program.  Runs {!Ldx_lang.Check.check_exn} first.
+    @raise Failure when the program is ill-formed. *)
+val lower_program : Ldx_lang.Ast.program -> Ir.program
+
+(** Parse, check and lower MiniC source. *)
+val lower_source : string -> Ir.program

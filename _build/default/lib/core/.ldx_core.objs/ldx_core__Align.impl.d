@@ -1,0 +1,1 @@
+lib/core/align.ml: Ldx_vm List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/align.mli: Ldx_vm

@@ -1,0 +1,1 @@
+lib/core/attribute.ml: Buffer Engine Hashtbl Ldx_cfg Ldx_osim List Printf String

@@ -1,0 +1,1 @@
+lib/core/attribute.mli: Engine Ldx_cfg Ldx_osim

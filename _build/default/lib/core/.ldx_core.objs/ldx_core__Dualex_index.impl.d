@@ -1,0 +1,1 @@
+lib/core/dualex_index.ml: Engine Ldx_vm

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Align Hashtbl Ldx_cfg Ldx_instrument Ldx_osim Ldx_vm List Mutation Option Printf Queue String

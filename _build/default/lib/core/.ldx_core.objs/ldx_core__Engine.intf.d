@@ -1,0 +1,1 @@
+lib/core/engine.mli: Align Hashtbl Ldx_cfg Ldx_instrument Ldx_osim Ldx_vm Mutation Queue

@@ -1,0 +1,1 @@
+lib/core/mutation.ml: Bytes Char Ldx_osim String

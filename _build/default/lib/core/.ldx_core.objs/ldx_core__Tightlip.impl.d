@@ -1,0 +1,1 @@
+lib/core/tightlip.ml: Engine Hashtbl Ldx_cfg Ldx_osim Ldx_vm List Mutation Queue String

@@ -1,0 +1,1 @@
+lib/core/tightlip.mli: Engine Ldx_cfg Ldx_osim

@@ -1,0 +1,25 @@
+(** Source attribution: which source does each flagged sink depend on?
+
+    LDX mutates all configured sources in a single dual execution
+    (Sec. 3).  When per-source attribution is wanted, this module runs
+    one dual execution per source — still two executions each, no
+    instruction-level tracking. *)
+
+type attribution = {
+  source : Engine.source_spec;
+  result : Engine.result;
+}
+
+(** One dual execution per entry of [config.sources]. *)
+val per_source :
+  ?config:Engine.config -> Ldx_cfg.Ir.program -> Ldx_osim.World.t ->
+  attribution list
+
+val source_to_string : Engine.source_spec -> string
+
+(** Each flagged sink (sys, site) with the sources whose isolated
+    mutation flips it. *)
+val sink_matrix :
+  attribution list -> ((string * int) * Engine.source_spec list) list
+
+val render : attribution list -> string

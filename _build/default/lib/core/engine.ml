@@ -1,0 +1,654 @@
+(* The LDX dual-execution engine (Sec. 3-7).
+
+   The master executes against the real (simulated) OS and publishes every
+   syscall outcome tagged with its position (counter + loop iterations +
+   counter stack, {!Align}).  The slave consumes outcomes by position:
+
+   - outcome at the slave's exact position with the same PC and the same
+     parameters: coupled — the slave copies the result (mutated if the
+     syscall is a configured source) and skips external effects;
+   - same position and PC but different parameters (paper case 3): a
+     causality witness at sinks; the resource is tainted and the slave
+     decouples for this operation;
+   - same position, different PC (case 2): the paths diverged — both
+     syscalls execute independently;
+   - master outcome strictly behind the slave's position (case 1): the
+     syscall disappeared in the slave; the slave's own syscall with no
+     master counterpart likewise appeared only in the slave.
+
+   Positions strictly increase along a thread, so a FIFO per thread pair
+   is a complete alignment index.  The two executions are composed
+   sequentially (master first) — virtual two-CPU timing is preserved by
+   stamping each outcome with the master's cycle clock and fast-forwarding
+   the slave's clock on copies, which is how Fig. 6's "concurrent on two
+   CPUs" overhead is modelled.  See DESIGN.md for the argument that this
+   is observation-equivalent to the paper's spin-loop coupling. *)
+
+module Machine = Ldx_vm.Machine
+module Driver = Ldx_vm.Driver
+module Value = Ldx_vm.Value
+module Cost = Ldx_vm.Cost
+module Os = Ldx_osim.Os
+module Sval = Ldx_osim.Sval
+module World = Ldx_osim.World
+module Ir = Ldx_cfg.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Configuration.                                                      *)
+
+type source_spec = {
+  src_sys : string option;      (* syscall name, e.g. "recv" *)
+  src_site : int option;        (* static site id *)
+  src_arg : string option;      (* substring of arg0 / touched resource *)
+  src_nth : int option;         (* only the nth dynamic match (1-based) *)
+}
+
+let source ?sys ?site ?arg ?nth () =
+  { src_sys = sys; src_site = site; src_arg = arg; src_nth = nth }
+
+type sink_config =
+  | Output_syscalls             (* write/send/print/malloc/retaddr *)
+  | Network_outputs             (* send only *)
+  | File_outputs                (* write/print *)
+  | Attack_sinks                (* retaddr + malloc sizes *)
+  | Custom_sinks of (string -> int -> Sval.t list -> bool)
+
+type config = {
+  sources : source_spec list;
+  sinks : sink_config;
+  strategy : Mutation.strategy;
+  master_seed : int;
+  slave_seed : int;
+  max_steps : int;
+  record_trace : bool;        (* keep a per-syscall alignment action log *)
+  check_final_state : bool;
+  (* Extension of the paper's future work (Sec. 1): after the dual run,
+     compare the two filesystems — contents AND mtimes — and report
+     files that diverged.  Catches leaks routed through file state or
+     metadata that never pass a configured sink syscall. *)
+}
+
+let default_config =
+  { sources = [ source ~sys:"recv" () ];
+    sinks = Output_syscalls;
+    strategy = Mutation.Off_by_one;
+    master_seed = 0;
+    slave_seed = 0;
+    max_steps = 30_000_000;
+    record_trace = false;
+    check_final_state = false }
+
+let sink_pred = function
+  | Output_syscalls ->
+    fun sys _ _ -> List.mem sys [ "write"; "send"; "print"; "malloc"; "retaddr" ]
+  | Network_outputs -> fun sys _ _ -> String.equal sys "send"
+  | File_outputs -> fun sys _ _ -> sys = "write" || sys = "print"
+  | Attack_sinks -> fun sys _ _ -> sys = "retaddr" || sys = "malloc"
+  | Custom_sinks f -> f
+
+let contains hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  nn = 0
+  || (let found = ref false in
+      for i = 0 to hn - nn do
+        if (not !found) && String.sub hay i nn = needle then found := true
+      done;
+      !found)
+
+(* ------------------------------------------------------------------ *)
+(* Reports.                                                            *)
+
+type divergence_kind =
+  | Args_differ                 (* aligned sink, different parameters *)
+  | Different_syscall           (* aligned counter, different PC *)
+  | Missing_in_slave            (* master-only sink *)
+  | Missing_in_master           (* slave-only sink *)
+  | File_state_differs          (* final-state check: contents diverged *)
+  | File_metadata_differs       (* final-state check: same data, mtimes off *)
+
+let kind_to_string = function
+  | Args_differ -> "args-differ"
+  | Different_syscall -> "different-syscall"
+  | Missing_in_slave -> "missing-in-slave"
+  | Missing_in_master -> "missing-in-master"
+  | File_state_differs -> "file-state-differs"
+  | File_metadata_differs -> "file-metadata-differs"
+
+type sink_report = {
+  kind : divergence_kind;
+  sys : string;
+  site : int;
+  position : string;
+  master_args : Sval.t list option;
+  slave_args : Sval.t list option;
+}
+
+let report_to_string (r : sink_report) =
+  Printf.sprintf "[%s] %s@%d pos=%s%s%s" (kind_to_string r.kind) r.sys r.site
+    r.position
+    (match r.master_args with
+     | Some a -> " master=(" ^ Sval.list_to_string a ^ ")"
+     | None -> "")
+    (match r.slave_args with
+     | Some a -> " slave=(" ^ Sval.list_to_string a ^ ")"
+     | None -> "")
+
+type exec_summary = {
+  cycles : int;
+  steps : int;
+  syscalls : int;
+  stdout : string;
+  trap : string option;
+  exit_code : int option;
+}
+
+(* One alignment decision of the slave-side syscall wrapper, in slave
+   order (master-only drops appear where the slave passed them).  Only
+   recorded when [config.record_trace] is set. *)
+type trace_action =
+  | T_copied                       (* aligned; outcome shared *)
+  | T_sink_match                   (* aligned sink, equal parameters *)
+  | T_args_differ                  (* case 3 *)
+  | T_path_diff                    (* case 2: same counter, other PC *)
+  | T_slave_only                   (* no master counterpart *)
+  | T_master_only                  (* master outcome the slave passed *)
+  | T_decoupled                    (* tainted resource; executed privately *)
+
+let trace_action_to_string = function
+  | T_copied -> "copied"
+  | T_sink_match -> "sink=="
+  | T_args_differ -> "args-differ"
+  | T_path_diff -> "path-diff"
+  | T_slave_only -> "slave-only"
+  | T_master_only -> "master-only"
+  | T_decoupled -> "decoupled"
+
+type trace_entry = {
+  t_pos : string;
+  t_action : trace_action;
+  t_master : (string * Sval.t list) option;   (* sys, args *)
+  t_slave : (string * Sval.t list) option;
+}
+
+type result = {
+  trace : trace_entry list;        (* empty unless config.record_trace *)
+  reports : sink_report list;
+  leak : bool;
+  tainted_sinks : int;
+  total_sinks : int;            (* dynamic sink executions in the master *)
+  syscall_diffs : int;
+  diffs_before_first_report : int;
+  total_syscalls : int;         (* dynamic syscalls in the master *)
+  mutated_inputs : int;
+  master : exec_summary;
+  slave : exec_summary;
+  wall_cycles : int;            (* max of the two clocks (two CPUs) *)
+  dyn_cnt_avg : float;
+  dyn_cnt_max : int;
+  max_seg_depth : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Master pass.                                                        *)
+
+type record = {
+  rpos : Align.t;
+  rsite : int;
+  rsys : string;
+  rargs : Sval.t list;
+  rresult : Sval.t;
+  rcyc : int;                   (* master clock when the outcome was ready *)
+  rsink : bool;
+}
+
+type master_out = {
+  mqueues : (int, record Queue.t) Hashtbl.t;   (* per spawn_index *)
+  mlock_trace : (string * int) list;           (* chronological *)
+  msummary : exec_summary;
+  mtotal_sinks : int;
+  mmachine : Machine.t;
+}
+
+let summary_of (m : Machine.t) =
+  { cycles = m.Machine.cycles;
+    steps = m.Machine.steps;
+    syscalls = m.Machine.syscalls;
+    stdout = Os.stdout_contents m.Machine.os;
+    trap = m.Machine.trap;
+    exit_code = m.Machine.os.Os.exit_code }
+
+let queue_for queues idx =
+  match Hashtbl.find_opt queues idx with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace queues idx q;
+    q
+
+(* Run one execution to completion, retrying thread ops that block.
+   [on_os_syscall] services non-thread syscalls and returns the value the
+   execution observes. *)
+let run_side (m : Machine.t)
+    ~(on_os_syscall : Machine.thread -> Machine.pending -> Value.t)
+    ~(on_stuck : Machine.thread list -> bool) : unit =
+  let blocked : Machine.thread list ref = ref [] in
+  let service th =
+    let p = Machine.pending_of th in
+    if Driver.is_thread_op p.Machine.sys then begin
+      match Driver.service_thread_op m th p with
+      | `Done v -> Machine.provide_result m th v
+      | `Block -> blocked := th :: !blocked
+    end
+    else begin
+      let v = on_os_syscall th p in
+      Machine.provide_result m th v
+    end
+  in
+  let retry_blocked () =
+    let bs = !blocked in
+    blocked := [];
+    let progress = ref false in
+    List.iter
+      (fun th ->
+         match th.Machine.status with
+         | Machine.Awaiting p ->
+           (match Driver.service_thread_op m th p with
+            | `Done v ->
+              progress := true;
+              Machine.provide_result m th v
+            | `Block -> blocked := th :: !blocked)
+         | _ -> ())
+      bs;
+    !progress
+  in
+  let rec loop () =
+    match Machine.run_until_event m with
+    | Machine.Ev_syscall th ->
+      (try service th with Value.Trap msg ->
+         m.Machine.trap <- Some msg;
+         m.Machine.finished <- true);
+      ignore (retry_blocked ());
+      if not m.Machine.finished then loop ()
+    | Machine.Ev_barrier th ->
+      Machine.release_barrier m th;
+      loop ()
+    | Machine.Ev_idle ->
+      if retry_blocked () then loop ()
+      else if on_stuck !blocked then begin
+        if retry_blocked () then loop ()
+        else begin
+          m.Machine.trap <- Some "deadlock: all threads blocked";
+          m.Machine.finished <- true
+        end
+      end
+      else begin
+        m.Machine.trap <- Some "deadlock: all threads blocked";
+        m.Machine.finished <- true
+      end
+    | Machine.Ev_done -> ()
+    | Machine.Ev_trap _ -> ()
+  in
+  loop ()
+
+let master_pass (config : config) (prog : Ir.program) (world : World.t) :
+  master_out =
+  let os = Os.create ~pid:1000 world in
+  let m = Machine.create ~seed:config.master_seed ~max_steps:config.max_steps prog os in
+  let is_sink = sink_pred config.sinks in
+  let queues = Hashtbl.create 4 in
+  let total_sinks = ref 0 in
+  let on_os_syscall th (p : Machine.pending) =
+    let sargs = List.map Value.to_sval p.Machine.sysargs in
+    let r =
+      try Os.exec os p.Machine.sys sargs
+      with Os.Os_error msg -> raise (Value.Trap msg)
+    in
+    let sink = is_sink p.Machine.sys p.Machine.site sargs in
+    if sink then incr total_sinks;
+    Queue.add
+      { rpos = Align.of_thread th;
+        rsite = p.Machine.site;
+        rsys = p.Machine.sys;
+        rargs = sargs;
+        rresult = r;
+        rcyc = m.Machine.cycles;
+        rsink = sink }
+      (queue_for queues th.Machine.spawn_index);
+    Value.of_sval r
+  in
+  run_side m ~on_os_syscall ~on_stuck:(fun _ -> false);
+  { mqueues = queues;
+    mlock_trace = List.rev m.Machine.lock_trace;
+    msummary = summary_of m;
+    mtotal_sinks = !total_sinks;
+    mmachine = m }
+
+(* ------------------------------------------------------------------ *)
+(* Slave pass.                                                         *)
+
+type slave_out = {
+  sreports : sink_report list;
+  sdiffs : int;
+  sdiffs_before_first : int;
+  smutated : int;
+  ssummary : exec_summary;
+  strace : trace_entry list;
+  sos : Os.t;                  (* the slave's private OS (final state) *)
+}
+
+let slave_pass (config : config) (prog : Ir.program) (world : World.t)
+    (mo : master_out) : slave_out =
+  let os = Os.create ~pid:1001 world in
+  let m = Machine.create ~seed:config.slave_seed ~max_steps:config.max_steps prog os in
+  let is_sink = sink_pred config.sinks in
+  (* --- schedule replay gate over the master's lock-grant order --- *)
+  let grants : (string, int Queue.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (key, idx) -> Queue.add idx (queue_for grants key))
+    mo.mlock_trace;
+  let tainted_locks : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  m.Machine.lock_gate <-
+    Some
+      (fun key idx ->
+         if Hashtbl.mem tainted_locks key then true
+         else
+           match Hashtbl.find_opt grants key with
+           | None ->
+             (* the master never touched this lock: a schedule difference;
+                taint it and stop gating (Sec. 7) *)
+             Hashtbl.replace tainted_locks key ();
+             true
+           | Some q ->
+             if Queue.is_empty q then begin
+               Hashtbl.replace tainted_locks key ();
+               true
+             end
+             else if Queue.peek q = idx then begin
+               ignore (Queue.pop q);
+               true
+             end
+             else false);
+  (* --- divergence bookkeeping --- *)
+  let reports = ref [] in
+  let diffs = ref 0 in
+  let diffs_before_first = ref (-1) in
+  let trace = ref [] in
+  let record_trace ~pos ~action ~master ~slave =
+    if config.record_trace then
+      trace :=
+        { t_pos = Align.to_string pos; t_action = action;
+          t_master = master; t_slave = slave }
+        :: !trace
+  in
+  let tainted_resources : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let report kind ~sys ~site ~pos ~master_args ~slave_args =
+    if !diffs_before_first < 0 then diffs_before_first := !diffs;
+    reports :=
+      { kind; sys; site; position = Align.to_string pos;
+        master_args; slave_args }
+      :: !reports
+  in
+  let taint rs = List.iter (fun r -> Hashtbl.replace tainted_resources r ()) rs in
+  let drop_master_only (r : record) =
+    incr diffs;
+    taint (Os.resource_of_syscall os r.rsys r.rargs);
+    record_trace ~pos:r.rpos ~action:T_master_only
+      ~master:(Some (r.rsys, r.rargs)) ~slave:None;
+    if r.rsink then
+      report Missing_in_slave ~sys:r.rsys ~site:r.rsite ~pos:r.rpos
+        ~master_args:(Some r.rargs) ~slave_args:None
+  in
+  (* --- source mutation --- *)
+  let mutated = ref 0 in
+  let source_hits : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let is_source ~sys ~site ~args ~resources =
+    (* evaluate EVERY spec (no short-circuit): the per-spec occurrence
+       counters must advance on each matching event even when an earlier
+       spec already fired *)
+    List.fold_left
+      (fun hit (spec : source_spec) ->
+         let base =
+           (match spec.src_sys with None -> true | Some s -> String.equal s sys)
+           && (match spec.src_site with None -> true | Some s -> s = site)
+           && (match spec.src_arg with
+               | None -> true
+               | Some sub ->
+                 List.exists (fun r -> contains r sub) resources
+                 || (match args with
+                     | Sval.S a :: _ -> contains a sub
+                     | _ -> false))
+         in
+         let this =
+           if not base then false
+           else
+             match spec.src_nth with
+             | None -> true
+             | Some n ->
+               let key = Hashtbl.hash spec in
+               let c = 1 + (try Hashtbl.find source_hits key with Not_found -> 0) in
+               Hashtbl.replace source_hits key c;
+               c = n
+         in
+         hit || this)
+      false config.sources
+  in
+  let maybe_mutate ~sys ~site ~args ~resources (v : Sval.t) : Sval.t =
+    if is_source ~sys ~site ~args ~resources then begin
+      let v' = Mutation.mutate config.strategy v in
+      if not (Sval.equal v' v) then incr mutated;
+      v'
+    end
+    else v
+  in
+  (* --- the slave syscall wrapper --- *)
+  let on_os_syscall th (p : Machine.pending) : Value.t =
+    let sys = p.Machine.sys and site = p.Machine.site in
+    let sargs = List.map Value.to_sval p.Machine.sysargs in
+    let pos = Align.of_thread th in
+    let resources = Os.resource_of_syscall os sys sargs in
+    let sinkp = is_sink sys site sargs in
+    let q = queue_for mo.mqueues th.Machine.spawn_index in
+    (* discard outcomes the slave has passed: master-only syscalls *)
+    while
+      (not (Queue.is_empty q)) && Align.compare (Queue.peek q).rpos pos < 0
+    do
+      drop_master_only (Queue.pop q)
+    done;
+    let private_exec () =
+      taint resources;
+      try Os.exec os sys sargs with Os.Os_error _ -> Sval.I (-1)
+    in
+    let slave_only () =
+      incr diffs;
+      record_trace ~pos ~action:T_slave_only ~master:None
+        ~slave:(Some (sys, sargs));
+      if sinkp then
+        report Missing_in_master ~sys ~site ~pos ~master_args:None
+          ~slave_args:(Some sargs);
+      private_exec ()
+    in
+    let res =
+      if Queue.is_empty q then slave_only ()
+      else begin
+        let r = Queue.peek q in
+        let c = Align.compare r.rpos pos in
+        if c > 0 then slave_only ()
+        else if r.rsite = site then begin
+          ignore (Queue.pop q);
+          let res_tainted = List.exists (Hashtbl.mem tainted_resources) resources in
+          if res_tainted then begin
+            (* control-flow aligned but on a diverged resource: decoupled *)
+            incr diffs;
+            record_trace ~pos ~action:T_decoupled
+              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
+            if sinkp && not (Sval.list_equal r.rargs sargs) then
+              report Args_differ ~sys ~site ~pos ~master_args:(Some r.rargs)
+                ~slave_args:(Some sargs);
+            private_exec ()
+          end
+          else if Sval.list_equal r.rargs sargs then begin
+            (* fully aligned: copy the master's outcome *)
+            record_trace ~pos
+              ~action:(if sinkp then T_sink_match else T_copied)
+              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
+            (try ignore (Os.exec os sys sargs) with Os.Os_error _ -> ());
+            m.Machine.cycles <- max m.Machine.cycles r.rcyc + Cost.share_copy;
+            if sinkp then m.Machine.cycles <- m.Machine.cycles + Cost.sink_compare;
+            r.rresult
+          end
+          else begin
+            (* case 3: aligned, same PC, different parameters *)
+            incr diffs;
+            record_trace ~pos ~action:T_args_differ
+              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
+            if sinkp then
+              report Args_differ ~sys ~site ~pos ~master_args:(Some r.rargs)
+                ~slave_args:(Some sargs);
+            taint (Os.resource_of_syscall os r.rsys r.rargs);
+            private_exec ()
+          end
+        end
+        else begin
+          (* case 2: same counter, different PC — both run independently *)
+          ignore (Queue.pop q);
+          incr diffs;
+          record_trace ~pos ~action:T_path_diff
+            ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
+          taint (Os.resource_of_syscall os r.rsys r.rargs);
+          if r.rsink || sinkp then
+            report Different_syscall ~sys:(if sinkp then sys else r.rsys)
+              ~site:(if sinkp then site else r.rsite) ~pos
+              ~master_args:(Some r.rargs) ~slave_args:(Some sargs);
+          incr diffs;
+          private_exec ()
+        end
+      end
+    in
+    Value.of_sval (maybe_mutate ~sys ~site ~args:sargs ~resources res)
+  in
+  let on_stuck blocked =
+    (* every blocked lock request whose gate refuses: taint the lock *)
+    let tainted_any = ref false in
+    List.iter
+      (fun th ->
+         match th.Machine.status with
+         | Machine.Awaiting { Machine.sys = "lock"; sysargs = [ lockv ]; _ } ->
+           (match Machine.lock_key lockv with
+            | key ->
+              if not (Hashtbl.mem tainted_locks key) then begin
+                Hashtbl.replace tainted_locks key ();
+                tainted_any := true
+              end)
+         | _ -> ())
+      blocked;
+    !tainted_any
+  in
+  run_side m ~on_os_syscall ~on_stuck;
+  (* drain leftover master outcomes: syscalls the slave never reached *)
+  Hashtbl.iter
+    (fun _ q -> Queue.iter drop_master_only q)
+    mo.mqueues;
+  { sreports = List.rev !reports;
+    sdiffs = !diffs;
+    sdiffs_before_first = (if !diffs_before_first < 0 then !diffs else !diffs_before_first);
+    smutated = !mutated;
+    ssummary = summary_of m;
+    strace = List.rev !trace;
+    sos = os }
+
+(* ------------------------------------------------------------------ *)
+(* Final-state comparison (future-work extension: leaks through file    *)
+(* contents or metadata that never cross a configured sink syscall).    *)
+
+module Vfs = Ldx_osim.Vfs
+
+let file_map (os : Os.t) : (string * (string * int)) list =
+  Hashtbl.fold
+    (fun p e acc ->
+       match e with
+       | Vfs.File { data; mtime } -> (p, (data, mtime)) :: acc
+       | Vfs.Dir -> acc)
+    os.Os.vfs.Vfs.entries []
+  |> List.sort compare
+
+let final_state_reports (mos : Os.t) (sos : Os.t) : sink_report list =
+  let mf = file_map mos and sf = file_map sos in
+  let report kind path m s =
+    { kind; sys = "file"; site = -1; position = path;
+      master_args = Option.map (fun v -> [ Sval.S v ]) m;
+      slave_args = Option.map (fun v -> [ Sval.S v ]) s }
+  in
+  let rec walk mf sf acc =
+    match (mf, sf) with
+    | [], [] -> List.rev acc
+    | (p, (d, _)) :: mrest, [] ->
+      walk mrest [] (report File_state_differs p (Some d) None :: acc)
+    | [], (p, (d, _)) :: srest ->
+      walk [] srest (report File_state_differs p None (Some d) :: acc)
+    | (pm, (dm, tm)) :: mrest, (ps, (ds, ts)) :: srest ->
+      if String.compare pm ps < 0 then
+        walk mrest sf (report File_state_differs pm (Some dm) None :: acc)
+      else if String.compare pm ps > 0 then
+        walk mf srest (report File_state_differs ps None (Some ds) :: acc)
+      else if not (String.equal dm ds) then
+        walk mrest srest
+          (report File_state_differs pm (Some dm) (Some ds) :: acc)
+      else if tm <> ts then
+        walk mrest srest
+          (report File_metadata_differs pm (Some (string_of_int tm))
+             (Some (string_of_int ts))
+           :: acc)
+      else walk mrest srest acc
+  in
+  walk mf sf []
+
+(* ------------------------------------------------------------------ *)
+(* Top level.                                                          *)
+
+let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
+  result =
+  let mo = master_pass config prog world in
+  let so = slave_pass config prog world mo in
+  let state_reports =
+    if config.check_final_state then
+      final_state_reports mo.mmachine.Machine.os so.sos
+    else []
+  in
+  let mm = mo.mmachine in
+  let slave_only_sinks =
+    List.length
+      (List.filter (fun r -> r.kind = Missing_in_master) so.sreports)
+  in
+  { trace = so.strace;
+    reports = so.sreports @ state_reports;
+    leak = so.sreports <> [] || state_reports <> [];
+    tainted_sinks = List.length so.sreports;
+    (* sinks encountered by either execution (slave-only sinks included) *)
+    total_sinks = mo.mtotal_sinks + slave_only_sinks;
+    syscall_diffs = so.sdiffs;
+    diffs_before_first_report = so.sdiffs_before_first;
+    total_syscalls = mo.msummary.syscalls;
+    mutated_inputs = so.smutated;
+    master = mo.msummary;
+    slave = so.ssummary;
+    wall_cycles = max mo.msummary.cycles so.ssummary.cycles;
+    dyn_cnt_avg = Machine.dyn_cnt_avg mm;
+    dyn_cnt_max = mm.Machine.cnt_max;
+    max_seg_depth = mm.Machine.max_seg_depth }
+
+(* Parse, check, lower, instrument, dual-execute. *)
+let run_source ?config ?instrument_config (src : string) (world : World.t) :
+  result =
+  let prog = Ldx_cfg.Lower.lower_source src in
+  let prog, _ =
+    Ldx_instrument.Counter.instrument ?config:instrument_config prog
+  in
+  run ?config prog world
+
+(* Native (uninstrumented, single-execution) cycles for overhead
+   computations (Fig. 6 baseline). *)
+let native_cycles ?(seed = 0) ?(max_steps = 30_000_000) (src : string)
+    (world : World.t) : int =
+  let prog = Ldx_cfg.Lower.lower_source src in
+  let o = Driver.run ~seed ~max_steps prog world in
+  o.Driver.cycles

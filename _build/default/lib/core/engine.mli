@@ -1,0 +1,185 @@
+(** The LDX dual-execution engine (Sec. 3-7 of the paper).
+
+    The master executes against the (simulated) OS and publishes every
+    syscall outcome tagged with its {!Align.t} position.  The slave
+    consumes outcomes by position: an outcome at the slave's exact
+    position with the same PC and parameters is coupled (the result is
+    copied, mutated when the syscall is a configured source); the paper's
+    three divergence cases — syscall missing in one execution, same
+    counter but different PC, aligned but different parameters — fall
+    out of the position order, are tolerated, and are reported at sinks.
+
+    Master and slave are composed sequentially with virtual two-CPU
+    timing (outcomes carry the producing clock; the slave's clock
+    fast-forwards on copies) — DESIGN.md argues observation-equivalence
+    with the paper's spin-loop coupling. *)
+
+module Machine = Ldx_vm.Machine
+module Os = Ldx_osim.Os
+module Sval = Ldx_osim.Sval
+module World = Ldx_osim.World
+module Ir = Ldx_cfg.Ir
+
+(** {1 Configuration} *)
+
+(** Which dynamic syscalls are mutated sources.  All present fields must
+    match; [src_nth] selects the n-th dynamic match (1-based). *)
+type source_spec = {
+  src_sys : string option;    (** syscall name, e.g. ["recv"] *)
+  src_site : int option;      (** static site id *)
+  src_arg : string option;    (** substring of arg0 or touched resource *)
+  src_nth : int option;
+}
+
+val source :
+  ?sys:string -> ?site:int -> ?arg:string -> ?nth:int -> unit -> source_spec
+
+type sink_config =
+  | Output_syscalls           (** write/send/print/malloc/retaddr *)
+  | Network_outputs           (** send only *)
+  | File_outputs              (** write/print *)
+  | Attack_sinks              (** retaddr + malloc sizes (Sec. 8 attacks) *)
+  | Custom_sinks of (string -> int -> Sval.t list -> bool)
+
+type config = {
+  sources : source_spec list;
+  sinks : sink_config;
+  strategy : Mutation.strategy;
+  master_seed : int;          (** scheduler seed of the master *)
+  slave_seed : int;
+  max_steps : int;            (** per-execution fuel *)
+  record_trace : bool;        (** keep the per-syscall alignment log *)
+  check_final_state : bool;
+      (** future-work extension: after the run, diff the two
+          filesystems (contents and mtimes) and report divergent files
+          — leaks through file state/metadata that never cross a
+          configured sink syscall *)
+}
+
+(** recv sources, output sinks, off-by-one, seeds 0, tracing off. *)
+val default_config : config
+
+(** The sink predicate of a configuration (sys, site, args). *)
+val sink_pred : sink_config -> string -> int -> Sval.t list -> bool
+
+(** {1 Reports} *)
+
+type divergence_kind =
+  | Args_differ          (** aligned sink, different parameters (case 3) *)
+  | Different_syscall    (** aligned counter, different PC (case 2) *)
+  | Missing_in_slave     (** master-only sink (case 1) *)
+  | Missing_in_master    (** slave-only sink *)
+  | File_state_differs   (** final-state check: contents diverged *)
+  | File_metadata_differs(** final-state check: same data, mtimes off *)
+
+val kind_to_string : divergence_kind -> string
+
+type sink_report = {
+  kind : divergence_kind;
+  sys : string;
+  site : int;
+  position : string;
+  master_args : Sval.t list option;
+  slave_args : Sval.t list option;
+}
+
+val report_to_string : sink_report -> string
+
+type exec_summary = {
+  cycles : int;
+  steps : int;
+  syscalls : int;
+  stdout : string;
+  trap : string option;
+  exit_code : int option;
+}
+
+(** One alignment decision of the slave-side wrapper (in slave order);
+    recorded only under [config.record_trace]. *)
+type trace_action =
+  | T_copied
+  | T_sink_match
+  | T_args_differ
+  | T_path_diff
+  | T_slave_only
+  | T_master_only
+  | T_decoupled
+
+val trace_action_to_string : trace_action -> string
+
+type trace_entry = {
+  t_pos : string;
+  t_action : trace_action;
+  t_master : (string * Sval.t list) option;
+  t_slave : (string * Sval.t list) option;
+}
+
+type result = {
+  trace : trace_entry list;
+  reports : sink_report list;
+  leak : bool;                     (** any sink report at all *)
+  tainted_sinks : int;             (** = [List.length reports] *)
+  total_sinks : int;               (** sinks seen by either execution *)
+  syscall_diffs : int;             (** misaligned/decoupled syscalls *)
+  diffs_before_first_report : int; (** Table 2's "before the sink diff" *)
+  total_syscalls : int;            (** master's dynamic syscalls *)
+  mutated_inputs : int;            (** sources whose mutation changed a value *)
+  master : exec_summary;
+  slave : exec_summary;
+  wall_cycles : int;               (** max of the two clocks (two CPUs) *)
+  dyn_cnt_avg : float;             (** Table 1 dynamic counter stats *)
+  dyn_cnt_max : int;
+  max_seg_depth : int;             (** deepest counter stack observed *)
+}
+
+(** {1 Passes}
+
+    Exposed so baselines ({!Tightlip}) and tools can reuse the master's
+    outcome queue; most callers only need {!run}. *)
+
+type record = {
+  rpos : Align.t;
+  rsite : int;
+  rsys : string;
+  rargs : Sval.t list;
+  rresult : Sval.t;
+  rcyc : int;
+  rsink : bool;
+}
+
+type master_out = {
+  mqueues : (int, record Queue.t) Hashtbl.t;  (** per spawn_index *)
+  mlock_trace : (string * int) list;          (** chronological grants *)
+  msummary : exec_summary;
+  mtotal_sinks : int;
+  mmachine : Machine.t;
+}
+
+val queue_for : ('a, 'b Queue.t) Hashtbl.t -> 'a -> 'b Queue.t
+
+(** Drive one execution to completion, servicing thread ops internally
+    and non-thread syscalls through [on_os_syscall]; [on_stuck] is asked
+    once when every thread is blocked (return [true] after unblocking
+    something, e.g. by tainting a gated lock). *)
+val run_side :
+  Machine.t ->
+  on_os_syscall:(Machine.thread -> Machine.pending -> Ldx_vm.Value.t) ->
+  on_stuck:(Machine.thread list -> bool) ->
+  unit
+
+(** Run the master: execute everything for real, record outcomes. *)
+val master_pass : config -> Ir.program -> World.t -> master_out
+
+(** {1 Entry points} *)
+
+(** Dual-execute an (instrumented) program. *)
+val run : ?config:config -> Ir.program -> World.t -> result
+
+(** Parse, check, lower, instrument, dual-execute. *)
+val run_source :
+  ?config:config -> ?instrument_config:Ldx_instrument.Counter.config ->
+  string -> World.t -> result
+
+(** Uninstrumented single-execution cycles — the Fig. 6 baseline. *)
+val native_cycles :
+  ?seed:int -> ?max_steps:int -> string -> World.t -> int

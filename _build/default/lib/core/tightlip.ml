@@ -1,0 +1,118 @@
+(* TightLip-style baseline (Yumerefendi et al. 2007).
+
+   Same master/slave model but NO execution alignment: the slave's
+   syscalls are compared against the master's in strict FIFO order (an
+   optional look-ahead window tolerates tiny reorderings).  The first
+   mismatch is declared a leak and the run terminates — the behaviour
+   Table 2 contrasts with LDX, which keeps executing through nontrivial
+   syscall differences and only reports real sink divergence. *)
+
+module Machine = Ldx_vm.Machine
+module Value = Ldx_vm.Value
+module Os = Ldx_osim.Os
+module Sval = Ldx_osim.Sval
+module World = Ldx_osim.World
+module Ir = Ldx_cfg.Ir
+
+type result = {
+  leak_reported : bool;
+  terminated_early : bool;
+  syscalls_before_mismatch : int;
+  total_master_syscalls : int;
+  slave_trap : string option;
+}
+
+exception Mismatch
+
+let run ?(config = Engine.default_config) ?(window = 0) (prog : Ir.program)
+    (world : World.t) : result =
+  let mo = Engine.master_pass config prog world in
+  (* flatten the master's outcomes back into chronological order: records
+     were queued per thread; single-threaded programs have spawn index 0.
+     For multi-threaded programs TightLip's FIFO model is per-process; we
+     approximate with per-thread FIFOs as well (favourable to TightLip). *)
+  let os = Os.create ~pid:1001 world in
+  let m =
+    Machine.create ~seed:config.slave_seed ~max_steps:config.max_steps prog os
+  in
+  let matched = ref 0 in
+  let mismatch = ref false in
+  let source_hits = Hashtbl.create 4 in
+  let is_source ~sys ~site ~args ~resources =
+    ignore site;
+    ignore args;
+    List.fold_left
+      (fun hit (spec : Engine.source_spec) ->
+         let base =
+           (match spec.Engine.src_sys with
+            | None -> true
+            | Some s -> String.equal s sys)
+           && (match spec.Engine.src_arg with
+               | None -> true
+               | Some sub ->
+                 List.exists
+                   (fun r ->
+                      let hn = String.length r and nn = String.length sub in
+                      nn = 0
+                      || (let found = ref false in
+                          for i = 0 to hn - nn do
+                            if (not !found) && String.sub r i nn = sub then
+                              found := true
+                          done;
+                          !found))
+                   resources)
+         in
+         let this =
+           if not base then false
+           else
+             match spec.Engine.src_nth with
+             | None -> true
+             | Some n ->
+               let key = Hashtbl.hash spec in
+               let c =
+                 1 + (try Hashtbl.find source_hits key with Not_found -> 0)
+               in
+               Hashtbl.replace source_hits key c;
+               c = n
+         in
+         hit || this)
+      false config.sources
+  in
+  let on_os_syscall th (p : Machine.pending) : Value.t =
+    let sargs = List.map Value.to_sval p.Machine.sysargs in
+    let q = Engine.queue_for mo.Engine.mqueues th.Machine.spawn_index in
+    (* look for a match within the window *)
+    let rec try_match k =
+      if Queue.is_empty q || k > window then raise Mismatch
+      else begin
+        let r = Queue.pop q in
+        if String.equal r.Engine.rsys p.Machine.sys
+        && Sval.list_equal r.Engine.rargs sargs
+        then r
+        else try_match (k + 1)
+      end
+    in
+    let r = try try_match 0 with Mismatch -> raise Mismatch in
+    incr matched;
+    (try ignore (Os.exec os p.Machine.sys sargs) with Os.Os_error _ -> ());
+    let resources = Os.resource_of_syscall os p.Machine.sys sargs in
+    let v =
+      if is_source ~sys:p.Machine.sys ~site:p.Machine.site ~args:sargs ~resources
+      then Mutation.mutate config.strategy r.Engine.rresult
+      else r.Engine.rresult
+    in
+    Value.of_sval v
+  in
+  (try Engine.run_side m ~on_os_syscall ~on_stuck:(fun _ -> false)
+   with Mismatch -> mismatch := true);
+  let leftover = ref 0 in
+  Hashtbl.iter
+    (fun _ q -> leftover := !leftover + Queue.length q)
+    mo.Engine.mqueues;
+  (* unconsumed master syscalls also count as differences *)
+  let leak = !mismatch || !leftover > 0 in
+  { leak_reported = leak;
+    terminated_early = !mismatch;
+    syscalls_before_mismatch = !matched;
+    total_master_syscalls = mo.Engine.msummary.Engine.syscalls;
+    slave_trap = m.Machine.trap }

@@ -1,0 +1,1 @@
+lib/genprog/gen_minic.ml: Ast Ldx_lang List Option Printer Printf QCheck2

@@ -1,0 +1,1 @@
+lib/instrument/counter.ml: Array Hashtbl Int Ldx_cfg List Map Option Printf Queue Set String

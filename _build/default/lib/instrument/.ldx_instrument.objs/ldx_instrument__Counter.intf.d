@@ -1,0 +1,1 @@
+lib/instrument/counter.mli: Ldx_cfg

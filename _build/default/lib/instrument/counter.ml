@@ -1,0 +1,429 @@
+(* Counter instrumentation: Algorithms 1 and 3 of the paper.
+
+   For every function we compute, per block b, [cnt_in b] = the maximum
+   number of counter increments (syscalls, +1-per fresh-frame call, FCNT
+   of direct calls) along any path entry -> b in the loop-collapsed CFG,
+   and insert compensation code on edges so that at runtime the counter
+   at b equals [cnt_in b] on EVERY path.  Loops get an iteration barrier
+   and a counter reset on back edges, and a bump on exit edges, so that
+   the counter is bounded inside a loop and post-loop values dominate
+   in-loop values (Sec. 5).  Calls to recursive functions and indirect
+   calls save/reset the counter (a fresh counter-stack segment) and
+   contribute a fixed +1 (Sec. 6). *)
+
+module Ir = Ldx_cfg.Ir
+module Loops = Ldx_cfg.Loops
+module Callgraph = Ldx_cfg.Callgraph
+module IntSet = Set.Make (Int)
+module StrMap = Map.Make (String)
+
+type config = {
+  instrument_inactive_loops : bool;
+  (* Instrument loops with no syscall activity too (paper skips them:
+     "we only need to instrument loops that include syscalls"). *)
+  loop_reset : bool;
+  (* Reset the counter on back edges (Algorithm 3).  Disabling this is
+     ablation A2: counters grow with iteration counts and post-loop
+     alignment breaks whenever trip counts differ. *)
+}
+
+let default_config = { instrument_inactive_loops = false; loop_reset = true }
+
+type func_stats = {
+  fname : string;
+  fcnt : int;                       (* counter increment along any path *)
+  max_cnt : int;                    (* max cnt value inside the function *)
+  loops_total : int;
+  loops_instrumented : int;
+  added_instrs : int;               (* instrumentation instructions added *)
+}
+
+type stats = {
+  per_func : func_stats list;
+  recursive_funcs : int;
+  indirect_sites : int;
+  fresh_call_sites : int;           (* direct calls rewritten to fresh-frame *)
+  syscall_sites : int;
+  instrs_before : int;
+  instrs_added : int;
+  loops_instrumented : int;
+  max_static_cnt : int;             (* max over funcs, main's includes callees *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-block counter increment.                                        *)
+
+let block_increment (fcnts : int StrMap.t) (b : Ir.block) =
+  Array.fold_left
+    (fun acc i ->
+       match i with
+       | Ir.Syscall _ -> acc + 1
+       | Ir.Call { callee; fresh_frame; _ } ->
+         if fresh_frame then acc + 1
+         else acc + (try StrMap.find callee fcnts with Not_found -> 0)
+       | Ir.Call_indirect _ -> acc + 1
+       | Ir.Assign _ | Ir.Store _ | Ir.Cnt_add _ | Ir.Loop_enter _
+       | Ir.Loop_back _ | Ir.Loop_exit _ -> acc)
+    0 b.Ir.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Edge classification.                                                *)
+
+type edge_class = {
+  src : int;
+  dst : int;
+  back_of : Loops.loop option;       (* t -> h back edge *)
+  pops : Loops.loop list;            (* loops exited, innermost first *)
+  enters : Loops.loop option;        (* loop entered (dst is its header) *)
+}
+
+let classify_edges (f : Ir.func) (ld : Loops.t) : edge_class list =
+  let loop_body_size (l : Loops.loop) = IntSet.cardinal l.Loops.body in
+  let edges = ref [] in
+  Array.iter
+    (fun (b : Ir.block) ->
+       List.iter
+         (fun s ->
+            let back_of =
+              match Hashtbl.find_opt ld.Loops.loop_of_header s with
+              | Some l when List.mem b.Ir.bid l.Loops.back_tails -> Some l
+              | _ -> None
+            in
+            let pops =
+              if back_of <> None then []
+              else
+                List.filter
+                  (fun (l : Loops.loop) ->
+                     IntSet.mem b.Ir.bid l.Loops.body
+                     && not (IntSet.mem s l.Loops.body))
+                  ld.Loops.loops
+                |> List.sort (fun a b ->
+                    compare (loop_body_size a) (loop_body_size b))
+            in
+            let enters =
+              if back_of <> None then None
+              else
+                match Hashtbl.find_opt ld.Loops.loop_of_header s with
+                | Some l when not (IntSet.mem b.Ir.bid l.Loops.body) -> Some l
+                | _ -> None
+            in
+            edges := { src = b.Ir.bid; dst = s; back_of; pops; enters } :: !edges)
+         (Ir.successors b.Ir.term))
+    f.blocks;
+  List.rev !edges
+
+(* ------------------------------------------------------------------ *)
+(* Static counter values on the loop-collapsed (acyclic) graph.        *)
+
+(* Returns cnt_in : int array.  The acyclic graph is: all edges except
+   back edges, plus dummy edges t -> n for every popped loop's back-edge
+   tails t, for each exit edge (x, n).  Exit edges themselves remain
+   (they already play the role of a dummy edge x -> n). *)
+let compute_cnt (f : Ir.func) (edges : edge_class list) (inc : int array) :
+  int array =
+  let n = Array.length f.blocks in
+  let succs = Array.make n [] in
+  let add_edge a b = succs.(a) <- b :: succs.(a) in
+  List.iter
+    (fun e ->
+       match e.back_of with
+       | Some _ -> ()                        (* drop back edges *)
+       | None ->
+         add_edge e.src e.dst;
+         List.iter
+           (fun (l : Loops.loop) ->
+              List.iter (fun t -> add_edge t e.dst) l.Loops.back_tails)
+           e.pops)
+    edges;
+  (* Kahn topological order *)
+  let indeg = Array.make n 0 in
+  Array.iteri (fun _ ss -> List.iter (fun s -> indeg.(s) <- indeg.(s) + 1) ss) succs;
+  let queue = Queue.create () in
+  for b = 0 to n - 1 do
+    if indeg.(b) = 0 then Queue.add b queue
+  done;
+  let cnt_in = Array.make n 0 in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    incr seen;
+    let out = cnt_in.(b) + inc.(b) in
+    List.iter
+      (fun s ->
+         if out > cnt_in.(s) then cnt_in.(s) <- out;
+         indeg.(s) <- indeg.(s) - 1;
+         if indeg.(s) = 0 then Queue.add s queue)
+      succs.(b)
+  done;
+  if !seen <> n then
+    failwith
+      (Printf.sprintf
+         "Counter.compute_cnt: irreducible CFG in %s (cycle without back edge)"
+         f.Ir.fname);
+  cnt_in
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting: attach instrumentation instruction lists to edges, then   *)
+(* materialize them (append to src, prepend to dst, or split).          *)
+
+type patch = {
+  e : edge_class;
+  code : Ir.instr list;
+}
+
+let out_degree (f : Ir.func) b = List.length (Ir.successors f.blocks.(b).Ir.term)
+
+let materialize (f : Ir.func) (patches : patch list) : Ir.func * int =
+  let preds = Ir.predecessors f in
+  let in_degree b = List.length preds.(b) in
+  let added = ref 0 in
+  let appends = Hashtbl.create 8 in    (* bid -> instr list to append *)
+  let prepends = Hashtbl.create 8 in   (* bid -> instr list to prepend *)
+  let splits = ref [] in               (* (src, dst, code) needing a new block *)
+  List.iter
+    (fun p ->
+       if p.code = [] then ()
+       else begin
+         added := !added + List.length p.code;
+         if out_degree f p.e.src = 1 then
+           Hashtbl.replace appends p.e.src
+             ((try Hashtbl.find appends p.e.src with Not_found -> []) @ p.code)
+         else if in_degree p.e.dst = 1 then
+           Hashtbl.replace prepends p.e.dst
+             ((try Hashtbl.find prepends p.e.dst with Not_found -> []) @ p.code)
+         else splits := (p.e.src, p.e.dst, p.code) :: !splits
+       end)
+    patches;
+  let n = Array.length f.blocks in
+  let new_blocks = ref [] in
+  let next_bid = ref n in
+  let retarget src term =
+    (* replace edge src->dst with src->fresh for each split on src *)
+    let for_dst dst =
+      match
+        List.find_opt (fun (s, d, _) -> s = src && d = dst) !splits
+      with
+      | None -> dst
+      | Some (_, _, code) ->
+        let bid = !next_bid in
+        incr next_bid;
+        new_blocks :=
+          { Ir.bid; instrs = Array.of_list code; term = Ir.Jump dst }
+          :: !new_blocks;
+        bid
+    in
+    match term with
+    | Ir.Jump l -> Ir.Jump (for_dst l)
+    | Ir.Branch (c, t, e) ->
+      (* NB: if t = e both go to the same dst; a single split block works *)
+      let t' = for_dst t in
+      let e' = if e = t then t' else for_dst e in
+      Ir.Branch (c, t', e')
+    | Ir.Ret _ as r -> r
+  in
+  let rewritten =
+    Array.map
+      (fun (b : Ir.block) ->
+         let pre = try Hashtbl.find prepends b.Ir.bid with Not_found -> [] in
+         let post = try Hashtbl.find appends b.Ir.bid with Not_found -> [] in
+         let instrs =
+           if pre = [] && post = [] then b.Ir.instrs
+           else
+             Array.concat
+               [ Array.of_list pre; b.Ir.instrs; Array.of_list post ]
+         in
+         { b with Ir.instrs; term = retarget b.Ir.bid b.Ir.term })
+      f.blocks
+  in
+  let blocks =
+    Array.append rewritten (Array.of_list (List.rev !new_blocks))
+  in
+  ({ f with Ir.blocks }, !added)
+
+(* ------------------------------------------------------------------ *)
+(* Per-function instrumentation.                                       *)
+
+let instrument_func (config : config) (fcnts : int StrMap.t)
+    (next_loop_id : int ref) (f : Ir.func) : Ir.func * func_stats =
+  let ld = Loops.detect f in
+  if not (Loops.is_reducible f ld) then
+    failwith ("Counter.instrument_func: irreducible CFG in " ^ f.Ir.fname);
+  let inc = Array.map (block_increment fcnts) f.blocks in
+  let edges = classify_edges f ld in
+  let cnt_in = compute_cnt f edges inc in
+  let cnt_out b = cnt_in.(b) + inc.(b) in
+  (* A loop is active if some block of its body increments the counter. *)
+  let loop_active (l : Loops.loop) =
+    config.instrument_inactive_loops
+    || IntSet.exists (fun b -> inc.(b) > 0) l.Loops.body
+  in
+  let loop_ids = Hashtbl.create 8 in
+  let loop_id (l : Loops.loop) =
+    match Hashtbl.find_opt loop_ids l.Loops.header with
+    | Some id -> id
+    | None ->
+      let id = !next_loop_id in
+      incr next_loop_id;
+      Hashtbl.replace loop_ids l.Loops.header id;
+      id
+  in
+  let patches =
+    List.map
+      (fun e ->
+         let delta = cnt_in.(e.dst) - cnt_out e.src in
+         let code =
+           match e.back_of with
+           | Some l ->
+             if loop_active l then
+               let dec =
+                 if config.loop_reset then cnt_out e.src - cnt_in.(e.dst)
+                 else 0
+               in
+               [ Ir.Loop_back { loop = loop_id l; dec } ]
+             else []
+           | None ->
+             let active_pops = List.filter loop_active e.pops in
+             let exits =
+               if active_pops = [] then
+                 if delta > 0 then [ Ir.Cnt_add delta ] else []
+               else
+                 [ Ir.Loop_exit
+                     { pops = List.map loop_id active_pops;
+                       bump = (if config.loop_reset then max delta 0 else 0) } ]
+             in
+             let enter =
+               match e.enters with
+               | Some l when loop_active l -> [ Ir.Loop_enter { loop = loop_id l } ]
+               | _ -> []
+             in
+             (* If the loop reset is disabled (ablation), exit bumps are 0
+                and plain compensation still applies. *)
+             let extra =
+               if (not config.loop_reset) && delta > 0 && active_pops <> [] then
+                 [ Ir.Cnt_add delta ]
+               else []
+             in
+             exits @ extra @ enter
+         in
+         { e; code })
+      edges
+  in
+  let f', added = materialize f patches in
+  let loops_instrumented = Hashtbl.length loop_ids in
+  let max_cnt =
+    Array.fold_left max 0 (Array.mapi (fun b _ -> cnt_out b) f.blocks)
+  in
+  let fcnt =
+    (* cnt at the unique return block's end; if no block returns (infinite
+       loop), fall back to the maximum. *)
+    let best = ref (-1) in
+    Array.iter
+      (fun (b : Ir.block) ->
+         match b.Ir.term with
+         | Ir.Ret _ -> best := max !best (cnt_out b.Ir.bid)
+         | Ir.Jump _ | Ir.Branch _ -> ())
+      f.blocks;
+    if !best >= 0 then !best else max_cnt
+  in
+  ( f',
+    { fname = f.Ir.fname; fcnt; max_cnt;
+      loops_total = List.length ld.Loops.loops;
+      loops_instrumented; added_instrs = added } )
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program instrumentation.                                      *)
+
+(* Pre-pass: mark direct calls to recursive functions as fresh-frame. *)
+let mark_fresh_frames (cg : Callgraph.t) (p : Ir.program) : Ir.program * int =
+  let count = ref 0 in
+  let rewrite_instr i =
+    match i with
+    | Ir.Call ({ callee; fresh_frame = false; _ } as c)
+      when Callgraph.is_recursive cg callee ->
+      incr count;
+      Ir.Call { c with fresh_frame = true }
+    | _ -> i
+  in
+  let funcs =
+    Array.map
+      (fun (f : Ir.func) ->
+         let blocks =
+           Array.map
+             (fun (b : Ir.block) ->
+                { b with Ir.instrs = Array.map rewrite_instr b.Ir.instrs })
+             f.blocks
+         in
+         { f with Ir.blocks })
+      p.funcs
+  in
+  ({ p with Ir.funcs }, !count)
+
+let count_indirect_sites p =
+  Ir.count_instrs_if (function Ir.Call_indirect _ -> true | _ -> false) p
+
+let instrument ?(config = default_config) (p : Ir.program) : Ir.program * stats
+  =
+  let cg = Callgraph.compute p in
+  let p, fresh_call_sites = mark_fresh_frames cg p in
+  let instrs_before = Ir.total_instrs p in
+  let next_loop_id = ref 0 in
+  let fcnts = ref StrMap.empty in
+  let results = Hashtbl.create 16 in
+  (* callees-before-callers order so FCNT of callees is available *)
+  List.iter
+    (fun name ->
+       match Ir.find_func p name with
+       | None -> ()
+       | Some f ->
+         let f', fs = instrument_func config !fcnts next_loop_id f in
+         fcnts := StrMap.add name fs.fcnt !fcnts;
+         Hashtbl.replace results name (f', fs))
+    cg.Callgraph.order;
+  let funcs =
+    Array.map
+      (fun (f : Ir.func) ->
+         match Hashtbl.find_opt results f.Ir.fname with
+         | Some (f', _) -> f'
+         | None ->
+           (* unreachable from the call graph roots: instrument standalone *)
+           fst (instrument_func config !fcnts next_loop_id f))
+      p.funcs
+  in
+  let per_func =
+    Array.to_list p.funcs
+    |> List.filter_map (fun (f : Ir.func) ->
+        Option.map snd (Hashtbl.find_opt results f.Ir.fname))
+  in
+  let stats =
+    { per_func;
+      recursive_funcs =
+        Array.to_list p.funcs
+        |> List.filter (fun (f : Ir.func) ->
+            Callgraph.is_recursive cg f.Ir.fname)
+        |> List.length;
+      indirect_sites = count_indirect_sites p;
+      fresh_call_sites;
+      syscall_sites = Ir.total_syscall_sites p;
+      instrs_before;
+      instrs_added = List.fold_left (fun a (fs : func_stats) -> a + fs.added_instrs) 0 per_func;
+      loops_instrumented =
+        List.fold_left (fun a (fs : func_stats) -> a + fs.loops_instrumented) 0 per_func;
+      max_static_cnt = List.fold_left (fun a (fs : func_stats) -> max a fs.max_cnt) 0 per_func;
+    }
+  in
+  ({ Ir.funcs; n_sites = p.Ir.n_sites; n_loops = !next_loop_id }, stats)
+
+(* Static counter table of a single function (exposed for tests): for the
+   given function, returns [(bid, cnt_in, cnt_out)] computed with the
+   given callee FCNT table. *)
+let static_counters (fcnts : (string * int) list) (f : Ir.func) :
+  (int * int * int) list =
+  let fcnts =
+    List.fold_left (fun m (k, v) -> StrMap.add k v m) StrMap.empty fcnts
+  in
+  let ld = Loops.detect f in
+  let inc = Array.map (block_increment fcnts) f.blocks in
+  let edges = classify_edges f ld in
+  let cnt_in = compute_cnt f edges inc in
+  Array.to_list
+    (Array.mapi (fun b _ -> (b, cnt_in.(b), cnt_in.(b) + inc.(b))) f.blocks)

@@ -1,0 +1,55 @@
+(** Counter instrumentation: Algorithms 1 and 3 of the paper.
+
+    For every function, computes per block [b] the maximum number of
+    counter increments (syscalls, fresh-frame calls, callee FCNTs) along
+    any entry-to-[b] path of the loop-collapsed CFG, and inserts edge
+    compensation so the runtime counter at [b] equals that value on
+    EVERY path.  Loops get an iteration barrier and counter reset on back
+    edges and a bump on exit edges (so post-loop counters dominate
+    in-loop ones); calls to recursive functions and indirect calls
+    save/reset the counter (a fresh counter-stack segment) and contribute
+    a fixed +1. *)
+
+type config = {
+  instrument_inactive_loops : bool;
+      (** also instrument loops with no syscall activity (the paper skips
+          them: "we only need to instrument loops that include syscalls") *)
+  loop_reset : bool;
+      (** reset the counter on back edges (Algorithm 3); disabling this
+          is ablation A2 — counters grow with the iteration count and
+          post-loop alignment breaks whenever trip counts differ *)
+}
+
+val default_config : config
+
+type func_stats = {
+  fname : string;
+  fcnt : int;            (** counter increment along any path (FCNT) *)
+  max_cnt : int;         (** max static counter value in the function *)
+  loops_total : int;
+  loops_instrumented : int;
+  added_instrs : int;
+}
+
+type stats = {
+  per_func : func_stats list;
+  recursive_funcs : int;
+  indirect_sites : int;
+  fresh_call_sites : int;  (** direct calls rewritten to fresh-frame *)
+  syscall_sites : int;
+  instrs_before : int;
+  instrs_added : int;
+  loops_instrumented : int;
+  max_static_cnt : int;
+}
+
+(** Instrument a whole program (callees before callers, per the call
+    graph).
+    @raise Failure on irreducible CFGs (impossible from {!Ldx_cfg.Lower}). *)
+val instrument :
+  ?config:config -> Ldx_cfg.Ir.program -> Ldx_cfg.Ir.program * stats
+
+(** Static counter table of one function given callee FCNTs:
+    [(bid, cnt_in, cnt_out)] rows.  Exposed for tests. *)
+val static_counters :
+  (string * int) list -> Ldx_cfg.Ir.func -> (int * int * int) list

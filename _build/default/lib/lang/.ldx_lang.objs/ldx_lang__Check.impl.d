@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast List Names Printf Set String

@@ -1,0 +1,1 @@
+lib/lang/names.ml: List

@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Ast Buffer List Printf String

@@ -1,0 +1,94 @@
+(* Abstract syntax of MiniC, the substrate language LDX instruments.
+
+   MiniC is deliberately close to the C subset the paper's LLVM pass
+   consumes: scalar ints, strings, arrays, functions, loops, recursion and
+   function pointers.  Side-effecting operations (syscalls) are ordinary
+   calls to reserved names (see {!Names}); the CFG lowering classifies
+   them. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Str of string
+  | Var of string
+  | Funref of string                   (* [@f]: a function-pointer literal *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr               (* a[i] *)
+  | Call of string * expr list
+      (* Call is unresolved at parse time: the callee name may denote a
+         user function, a builtin, a syscall, or a local variable holding
+         a function pointer (indirect call). *)
+
+type stmt =
+  | Let of string * expr               (* let x = e; introduces x *)
+  | Assign of string * expr
+  | Index_assign of string * expr * expr  (* a[i] = e; *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+      (* init / cond / step; init and step are simple statements
+         (Let/Assign/Index_assign/Expr).  Kept as a distinct node so that
+         lowering can point [Continue] at the step. *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr
+
+and block = stmt list
+
+type fundef = {
+  fname : string;
+  params : string list;
+  body : block;
+}
+
+type program = { funcs : fundef list }
+
+let find_func prog name =
+  List.find_opt (fun f -> String.equal f.fname name) prog.funcs
+
+let func_names prog = List.map (fun f -> f.fname) prog.funcs
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+(* Structural statistics used by Table 1. *)
+
+let rec expr_size = function
+  | Int _ | Str _ | Var _ | Funref _ -> 1
+  | Unop (_, e) -> 1 + expr_size e
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Index (a, i) -> 1 + expr_size a + expr_size i
+  | Call (_, args) -> 1 + List.fold_left (fun n e -> n + expr_size e) 0 args
+
+let rec stmt_size = function
+  | Let (_, e) | Assign (_, e) | Expr e -> 1 + expr_size e
+  | Index_assign (_, i, e) -> 1 + expr_size i + expr_size e
+  | If (c, t, f) -> 1 + expr_size c + block_size t + block_size f
+  | While (c, b) -> 1 + expr_size c + block_size b
+  | For (init, cond, step, b) ->
+    let opt_stmt = function None -> 0 | Some s -> stmt_size s in
+    let opt_expr = function None -> 0 | Some e -> expr_size e in
+    1 + opt_stmt init + opt_expr cond + opt_stmt step + block_size b
+  | Break | Continue -> 1
+  | Return None -> 1
+  | Return (Some e) -> 1 + expr_size e
+
+and block_size b = List.fold_left (fun n s -> n + stmt_size s) 0 b
+
+let func_size f = block_size f.body
+
+let program_size p = List.fold_left (fun n f -> n + func_size f) 0 p.funcs

@@ -1,0 +1,27 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | STRING of string          (** with escapes already decoded *)
+  | IDENT of string
+  | KW of string              (** fn let if else while for break continue return true false *)
+  | PUNCT of string           (** ( ) {| |} [ ] , ; @ *)
+  | OP of string              (** arithmetic / comparison / logic / assignment *)
+  | EOF
+
+(** A token with its source position (1-based line and column). *)
+type t = { tok : token; line : int; col : int }
+
+(** Raised on malformed input: [(message, line, col)]. *)
+exception Error of string * int * int
+
+val keywords : string list
+val token_to_string : token -> string
+val is_ident_start : char -> bool
+val is_digit : char -> bool
+val is_ident_char : char -> bool
+
+(** Tokenize a whole source string; the result always ends with [EOF].
+    Comments are [//] to end of line and [/* ... */] (non-nested).
+    @raise Error on malformed input. *)
+val tokenize : string -> t list

@@ -1,0 +1,41 @@
+(** Reserved call names: pure builtins and (simulated) syscalls.
+
+    MiniC has no extern declarations; a fixed set of names is reserved.
+    The CFG lowering classifies every call through this module. *)
+
+(** Arity constraint of a reserved name. *)
+type arity = Exact of int | At_least of int
+
+(** Pure builtins with their arities ([itoa], [substr], [mkarray], ...). *)
+val builtins : (string * arity) list
+
+(** Builtins whose taint propagation the LibDFT-like baseline mismodels
+    (result taint dropped), per the paper's Sec. 8.3 observation. *)
+val libdft_unmodeled : string list
+
+(** Side-effecting syscalls serviced by the simulated OS (or, for thread
+    operations / signals / setjmp, by the VM), each counted by the
+    alignment counter. *)
+val syscalls : (string * arity) list
+
+val is_builtin : string -> bool
+val is_syscall : string -> bool
+
+(** [arity_matches a n] holds when [n] arguments satisfy constraint [a]. *)
+val arity_matches : arity -> int -> bool
+
+val builtin_arity : string -> arity option
+val syscall_arity : string -> arity option
+
+(** Output-related syscalls — the default sink candidates. *)
+val output_syscalls : string list
+
+(** Input-related syscalls — the default source candidates. *)
+val input_syscalls : string list
+
+val is_output_syscall : string -> bool
+val is_input_syscall : string -> bool
+
+(** A name is reserved when it is a builtin or a syscall; user functions
+    and variables may not shadow it. *)
+val reserved : string -> bool

@@ -1,0 +1,244 @@
+(* Recursive-descent parser for MiniC with precedence climbing. *)
+
+exception Error of string * int * int  (* message, line, col *)
+
+type state = { toks : Lexer.t array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  let t = peek st in
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string t.tok),
+                t.line, t.col))
+
+let eat_punct st p =
+  match (peek st).tok with
+  | Lexer.PUNCT q when String.equal p q -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" p)
+
+let eat_op st o =
+  match (peek st).tok with
+  | Lexer.OP q when String.equal o q -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" o)
+
+let eat_kw st k =
+  match (peek st).tok with
+  | Lexer.KW q when String.equal k q -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" k)
+
+let eat_ident st =
+  match (peek st).tok with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> fail st "expected identifier"
+
+let at_punct st p =
+  match (peek st).tok with Lexer.PUNCT q -> String.equal p q | _ -> false
+
+let at_op st o =
+  match (peek st).tok with Lexer.OP q -> String.equal o q | _ -> false
+
+let at_kw st k =
+  match (peek st).tok with Lexer.KW q -> String.equal k q | _ -> false
+
+(* Binary operator precedence: higher binds tighter. *)
+let precedence = function
+  | "||" -> 1 | "&&" -> 2
+  | "|" -> 3 | "^" -> 4 | "&" -> 5
+  | "==" | "!=" -> 6
+  | "<" | "<=" | ">" | ">=" -> 7
+  | "<<" | ">>" -> 8
+  | "+" | "-" -> 9
+  | "*" | "/" | "%" -> 10
+  | _ -> 0
+
+let binop_of_string = function
+  | "+" -> Ast.Add | "-" -> Ast.Sub | "*" -> Ast.Mul | "/" -> Ast.Div
+  | "%" -> Ast.Mod | "==" -> Ast.Eq | "!=" -> Ast.Ne | "<" -> Ast.Lt
+  | "<=" -> Ast.Le | ">" -> Ast.Gt | ">=" -> Ast.Ge | "&&" -> Ast.And
+  | "||" -> Ast.Or | "&" -> Ast.Band | "|" -> Ast.Bor | "^" -> Ast.Bxor
+  | "<<" -> Ast.Shl | ">>" -> Ast.Shr
+  | s -> invalid_arg ("binop_of_string: " ^ s)
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  parse_binary_rest st lhs min_prec
+
+and parse_binary_rest st lhs min_prec =
+  match (peek st).tok with
+  | Lexer.OP o when precedence o >= min_prec && precedence o > 0 ->
+    advance st;
+    let rhs = parse_binary st (precedence o + 1) in
+    parse_binary_rest st (Ast.Binop (binop_of_string o, lhs, rhs)) min_prec
+  | _ -> lhs
+
+and parse_unary st =
+  if at_op st "-" then (advance st; Ast.Unop (Ast.Neg, parse_unary st))
+  else if at_op st "!" then (advance st; Ast.Unop (Ast.Not, parse_unary st))
+  else parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  parse_postfix_rest st e
+
+and parse_postfix_rest st e =
+  if at_punct st "[" then begin
+    advance st;
+    let i = parse_expr st in
+    eat_punct st "]";
+    parse_postfix_rest st (Ast.Index (e, i))
+  end
+  else e
+
+and parse_primary st =
+  match (peek st).tok with
+  | Lexer.INT n -> advance st; Ast.Int n
+  | Lexer.STRING s -> advance st; Ast.Str s
+  | Lexer.KW "true" -> advance st; Ast.Int 1
+  | Lexer.KW "false" -> advance st; Ast.Int 0
+  | Lexer.PUNCT "@" ->
+    advance st;
+    Ast.Funref (eat_ident st)
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    if at_punct st "(" then begin
+      advance st;
+      let args = parse_args st [] in
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | _ -> fail st "expected expression"
+
+and parse_args st acc =
+  if at_punct st ")" then (advance st; List.rev acc)
+  else
+    let e = parse_expr st in
+    if at_punct st "," then (advance st; parse_args st (e :: acc))
+    else (eat_punct st ")"; List.rev (e :: acc))
+
+(* A "simple" statement (no trailing ';'): let / assignment / expression. *)
+let parse_simple st =
+  if at_kw st "let" then begin
+    advance st;
+    let x = eat_ident st in
+    eat_op st "=";
+    Ast.Let (x, parse_expr st)
+  end
+  else
+    match (peek st).tok with
+    | Lexer.IDENT name when (match st.toks.(st.pos + 1).tok with
+                             | Lexer.OP "=" -> true
+                             | _ -> false) ->
+      advance st; advance st;
+      Ast.Assign (name, parse_expr st)
+    | _ ->
+      (* Could be an index assignment [a[i] = e] or a plain expression. *)
+      let save = st.pos in
+      let e = parse_expr st in
+      if at_op st "=" then begin
+        match e with
+        | Ast.Index (Ast.Var a, i) ->
+          advance st;
+          Ast.Index_assign (a, i, parse_expr st)
+        | _ -> st.pos <- save; fail st "invalid assignment target"
+      end
+      else Ast.Expr e
+
+let rec parse_stmt st : Ast.stmt =
+  if at_kw st "if" then parse_if st
+  else if at_kw st "while" then begin
+    advance st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    Ast.While (c, parse_block st)
+  end
+  else if at_kw st "for" then parse_for st
+  else if at_kw st "break" then (advance st; eat_punct st ";"; Ast.Break)
+  else if at_kw st "continue" then (advance st; eat_punct st ";"; Ast.Continue)
+  else if at_kw st "return" then begin
+    advance st;
+    if at_punct st ";" then (advance st; Ast.Return None)
+    else
+      let e = parse_expr st in
+      eat_punct st ";";
+      Ast.Return (Some e)
+  end
+  else begin
+    let s = parse_simple st in
+    eat_punct st ";";
+    s
+  end
+
+and parse_if st =
+  eat_kw st "if";
+  eat_punct st "(";
+  let c = parse_expr st in
+  eat_punct st ")";
+  let t = parse_block st in
+  if at_kw st "else" then begin
+    advance st;
+    if at_kw st "if" then Ast.If (c, t, [ parse_if st ])
+    else Ast.If (c, t, parse_block st)
+  end
+  else Ast.If (c, t, [])
+
+and parse_for st =
+  eat_kw st "for";
+  eat_punct st "(";
+  let init = if at_punct st ";" then None else Some (parse_simple st) in
+  eat_punct st ";";
+  let cond = if at_punct st ";" then None else Some (parse_expr st) in
+  eat_punct st ";";
+  let step = if at_punct st ")" then None else Some (parse_simple st) in
+  eat_punct st ")";
+  Ast.For (init, cond, step, parse_block st)
+
+and parse_block st : Ast.block =
+  eat_punct st "{";
+  let rec go acc =
+    if at_punct st "}" then (advance st; List.rev acc)
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_fundef st : Ast.fundef =
+  eat_kw st "fn";
+  let fname = eat_ident st in
+  eat_punct st "(";
+  let rec params acc =
+    if at_punct st ")" then (advance st; List.rev acc)
+    else
+      let p = eat_ident st in
+      if at_punct st "," then (advance st; params (p :: acc))
+      else (eat_punct st ")"; List.rev (p :: acc))
+  in
+  let params = params [] in
+  let body = parse_block st in
+  { Ast.fname; params; body }
+
+let parse_program (src : string) : Ast.program =
+  let toks =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Error (m, l, c) -> raise (Error ("lexical error: " ^ m, l, c))
+  in
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    match (peek st).tok with
+    | Lexer.EOF -> { Ast.funcs = List.rev acc }
+    | _ -> go (parse_fundef st :: acc)
+  in
+  go []
+
+(* Convenience: parse or die with a location-annotated failure. *)
+let parse_exn src =
+  try parse_program src
+  with Error (m, l, c) ->
+    failwith (Printf.sprintf "parse error at %d:%d: %s" l c m)

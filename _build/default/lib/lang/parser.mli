@@ -1,0 +1,13 @@
+(** Recursive-descent parser for MiniC. *)
+
+(** Raised on a syntax error: [(message, line, col)]. *)
+exception Error of string * int * int
+
+(** Parse a whole program (a sequence of [fn] definitions).
+    @raise Error on syntax errors (lexical errors are re-raised as
+    [Error] with a "lexical error" message). *)
+val parse_program : string -> Ast.program
+
+(** Like {!parse_program} but raises [Failure] with a formatted
+    "parse error at line:col" message — convenient at API boundaries. *)
+val parse_exn : string -> Ast.program

@@ -1,0 +1,146 @@
+(* Pretty-printer: AST back to parseable MiniC source.
+
+   [Parser.parse_exn (to_string p)] must yield an AST equal to [p]; the
+   property is checked by qcheck tests.  Expressions are printed fully
+   parenthesized, which keeps the printer trivially correct w.r.t.
+   precedence. *)
+
+open Ast
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\000' -> Buffer.add_string buf "\\0"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_expr buf = function
+  | Int n ->
+    if n < 0 then Buffer.add_string buf (Printf.sprintf "(-%d)" (-n))
+    else Buffer.add_string buf (string_of_int n)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Var x -> Buffer.add_string buf x
+  | Funref f -> Buffer.add_char buf '@'; Buffer.add_string buf f
+  | Unop (op, e) ->
+    Buffer.add_char buf '(';
+    Buffer.add_string buf (unop_to_string op);
+    pp_expr buf e;
+    Buffer.add_char buf ')'
+  | Binop (op, a, b) ->
+    Buffer.add_char buf '(';
+    pp_expr buf a;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (binop_to_string op);
+    Buffer.add_char buf ' ';
+    pp_expr buf b;
+    Buffer.add_char buf ')'
+  | Index (a, i) ->
+    pp_expr buf a;
+    Buffer.add_char buf '[';
+    pp_expr buf i;
+    Buffer.add_char buf ']'
+  | Call (f, args) ->
+    Buffer.add_string buf f;
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun k e ->
+         if k > 0 then Buffer.add_string buf ", ";
+         pp_expr buf e)
+      args;
+    Buffer.add_char buf ')'
+
+let indent buf depth = Buffer.add_string buf (String.make (2 * depth) ' ')
+
+let pp_simple buf s =
+  (* A statement legal in for-headers; no newline, no ';'. *)
+  match s with
+  | Let (x, e) ->
+    Buffer.add_string buf ("let " ^ x ^ " = ");
+    pp_expr buf e
+  | Assign (x, e) ->
+    Buffer.add_string buf (x ^ " = ");
+    pp_expr buf e
+  | Index_assign (a, i, e) ->
+    Buffer.add_string buf a;
+    Buffer.add_char buf '[';
+    pp_expr buf i;
+    Buffer.add_string buf "] = ";
+    pp_expr buf e
+  | Expr e -> pp_expr buf e
+  | _ -> invalid_arg "pp_simple: not a simple statement"
+
+let rec pp_stmt buf depth s =
+  indent buf depth;
+  (match s with
+   | Let _ | Assign _ | Index_assign _ | Expr _ ->
+     pp_simple buf s;
+     Buffer.add_string buf ";\n"
+   | Break -> Buffer.add_string buf "break;\n"
+   | Continue -> Buffer.add_string buf "continue;\n"
+   | Return None -> Buffer.add_string buf "return;\n"
+   | Return (Some e) ->
+     Buffer.add_string buf "return ";
+     pp_expr buf e;
+     Buffer.add_string buf ";\n"
+   | If (c, t, f) ->
+     Buffer.add_string buf "if (";
+     pp_expr buf c;
+     Buffer.add_string buf ") ";
+     pp_block buf depth t;
+     if f <> [] then begin
+       indent buf depth;
+       Buffer.add_string buf "else ";
+       pp_block buf depth f
+     end
+   | While (c, b) ->
+     Buffer.add_string buf "while (";
+     pp_expr buf c;
+     Buffer.add_string buf ") ";
+     pp_block buf depth b
+   | For (init, cond, step, b) ->
+     Buffer.add_string buf "for (";
+     (match init with None -> () | Some s -> pp_simple buf s);
+     Buffer.add_string buf "; ";
+     (match cond with None -> () | Some e -> pp_expr buf e);
+     Buffer.add_string buf "; ";
+     (match step with None -> () | Some s -> pp_simple buf s);
+     Buffer.add_string buf ") ";
+     pp_block buf depth b)
+
+and pp_block buf depth b =
+  Buffer.add_string buf "{\n";
+  List.iter (pp_stmt buf (depth + 1)) b;
+  indent buf depth;
+  Buffer.add_string buf "}\n"
+
+let pp_fundef buf (f : fundef) =
+  Buffer.add_string buf ("fn " ^ f.fname ^ "(");
+  List.iteri
+    (fun k p ->
+       if k > 0 then Buffer.add_string buf ", ";
+       Buffer.add_string buf p)
+    f.params;
+  Buffer.add_string buf ") ";
+  pp_block buf 0 f.body;
+  Buffer.add_char buf '\n'
+
+let to_string (p : program) =
+  let buf = Buffer.create 1024 in
+  List.iter (pp_fundef buf) p.funcs;
+  Buffer.contents buf
+
+let expr_to_string e =
+  let buf = Buffer.create 32 in
+  pp_expr buf e;
+  Buffer.contents buf

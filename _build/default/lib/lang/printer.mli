@@ -1,0 +1,11 @@
+(** Pretty-printer: AST back to parseable MiniC source.
+
+    [Parser.parse_exn (to_string p)] is a normalization of [p]:
+    parse∘print is idempotent (checked by the property suite).
+    Expressions print fully parenthesized. *)
+
+val escape : string -> string
+(** Escape a string-literal body (newline, tab, quote, backslash, NUL). *)
+
+val to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

@@ -1,0 +1,1 @@
+lib/osim/net.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/osim/os.ml: Buffer Hashtbl Net Printf String Sval Vfs World

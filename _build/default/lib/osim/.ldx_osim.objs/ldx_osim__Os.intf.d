@@ -1,0 +1,1 @@
+lib/osim/os.mli: Buffer Hashtbl Net Sval Vfs World

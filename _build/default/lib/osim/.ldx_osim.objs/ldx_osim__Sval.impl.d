@@ -1,0 +1,1 @@
+lib/osim/sval.ml: List Printf String

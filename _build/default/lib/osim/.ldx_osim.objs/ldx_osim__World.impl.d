@@ -1,0 +1,1 @@
+lib/osim/world.ml: List Net Printf Vfs

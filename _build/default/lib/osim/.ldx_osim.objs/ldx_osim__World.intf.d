@@ -1,0 +1,1 @@
+lib/osim/world.mli: Net Vfs

@@ -1,0 +1,55 @@
+(** Per-process view of the simulated OS: fd table + syscall dispatch.
+
+    Each execution (master, slave, taint baseline) owns one [t].  The LDX
+    engine decides which *result value* an execution observes (its own,
+    or one copied from the master when aligned); this module only
+    provides honest syscall semantics over the process's private state. *)
+
+type fd_entry =
+  | Fd_file of { path : string; mutable pos : int }
+  | Fd_sock of string        (** endpoint name *)
+
+type t = {
+  vfs : Vfs.t;
+  net : Net.t;
+  pid : int;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+  mutable clock : int;
+  mutable rng : int;
+  stdout : Buffer.t;
+  mutable next_addr : int;        (** bump allocator for [malloc] *)
+  mutable malloc_log : int list;  (** requested sizes, most recent first *)
+  mutable retaddr_log : int list; (** observed "return addresses" *)
+  mutable exit_code : int option;
+}
+
+(** Instantiate a world.  [pid] defaults to 1000 (the engine uses 1001
+    for the slave, 2000 for taint baselines). *)
+val create : ?pid:int -> World.t -> t
+
+(** Deep copy (fds, filesystem, network, clock, rng); stdout starts
+    empty.  Used to give the slave a private OS. *)
+val clone : ?pid:int -> t -> t
+
+(** Raised on malformed syscall invocations (wrong arity/types). *)
+exception Os_error of string
+
+(** Does this module service the syscall?  Thread operations (lock,
+    unlock, spawn, join, yield, setjmp, longjmp) are the VM's business. *)
+val handles : string -> bool
+
+(** Execute a syscall against this process's state.
+    @raise Os_error on malformed invocations. *)
+val exec : t -> string -> Sval.t list -> Sval.t
+
+val stdout_contents : t -> string
+val exited : t -> bool
+
+(** The taint-tracking resource of an open fd: ["path:<p>"] or
+    ["ep:<name>"]. *)
+val resource_of_fd : t -> int -> string option
+
+(** Resources a syscall touches, resolving fd arguments through this
+    process's fd table — the keys of Sec. 7's resource tainting. *)
+val resource_of_syscall : t -> string -> Sval.t list -> string list

@@ -1,0 +1,25 @@
+(* Scalar values crossing the syscall boundary.
+
+   The VM's full value type (arrays, function pointers) never crosses into
+   the simulated OS; syscall arguments and results are ints and strings,
+   as on a real kernel boundary. *)
+
+type t = I of int | S of string
+
+let to_string = function
+  | I n -> string_of_int n
+  | S s -> Printf.sprintf "%S" s
+
+let equal a b =
+  match (a, b) with
+  | I x, I y -> x = y
+  | S x, S y -> String.equal x y
+  | I _, S _ | S _, I _ -> false
+
+let list_equal xs ys =
+  List.length xs = List.length ys && List.for_all2 equal xs ys
+
+let int_exn = function I n -> n | S _ -> invalid_arg "Sval.int_exn"
+let str_exn = function S s -> s | I _ -> invalid_arg "Sval.str_exn"
+
+let list_to_string vs = String.concat ", " (List.map to_string vs)

@@ -1,0 +1,17 @@
+(** Scalar values crossing the (simulated) syscall boundary: the VM's
+    arrays and function pointers never reach the OS, just as on a real
+    kernel boundary. *)
+
+type t = I of int | S of string
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val list_equal : t list -> t list -> bool
+
+(** @raise Invalid_argument on the wrong constructor. *)
+val int_exn : t -> int
+
+(** @raise Invalid_argument on the wrong constructor. *)
+val str_exn : t -> string
+
+val list_to_string : t list -> string

@@ -1,0 +1,52 @@
+(** An in-memory virtual filesystem.
+
+    Paths are '/'-separated strings; directories must exist before files
+    are created under them (the root always exists).  Supports deep
+    cloning — the LDX engine gives the slave a private copy of a resource
+    the first time a misaligned operation touches it (Sec. 7). *)
+
+type entry =
+  | File of { mutable data : string; mutable mtime : int }
+  | Dir
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;   (** advances on mutations; source of mtimes *)
+}
+
+val create : unit -> t
+
+(** Prefix a leading '/' when missing; the empty path is the root. *)
+val normalize : string -> string
+
+(** Parent directory of a normalized path ("/" for top-level entries). *)
+val parent : string -> string
+
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+val lookup : t -> string -> entry option
+
+(** Create or truncate a file; the parent directory must exist. *)
+val create_file : t -> string -> (unit, string) result
+
+val read_file : t -> string -> (string, string) result
+
+(** Create-or-replace semantics; the parent directory must exist. *)
+val write_file : t -> string -> string -> (unit, string) result
+
+(** Appends; creates the file when absent. *)
+val append_file : t -> string -> string -> (unit, string) result
+
+val size : t -> string -> (int, string) result
+val mkdir : t -> string -> (unit, string) result
+val unlink : t -> string -> (unit, string) result
+val rename : t -> string -> string -> (unit, string) result
+
+(** Immediate children, sorted (deterministic). *)
+val readdir : t -> string -> (string list, string) result
+
+(** Deep copy: mutations to the clone never affect the original. *)
+val clone : t -> t
+
+(** All file contents, sorted by path (for output comparison in tests). *)
+val dump : t -> (string * string) list

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Ldx_cfg Ldx_core Ldx_instrument Ldx_taint Ldx_vm Ldx_workloads List Printf String Table

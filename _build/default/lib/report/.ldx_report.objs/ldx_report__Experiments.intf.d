@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Ldx_core Ldx_taint Ldx_workloads Table

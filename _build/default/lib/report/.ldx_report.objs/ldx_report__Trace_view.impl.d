@@ -1,0 +1,1 @@
+lib/report/trace_view.ml: Buffer Ldx_core Ldx_osim List Printf String

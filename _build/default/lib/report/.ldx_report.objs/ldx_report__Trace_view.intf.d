@@ -1,0 +1,1 @@
+lib/report/trace_view.mli: Ldx_cfg Ldx_core Ldx_osim

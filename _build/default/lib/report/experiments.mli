@@ -1,0 +1,56 @@
+(** The paper's evaluation, regenerated (Sec. 8).
+
+    One function per table/figure; the artifact index lives in DESIGN.md
+    and the paper-vs-measured commentary in EXPERIMENTS.md. *)
+
+(** Table 1: benchmarks and instrumentation statistics. *)
+val table1 : unit -> Table.t
+
+type fig6_row = {
+  f6_name : string;
+  f6_native : int;       (** uninstrumented single-execution cycles *)
+  f6_same : float;       (** overhead fraction, identical inputs *)
+  f6_mutated : float;    (** overhead fraction, mutated inputs *)
+}
+
+val fig6_data : unit -> fig6_row list
+
+(** Fig. 6: normalized dual-execution overhead with geo/arith means. *)
+val fig6 : unit -> Table.t
+
+(** Table 2: leak vs benign mutations, LDX vs TightLip. *)
+val table2 : unit -> Table.t
+
+(** One Table 3 measurement: (workload, TaintGrind, LibDFT, LDX). *)
+val table3_row :
+  Ldx_workloads.Workload.t ->
+  Ldx_workloads.Workload.t * Ldx_taint.Tracker.result
+  * Ldx_taint.Tracker.result * Ldx_core.Engine.result
+
+(** Table 3: tainted sinks — LibDFT vs TaintGrind vs LDX. *)
+val table3 : unit -> Table.t
+
+(** Table 4: concurrency set, [runs] dual executions with perturbed
+    schedules; min/max/stddev of diffs and tainted sinks. *)
+val table4 : ?runs:int -> unit -> Table.t
+
+(** The Fig. 7 / 403.gcc case study (NGX_HAVE_POLL control-dep leak). *)
+val case_gcc : unit -> string
+
+(** The Firefox/ShowIP case study. *)
+val case_firefox : unit -> string
+
+(** "No false warnings": attack programs on benign inputs stay silent. *)
+val fp_check : unit -> Table.t
+
+(** Mutation-strategy comparison (Sec. 8.3 / TR). *)
+val mutation_study : unit -> Table.t
+
+(** Ablation A1: LDX counter vs DualEx indexing vs TightLip FIFO. *)
+val ablation_alignment : unit -> Table.t
+
+(** Ablation A2: loop backedge reset on/off (Algorithm 3). *)
+val ablation_loops : unit -> Table.t
+
+(** Every experiment, rendered and concatenated. *)
+val all : ?runs:int -> unit -> string

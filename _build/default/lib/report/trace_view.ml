@@ -1,0 +1,48 @@
+(* Fig. 3 / Fig. 5-style side-by-side syscall trace.
+
+   Renders the slave's alignment action log as two columns (master |
+   slave) with the position and the action taken by the LDX wrapper:
+   shaded "copied"/"sink==" rows are aligned; "master-only"/"slave-only"
+   rows are the tolerated syscall differences; "path-diff" marks the
+   paper's case 2. *)
+
+module Engine = Ldx_core.Engine
+module Sval = Ldx_osim.Sval
+
+let cell = function
+  | None -> ""
+  | Some (sys, args) ->
+    Printf.sprintf "%s(%s)" sys
+      (String.concat ", "
+         (List.map
+            (fun a ->
+               let s = Sval.to_string a in
+               if String.length s > 24 then String.sub s 0 21 ^ "..." else s)
+            args))
+
+let render (trace : Engine.trace_entry list) : string =
+  let buf = Buffer.create 1024 in
+  let w1 = ref 8 and w2 = ref 8 and wp = ref 3 in
+  List.iter
+    (fun (t : Engine.trace_entry) ->
+       w1 := max !w1 (String.length (cell t.Engine.t_master));
+       w2 := max !w2 (String.length (cell t.Engine.t_slave));
+       wp := max !wp (String.length t.Engine.t_pos))
+    trace;
+  let line pos m s act =
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s  %-*s | %-*s  [%s]\n" !wp pos !w1 m !w2 s act)
+  in
+  line "pos" "master" "slave" "action";
+  line (String.make !wp '-') (String.make !w1 '-') (String.make !w2 '-') "--";
+  List.iter
+    (fun (t : Engine.trace_entry) ->
+       line t.Engine.t_pos (cell t.Engine.t_master) (cell t.Engine.t_slave)
+         (Engine.trace_action_to_string t.Engine.t_action))
+    trace;
+  Buffer.contents buf
+
+(* Convenience: dual-execute with tracing on and render. *)
+let side_by_side ?(config = Engine.default_config) prog world : string =
+  let r = Engine.run ~config:{ config with Engine.record_trace = true } prog world in
+  render r.Engine.trace

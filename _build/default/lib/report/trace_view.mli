@@ -1,0 +1,14 @@
+(** Fig. 3 / Fig. 5-style side-by-side syscall trace.
+
+    Renders the slave's alignment action log as two columns
+    (master | slave) with the position and the wrapper's decision —
+    [copied]/[sink==] rows are aligned, [master-only]/[slave-only] are
+    the tolerated syscall differences, [path-diff] is the paper's
+    case 2. *)
+
+val render : Ldx_core.Engine.trace_entry list -> string
+
+(** Dual-execute with tracing forced on and render the log. *)
+val side_by_side :
+  ?config:Ldx_core.Engine.config ->
+  Ldx_cfg.Ir.program -> Ldx_osim.World.t -> string

@@ -1,0 +1,1 @@
+lib/taint/shadow.ml: Array Ldx_lang Ldx_osim Ldx_vm List Names

@@ -1,0 +1,1 @@
+lib/taint/shadow.mli: Ldx_lang Ldx_osim Ldx_vm

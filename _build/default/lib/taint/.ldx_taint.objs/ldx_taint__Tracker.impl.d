@@ -1,0 +1,1 @@
+lib/taint/tracker.ml: Array Ast Char Hashtbl Ldx_cfg Ldx_core Ldx_lang Ldx_osim Ldx_vm List Shadow String

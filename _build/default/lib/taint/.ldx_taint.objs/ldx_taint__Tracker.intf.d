@@ -1,0 +1,1 @@
+lib/taint/tracker.mli: Ldx_cfg Ldx_core Ldx_osim Shadow

@@ -1,0 +1,86 @@
+(* Shadow values for the dynamic-tainting baselines (Table 3).
+
+   Taint is a bitset of source ids attached to every value.  Propagation
+   is data-dependence only — the defining limitation of LIBDFT and
+   TAINTGRIND the paper exploits: control dependences never propagate.
+   Scalar operations delegate to the VM's {!Ldx_vm.Eval} (so the
+   baselines compute exactly what the real VM computes) and re-attach
+   taint per the model's propagation rule. *)
+
+open Ldx_lang
+module Value = Ldx_vm.Value
+
+type t = { base : base; taint : int }
+
+and base =
+  | Unit
+  | Int of int
+  | Str of string
+  | Arr of t array
+  | Fptr of string
+
+let clean base = { base; taint = 0 }
+let with_taint taint base = { base; taint }
+
+let truthy v =
+  match v.base with
+  | Int 0 | Unit | Str "" -> false
+  | Int _ | Str _ | Arr _ | Fptr _ -> true
+
+let rec to_value (v : t) : Value.t =
+  match v.base with
+  | Unit -> Value.Unit
+  | Int n -> Value.Int n
+  | Str s -> Value.Str s
+  | Fptr f -> Value.Fptr f
+  | Arr a -> Value.Arr (Array.map to_value a)
+
+let rec of_value ~taint (v : Value.t) : t =
+  match v with
+  | Value.Unit -> with_taint taint Unit
+  | Value.Int n -> with_taint taint (Int n)
+  | Value.Str s -> with_taint taint (Str s)
+  | Value.Fptr f -> with_taint taint (Fptr f)
+  | Value.Arr a -> with_taint taint (Arr (Array.map (of_value ~taint) a))
+
+let to_sval v = Value.to_sval_safe (to_value v)
+
+let of_sval ~taint = function
+  | Ldx_osim.Sval.I n -> with_taint taint (Int n)
+  | Ldx_osim.Sval.S s -> with_taint taint (Str s)
+
+(* Which model of library-call ("builtin") taint propagation: TaintGrind
+   models every builtin; LibDFT drops taint across Names.libdft_unmodeled
+   (the paper's observed modelling gap, Sec. 8.3). *)
+type model = Taintgrind | Libdft
+
+let model_to_string = function Taintgrind -> "taintgrind" | Libdft -> "libdft"
+
+let union_taint args = List.fold_left (fun acc a -> acc lor a.taint) 0 args
+
+let builtin_taint (model : model) (name : string) (args : t list) : int =
+  match model with
+  | Taintgrind -> union_taint args
+  | Libdft -> if List.mem name Names.libdft_unmodeled then 0 else union_taint args
+
+let apply_builtin (model : model) (name : string) (args : t list) : t =
+  match (name, args) with
+  (* array builtins operate on shadow arrays directly so element taint
+     survives *)
+  | "mkarray", [ { base = Int n; _ }; init ] ->
+    if n < 0 || n > 1_000_000 then Value.trap "mkarray: bad size %d" n
+    else clean (Arr (Array.make n init))
+  | "len", [ { base = Arr a; taint } ] ->
+    with_taint taint (Int (Array.length a))
+  | _ ->
+    let vals = List.map to_value args in
+    let r = Ldx_vm.Eval.apply_builtin name vals in
+    of_value ~taint:(builtin_taint model name args) r
+
+let apply_binop op a b =
+  let r = Ldx_vm.Eval.apply_binop op (to_value a) (to_value b) in
+  of_value ~taint:(a.taint lor b.taint) r
+
+let apply_unop op a =
+  let r = Ldx_vm.Eval.apply_unop op (to_value a) in
+  of_value ~taint:a.taint r

@@ -1,0 +1,39 @@
+(** Shadow values for the dynamic-tainting baselines (Table 3).
+
+    A taint bitset rides on every value; propagation is data-dependence
+    only — the limitation of LIBDFT/TaintGrind that the paper exploits.
+    Scalar operators delegate to {!Ldx_vm.Eval} so both engines compute
+    identical results. *)
+
+type t = { base : base; taint : int }
+
+and base =
+  | Unit
+  | Int of int
+  | Str of string
+  | Arr of t array
+  | Fptr of string
+
+val clean : base -> t
+val with_taint : int -> base -> t
+val truthy : t -> bool
+
+val to_value : t -> Ldx_vm.Value.t
+val of_value : taint:int -> Ldx_vm.Value.t -> t
+val to_sval : t -> Ldx_osim.Sval.t
+val of_sval : taint:int -> Ldx_osim.Sval.t -> t
+
+(** TaintGrind models every library call; LibDFT drops taint across
+    {!Ldx_lang.Names.libdft_unmodeled} (the paper's observed gap). *)
+type model = Taintgrind | Libdft
+
+val model_to_string : model -> string
+
+val union_taint : t list -> int
+val builtin_taint : model -> string -> t list -> int
+
+(** @raise Ldx_vm.Value.Trap like the underlying evaluator. *)
+val apply_builtin : model -> string -> t list -> t
+
+val apply_binop : Ldx_lang.Ast.binop -> t -> t -> t
+val apply_unop : Ldx_lang.Ast.unop -> t -> t

@@ -1,0 +1,280 @@
+(* The dynamic-tainting baseline engines (LIBDFT-like and TaintGrind-like).
+
+   A direct recursive interpreter over the same IR the VM executes, with
+   shadow taint on every value.  Differences from LDX that the paper's
+   Table 3 hinges on:
+   - propagation is data-dependence only (branch conditions never taint
+     the values computed under them);
+   - the LibDFT model additionally drops taint across a set of library
+     calls (Names.libdft_unmodeled);
+   - the engine monitors every instruction, which the cost model charges
+     at Cost.taint_shadow extra cycles per instruction (the ~6x slowdown
+     of Sec. 8.1).
+
+   Threads are sequentialized ([spawn] runs the worker synchronously),
+   a documented simplification: the taint verdicts of these baselines do
+   not depend on interleaving for our workloads. *)
+
+module Ir = Ldx_cfg.Ir
+module Os = Ldx_osim.Os
+module Sval = Ldx_osim.Sval
+module World = Ldx_osim.World
+module Cost = Ldx_vm.Cost
+module Value = Ldx_vm.Value
+module Engine = Ldx_core.Engine
+open Ldx_lang
+
+type config = {
+  model : Shadow.model;
+  sources : Engine.source_spec list;
+  sinks : Engine.sink_config;
+  max_steps : int;
+}
+
+let default_config =
+  { model = Shadow.Taintgrind;
+    sources = [ Engine.source ~sys:"recv" () ];
+    sinks = Engine.Output_syscalls;
+    max_steps = 30_000_000 }
+
+type result = {
+  tainted_sinks : int;           (* dynamic sink executions with tainted args *)
+  total_sinks : int;
+  tainted_sites : int list;      (* distinct static sites flagged *)
+  cycles : int;
+  steps : int;
+  stdout : string;
+  trap : string option;
+}
+
+exception Program_exit
+
+type st = {
+  prog : Ir.program;
+  os : Os.t;
+  config : config;
+  is_sink : string -> int -> Sval.t list -> bool;
+  mutable steps : int;
+  mutable cycles : int;
+  mutable tainted_sinks : int;
+  mutable total_sinks : int;
+  mutable tainted_sites : int list;
+  source_hits : (int, int) Hashtbl.t;
+  thread_results : (int, Shadow.t) Hashtbl.t;
+  mutable next_tid : int;
+}
+
+let contains hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  nn = 0
+  || (let found = ref false in
+      for i = 0 to hn - nn do
+        if (not !found) && String.sub hay i nn = needle then found := true
+      done;
+      !found)
+
+let is_source st ~sys ~site ~args ~resources =
+  (* no short-circuit: every spec's occurrence counter must advance *)
+  List.fold_left
+    (fun hit (spec : Engine.source_spec) ->
+       let base =
+         (match spec.Engine.src_sys with
+          | None -> true
+          | Some s -> String.equal s sys)
+         && (match spec.Engine.src_site with None -> true | Some s -> s = site)
+         && (match spec.Engine.src_arg with
+             | None -> true
+             | Some sub ->
+               List.exists (fun r -> contains r sub) resources
+               || (match args with
+                   | Sval.S a :: _ -> contains a sub
+                   | _ -> false))
+       in
+       let this =
+         if not base then false
+         else
+           match spec.Engine.src_nth with
+           | None -> true
+           | Some n ->
+             let key = Hashtbl.hash spec in
+             let c =
+               1 + (try Hashtbl.find st.source_hits key with Not_found -> 0)
+             in
+             Hashtbl.replace st.source_hits key c;
+             c = n
+       in
+       hit || this)
+    false st.config.sources
+
+let charge st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.config.max_steps then Value.trap "fuel exhausted";
+  st.cycles <- st.cycles + Cost.instr + Cost.taint_shadow
+
+let rec eval st (locals : (string, Shadow.t) Hashtbl.t) (e : Ast.expr) :
+  Shadow.t =
+  match e with
+  | Ast.Int n -> Shadow.clean (Shadow.Int n)
+  | Ast.Str s -> Shadow.clean (Shadow.Str s)
+  | Ast.Var x ->
+    (match Hashtbl.find_opt locals x with
+     | Some v -> v
+     | None -> Value.trap "undefined variable %s" x)
+  | Ast.Funref f -> Shadow.clean (Shadow.Fptr f)
+  | Ast.Unop (op, a) -> Shadow.apply_unop op (eval st locals a)
+  | Ast.Binop (op, a, b) ->
+    let va = eval st locals a in
+    let vb = eval st locals b in
+    Shadow.apply_binop op va vb
+  | Ast.Index (a, i) ->
+    let va = eval st locals a in
+    let vi = eval st locals i in
+    (match (va.Shadow.base, vi.Shadow.base) with
+     | Shadow.Arr arr, Shadow.Int k ->
+       if k >= 0 && k < Array.length arr then arr.(k)
+       else Value.trap "index %d out of bounds (len %d)" k (Array.length arr)
+     | Shadow.Str s, Shadow.Int k ->
+       if k >= 0 && k < String.length s then
+         Shadow.with_taint va.Shadow.taint (Shadow.Int (Char.code s.[k]))
+       else Value.trap "string index %d out of bounds" k
+     | _ -> Value.trap "indexing non-array")
+  | Ast.Call (name, args) ->
+    let vargs = List.map (eval st locals) args in
+    Shadow.apply_builtin st.config.model name vargs
+
+let rec handle_syscall st locals ~sys ~site (vargs : Shadow.t list) : Shadow.t =
+  ignore locals;
+  match sys with
+  | "lock" | "unlock" | "yield" -> Shadow.clean (Shadow.Int 0)
+  | "spawn" ->
+    (match vargs with
+     | [ { Shadow.base = Shadow.Fptr f; _ }; arg ] ->
+       let tid = st.next_tid in
+       st.next_tid <- tid + 1;
+       let r = call_function st f [ arg ] in
+       Hashtbl.replace st.thread_results tid r;
+       Shadow.clean (Shadow.Int tid)
+     | _ -> Value.trap "spawn: bad arguments")
+  | "join" ->
+    (match vargs with
+     | [ { Shadow.base = Shadow.Int tid; _ } ] ->
+       (match Hashtbl.find_opt st.thread_results tid with
+        | Some r -> r
+        | None -> Shadow.clean (Shadow.Int (-1)))
+     | _ -> Value.trap "join: bad arguments")
+  | _ ->
+    let sargs = List.map Shadow.to_sval vargs in
+    if st.is_sink sys site sargs then begin
+      st.total_sinks <- st.total_sinks + 1;
+      if List.exists (fun (v : Shadow.t) -> v.Shadow.taint <> 0) vargs then begin
+        st.tainted_sinks <- st.tainted_sinks + 1;
+        if not (List.mem site st.tainted_sites) then
+          st.tainted_sites <- site :: st.tainted_sites
+      end
+    end;
+    let r =
+      try Os.exec st.os sys sargs
+      with Os.Os_error msg -> raise (Value.Trap msg)
+    in
+    if Os.exited st.os then raise Program_exit;
+    let resources = Os.resource_of_syscall st.os sys sargs in
+    let taint = if is_source st ~sys ~site ~args:sargs ~resources then 1 else 0 in
+    st.cycles <- st.cycles + Cost.syscall;
+    Shadow.of_sval ~taint r
+
+and call_function st (fname : string) (args : Shadow.t list) : Shadow.t =
+  let fn = Ir.find_func_exn st.prog fname in
+  let locals = Hashtbl.create 16 in
+  (try List.iter2 (fun p a -> Hashtbl.replace locals p a) fn.Ir.params args
+   with Invalid_argument _ ->
+     Value.trap "call %s: arity mismatch" fname);
+  exec_block st fn locals fn.Ir.entry
+
+and exec_block st (fn : Ir.func) locals (bid : int) : Shadow.t =
+  let block = fn.Ir.blocks.(bid) in
+  let n = Array.length block.Ir.instrs in
+  let rec instrs i =
+    if i >= n then terminator ()
+    else begin
+      charge st;
+      (match block.Ir.instrs.(i) with
+       | Ir.Assign (x, e) -> Hashtbl.replace locals x (eval st locals e)
+       | Ir.Store (a, ie, e) ->
+         let va =
+           match Hashtbl.find_opt locals a with
+           | Some v -> v
+           | None -> Value.trap "undefined variable %s" a
+         in
+         let vi = eval st locals ie in
+         let ve = eval st locals e in
+         (match (va.Shadow.base, vi.Shadow.base) with
+          | Shadow.Arr arr, Shadow.Int k ->
+            if k >= 0 && k < Array.length arr then arr.(k) <- ve
+            else Value.trap "store index %d out of bounds" k
+          | _ -> Value.trap "store into non-array %s" a)
+       | Ir.Call { dst; callee; args; _ } ->
+         let vargs = List.map (eval st locals) args in
+         let r = call_function st callee vargs in
+         (match dst with Some d -> Hashtbl.replace locals d r | None -> ())
+       | Ir.Call_indirect { dst; fptr; args; _ } ->
+         let vf = eval st locals fptr in
+         let vargs = List.map (eval st locals) args in
+         (match vf.Shadow.base with
+          | Shadow.Fptr name ->
+            let r = call_function st name vargs in
+            (match dst with Some d -> Hashtbl.replace locals d r | None -> ())
+          | _ -> Value.trap "indirect call through non-funptr")
+       | Ir.Syscall { dst; sys; args; site } ->
+         let vargs = List.map (eval st locals) args in
+         let r = handle_syscall st locals ~sys ~site vargs in
+         (match dst with Some d -> Hashtbl.replace locals d r | None -> ())
+       | Ir.Cnt_add _ | Ir.Loop_enter _ | Ir.Loop_back _ | Ir.Loop_exit _ ->
+         (* the taint baselines run uninstrumented code; tolerate anyway *)
+         ());
+      instrs (i + 1)
+    end
+  and terminator () =
+    charge st;
+    match block.Ir.term with
+    | Ir.Jump l -> exec_block st fn locals l
+    | Ir.Branch (c, bt, bf) ->
+      (* NB: the branch taint is deliberately NOT propagated — this is
+         the control-dependence blindness of these baselines *)
+      let v = eval st locals c in
+      exec_block st fn locals (if Shadow.truthy v then bt else bf)
+    | Ir.Ret None -> Shadow.clean Shadow.Unit
+    | Ir.Ret (Some e) -> eval st locals e
+  in
+  instrs 0
+
+let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
+  result =
+  let os = Os.create ~pid:2000 world in
+  let st =
+    { prog; os; config;
+      is_sink = Engine.sink_pred config.sinks;
+      steps = 0; cycles = 0;
+      tainted_sinks = 0; total_sinks = 0; tainted_sites = [];
+      source_hits = Hashtbl.create 4;
+      thread_results = Hashtbl.create 4;
+      next_tid = 1 }
+  in
+  let trap =
+    try
+      ignore (call_function st "main" []);
+      None
+    with
+    | Program_exit -> None
+    | Value.Trap msg -> Some msg
+    | Stack_overflow -> Some "stack overflow"
+  in
+  { tainted_sinks = st.tainted_sinks;
+    total_sinks = st.total_sinks;
+    tainted_sites = List.rev st.tainted_sites;
+    cycles = st.cycles;
+    steps = st.steps;
+    stdout = Os.stdout_contents os;
+    trap }
+
+let run_source ?config src world =
+  run ?config (Ldx_cfg.Lower.lower_source src) world

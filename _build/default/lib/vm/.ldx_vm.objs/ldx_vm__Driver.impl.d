@@ -1,0 +1,1 @@
+lib/vm/driver.ml: Ldx_cfg Ldx_instrument Ldx_osim List Machine String Value

@@ -1,0 +1,1 @@
+lib/vm/driver.mli: Ldx_cfg Ldx_osim Machine Value

@@ -1,0 +1,1 @@
+lib/vm/eval.ml: Array Ast Buffer Char Hashtbl Ldx_lang List String Value

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Cost Eval Hashtbl Ldx_cfg Ldx_osim List Value

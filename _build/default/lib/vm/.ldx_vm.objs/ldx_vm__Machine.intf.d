@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Hashtbl Ldx_cfg Ldx_osim Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Array Ldx_osim Printf String

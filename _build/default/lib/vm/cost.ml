@@ -1,0 +1,15 @@
+(* Virtual cycle-cost model (Fig. 6 methodology).
+
+   The absolute values are a model; the experiments only interpret ratios.
+   See DESIGN.md "Cycle model". *)
+
+let instr = 1              (* ordinary instruction *)
+let cnt_instr = 1          (* counter-maintenance instruction *)
+let barrier = 2            (* loop backedge barrier check *)
+let syscall = 40           (* kernel crossing + service *)
+let share_copy = 2         (* slave copying a master outcome *)
+let sink_compare = 3       (* comparing sink arguments *)
+
+(* Baseline engines' per-instruction monitoring cost: *)
+let taint_shadow = 5       (* LIBDFT/TaintGrind-style shadow propagation *)
+let index_monitor = 1000   (* DualEx execution indexing + IPC to monitor *)

@@ -1,0 +1,177 @@
+(* Single-execution driver ("native run").
+
+   Services syscalls against the process's own OS and handles thread
+   operations with the VM primitives.  This is the baseline the overhead
+   experiments (Fig. 6) compare against, and the execution model the dual
+   engine in ldx.core extends. *)
+
+module Os = Ldx_osim.Os
+module Sval = Ldx_osim.Sval
+
+type trace_entry = {
+  sys : string;
+  args : Sval.t list;
+  result : Sval.t;
+  counter : int;
+  site : int;
+  tid : int;
+}
+
+type outcome = {
+  machine : Machine.t;
+  trap : string option;
+  cycles : int;
+  steps : int;
+  syscalls : int;
+  stdout : string;
+  exit_code : int option;
+  trace : trace_entry list;           (* only when ~record_trace *)
+}
+
+let is_thread_op = function
+  | "lock" | "unlock" | "spawn" | "join" | "yield" | "setjmp" | "longjmp"
+  | "signal" | "alarm" | "sigsend" ->
+    true
+  | _ -> false
+
+(* Service a thread-operation syscall with the VM primitives; [`Block]
+   leaves the thread pending for retry. *)
+let service_thread_op (m : Machine.t) (th : Machine.thread)
+    (p : Machine.pending) : [ `Done of Value.t | `Block ] =
+  match (p.Machine.sys, p.Machine.sysargs) with
+  | "lock", [ lockv ] ->
+    if Machine.try_lock m th lockv then `Done (Value.Int 0) else `Block
+  | "unlock", [ lockv ] ->
+    ignore (Machine.unlock m th lockv);
+    `Done (Value.Int 0)
+  | "spawn", [ Value.Fptr f; arg ] ->
+    let tid = Machine.spawn m f arg in
+    `Done (Value.Int tid)
+  | "spawn", [ v; _ ] ->
+    Value.trap "spawn: expected function pointer, got %s" (Value.to_string v)
+  | "join", [ Value.Int tid ] ->
+    (match Machine.try_join m tid with
+     | Some v -> `Done v
+     | None -> `Block)
+  | "yield", [] -> `Done (Value.Int 0)
+  | "setjmp", [ bufv ] ->
+    Machine.do_setjmp m th bufv ~dst:p.Machine.dst;
+    `Done (Value.Int 0)
+  | "signal", [ Value.Int signo; Value.Fptr h ] ->
+    Machine.register_signal m signo h;
+    `Done (Value.Int 0)
+  | "alarm", [ Value.Int n ] ->
+    Machine.set_alarm th n Machine.sigalrm;
+    `Done (Value.Int 0)
+  | "sigsend", [ Value.Int signo ] ->
+    Machine.raise_signal th signo;
+    `Done (Value.Int 0)
+  | "longjmp", [ bufv ] ->
+    if Machine.do_longjmp m th bufv then
+      (* control has been transferred; the longjmp itself "returns"
+         nothing observable at its (abandoned) call site *)
+      `Done (Value.Int 0)
+    else Value.trap "longjmp: buffer was never set"
+  | sys, args ->
+    Value.trap "thread op %s: bad arguments (%s)" sys
+      (String.concat ", " (List.map Value.to_string args))
+
+let run ?(seed = 0) ?(max_steps = 30_000_000) ?(record_trace = false)
+    (prog : Ldx_cfg.Ir.program) (world : Ldx_osim.World.t) : outcome =
+  let os = Os.create world in
+  let m = Machine.create ~seed ~max_steps prog os in
+  let trace = ref [] in
+  let blocked : Machine.thread list ref = ref [] in
+  let service th =
+    let p = Machine.pending_of th in
+    if is_thread_op p.Machine.sys then begin
+      match
+        try service_thread_op m th p
+        with Value.Trap msg ->
+          m.Machine.trap <- Some msg;
+          m.Machine.finished <- true;
+          `Done Value.Unit
+      with
+      | `Done v ->
+        if record_trace then
+          trace :=
+            { sys = p.Machine.sys;
+              args = List.map Value.to_sval_safe p.Machine.sysargs;
+              result = Value.to_sval_safe v;
+              counter = Machine.counter_of th;
+              site = p.Machine.site;
+              tid = th.Machine.tid }
+            :: !trace;
+        Machine.provide_result m th v
+      | `Block -> blocked := th :: !blocked
+    end
+    else begin
+      let sargs = List.map Value.to_sval p.Machine.sysargs in
+      let r =
+        try Os.exec os p.Machine.sys sargs
+        with Os.Os_error msg -> raise (Value.Trap msg)
+      in
+      if record_trace then
+        trace :=
+          { sys = p.Machine.sys; args = sargs; result = r;
+            counter = Machine.counter_of th; site = p.Machine.site;
+            tid = th.Machine.tid }
+          :: !trace;
+      Machine.provide_result m th (Value.of_sval r)
+    end
+  in
+  let retry_blocked () =
+    let bs = !blocked in
+    blocked := [];
+    let progress = ref false in
+    List.iter
+      (fun th ->
+         match th.Machine.status with
+         | Machine.Awaiting p when is_thread_op p.Machine.sys ->
+           (match service_thread_op m th p with
+            | `Done v ->
+              progress := true;
+              Machine.provide_result m th v
+            | `Block -> blocked := th :: !blocked)
+         | _ -> ())
+      bs;
+    !progress
+  in
+  let rec loop () =
+    match Machine.run_until_event m with
+    | Machine.Ev_syscall th ->
+      (try service th with Value.Trap msg ->
+         m.Machine.trap <- Some msg;
+         m.Machine.finished <- true);
+      ignore (retry_blocked ());
+      if not m.Machine.finished then loop ()
+    | Machine.Ev_barrier th ->
+      (* no partner execution: release immediately *)
+      Machine.release_barrier m th;
+      loop ()
+    | Machine.Ev_idle ->
+      if retry_blocked () then loop ()
+      else begin
+        m.Machine.trap <- Some "deadlock: all threads blocked";
+        m.Machine.finished <- true
+      end
+    | Machine.Ev_done -> ()
+    | Machine.Ev_trap _ -> ()
+  in
+  loop ();
+  { machine = m;
+    trap = m.Machine.trap;
+    cycles = m.Machine.cycles;
+    steps = m.Machine.steps;
+    syscalls = m.Machine.syscalls;
+    stdout = Os.stdout_contents os;
+    exit_code = os.Os.exit_code;
+    trace = List.rev !trace }
+
+(* Convenience: parse, lower, optionally instrument, run. *)
+let run_source ?(instrument = false) ?seed ?max_steps ?record_trace src world =
+  let prog = Ldx_cfg.Lower.lower_source src in
+  let prog =
+    if instrument then fst (Ldx_instrument.Counter.instrument prog) else prog
+  in
+  run ?seed ?max_steps ?record_trace prog world

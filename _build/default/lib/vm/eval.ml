@@ -1,0 +1,152 @@
+(* Pure-expression evaluation: the [pexpr] fragment of the IR (no calls
+   except builtins).  Shared by the VM; the taint baselines reimplement it
+   with shadow values. *)
+
+open Ldx_lang
+open Value
+
+(* Stable polynomial string hash (independent of OCaml's Hashtbl.hash so
+   results are reproducible across compiler versions). *)
+let string_hash s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let apply_builtin name (args : t list) : t =
+  match (name, args) with
+  | "itoa", [ Int n ] -> Str (string_of_int n)
+  | "itoa", [ Str s ] -> Str s
+  | "atoi", [ Str s ] ->
+    let n = String.length s in
+    let i0 = if n > 0 && (s.[0] = '-' || s.[0] = '+') then 1 else 0 in
+    let rec digits i acc any =
+      if i < n && s.[i] >= '0' && s.[i] <= '9' then
+        digits (i + 1) ((acc * 10) + Char.code s.[i] - 48) true
+      else if any then acc
+      else 0
+    in
+    let v = digits i0 0 false in
+    Int (if i0 = 1 && n > 0 && s.[0] = '-' then -v else v)
+  | "atoi", [ Int n ] -> Int n
+  | "strlen", [ Str s ] -> Int (String.length s)
+  | "substr", [ Str s; Int start; Int len ] ->
+    let n = String.length s in
+    let start = max 0 (min start n) in
+    let len = max 0 (min len (n - start)) in
+    Str (String.sub s start len)
+  | "char_at", [ Str s; Int i ] ->
+    if i >= 0 && i < String.length s then Int (Char.code s.[i]) else Int (-1)
+  | "chr", [ Int c ] -> Str (String.make 1 (Char.chr (c land 255)))
+  | "find", [ Str hay; Str needle ] ->
+    let hn = String.length hay and nn = String.length needle in
+    if nn = 0 then Int 0
+    else begin
+      let res = ref (-1) in
+      (try
+         for i = 0 to hn - nn do
+           if String.sub hay i nn = needle then begin
+             res := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Int !res
+    end
+  | "hash", [ Str s ] -> Int (string_hash s)
+  | "hash", [ Int n ] -> Int (string_hash (string_of_int n))
+  | "min", [ Int a; Int b ] -> Int (min a b)
+  | "max", [ Int a; Int b ] -> Int (max a b)
+  | "abs", [ Int a ] -> Int (abs a)
+  | "len", [ Arr a ] -> Int (Array.length a)
+  | "len", [ Str s ] -> Int (String.length s)
+  | "mkarray", [ Int n; init ] ->
+    if n < 0 || n > 1_000_000 then trap "mkarray: bad size %d" n
+    else Arr (Array.make n init)
+  | "upper", [ Str s ] -> Str (String.uppercase_ascii s)
+  | "lower", [ Str s ] -> Str (String.lowercase_ascii s)
+  | "starts_with", [ Str s; Str p ] ->
+    let sp = String.length p in
+    Int
+      (if String.length s >= sp && String.sub s 0 sp = p then 1 else 0)
+  | "repeat", [ Str s; Int n ] ->
+    if n <= 0 then Str ""
+    else if n * String.length s > 10_000_000 then trap "repeat: too large"
+    else begin
+      let buf = Buffer.create (n * String.length s) in
+      for _ = 1 to n do Buffer.add_string buf s done;
+      Str (Buffer.contents buf)
+    end
+  | "bit", [ Int x; Int i ] ->
+    if i < 0 || i > 62 then Int 0 else Int ((x lsr i) land 1)
+  | _ ->
+    trap "builtin %s: bad arguments (%s)" name
+      (String.concat ", " (List.map to_string args))
+
+let apply_binop (op : Ast.binop) (a : t) (b : t) : t =
+  match (op, a, b) with
+  | Ast.Add, Int x, Int y -> Int (x + y)
+  | Ast.Add, Str x, Str y -> Str (x ^ y)
+  | Ast.Add, Str x, Int y -> Str (x ^ string_of_int y)
+  | Ast.Add, Int x, Str y -> Str (string_of_int x ^ y)
+  | Ast.Sub, Int x, Int y -> Int (x - y)
+  | Ast.Mul, Int x, Int y -> Int (x * y)
+  | Ast.Div, Int _, Int 0 -> trap "division by zero"
+  | Ast.Div, Int x, Int y -> Int (x / y)
+  | Ast.Mod, Int _, Int 0 -> trap "modulo by zero"
+  | Ast.Mod, Int x, Int y -> Int (x mod y)
+  | Ast.Eq, x, y -> Int (if equal x y then 1 else 0)
+  | Ast.Ne, x, y -> Int (if equal x y then 0 else 1)
+  | Ast.Lt, Int x, Int y -> Int (if x < y then 1 else 0)
+  | Ast.Le, Int x, Int y -> Int (if x <= y then 1 else 0)
+  | Ast.Gt, Int x, Int y -> Int (if x > y then 1 else 0)
+  | Ast.Ge, Int x, Int y -> Int (if x >= y then 1 else 0)
+  | Ast.Lt, Str x, Str y -> Int (if String.compare x y < 0 then 1 else 0)
+  | Ast.Le, Str x, Str y -> Int (if String.compare x y <= 0 then 1 else 0)
+  | Ast.Gt, Str x, Str y -> Int (if String.compare x y > 0 then 1 else 0)
+  | Ast.Ge, Str x, Str y -> Int (if String.compare x y >= 0 then 1 else 0)
+  | Ast.Band, Int x, Int y -> Int (x land y)
+  | Ast.Bor, Int x, Int y -> Int (x lor y)
+  | Ast.Bxor, Int x, Int y -> Int (x lxor y)
+  | Ast.Shl, Int x, Int y -> Int (if y < 0 || y > 62 then 0 else x lsl y)
+  | Ast.Shr, Int x, Int y -> Int (if y < 0 || y > 62 then 0 else x asr y)
+  | Ast.And, x, y -> Int (if truthy x && truthy y then 1 else 0)
+  | Ast.Or, x, y -> Int (if truthy x || truthy y then 1 else 0)
+  | op, a, b ->
+    trap "binop %s: bad operands %s, %s" (Ast.binop_to_string op)
+      (to_string a) (to_string b)
+
+let apply_unop (op : Ast.unop) (a : t) : t =
+  match (op, a) with
+  | Ast.Neg, Int x -> Int (-x)
+  | Ast.Not, x -> Int (if truthy x then 0 else 1)
+  | Ast.Neg, (Str _ | Arr _ | Fptr _ | Unit) -> trap "negation of non-int"
+
+(* Evaluate a pure expression against locals. *)
+let rec eval (locals : (string, t) Hashtbl.t) (e : Ast.expr) : t =
+  match e with
+  | Ast.Int n -> Int n
+  | Ast.Str s -> Str s
+  | Ast.Var x ->
+    (match Hashtbl.find_opt locals x with
+     | Some v -> v
+     | None -> trap "undefined variable %s" x)
+  | Ast.Funref f -> Fptr f
+  | Ast.Unop (op, a) -> apply_unop op (eval locals a)
+  | Ast.Binop (op, a, b) ->
+    let va = eval locals a in
+    let vb = eval locals b in
+    apply_binop op va vb
+  | Ast.Index (a, i) ->
+    let va = eval locals a in
+    let vi = eval locals i in
+    (match (va, vi) with
+     | Arr arr, Int k ->
+       if k >= 0 && k < Array.length arr then arr.(k)
+       else trap "index %d out of bounds (len %d)" k (Array.length arr)
+     | Str s, Int k ->
+       if k >= 0 && k < String.length s then Int (Char.code s.[k])
+       else trap "string index %d out of bounds (len %d)" k (String.length s)
+     | _ -> trap "indexing non-array")
+  | Ast.Call (name, args) ->
+    let vargs = List.map (eval locals) args in
+    apply_builtin name vargs

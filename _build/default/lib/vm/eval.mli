@@ -1,0 +1,19 @@
+(** Pure-expression evaluation: the [pexpr] fragment of the IR (no calls
+    except builtins).  The taint baselines reuse these operators on
+    unwrapped values so both engines compute identical results. *)
+
+(** Stable polynomial string hash (compiler-version independent). *)
+val string_hash : string -> int
+
+(** Apply a builtin ([itoa], [substr], [mkarray], ...).
+    @raise Value.Trap on bad arguments. *)
+val apply_builtin : string -> Value.t list -> Value.t
+
+(** @raise Value.Trap on ill-typed operands or division by zero. *)
+val apply_binop : Ldx_lang.Ast.binop -> Value.t -> Value.t -> Value.t
+
+val apply_unop : Ldx_lang.Ast.unop -> Value.t -> Value.t
+
+(** Evaluate a pure expression against the locals table.
+    @raise Value.Trap on undefined variables or dynamic type errors. *)
+val eval : (string, Value.t) Hashtbl.t -> Ldx_lang.Ast.expr -> Value.t

@@ -1,0 +1,594 @@
+(* The MiniC virtual machine.
+
+   Event-driven: [run_until_event] executes instructions (scheduling
+   threads round-robin with a seeded quantum) until something the driver
+   must handle occurs:
+   - a syscall was reached (the VM never services syscalls itself;
+     the driver answers with [provide_result]),
+   - a loop backedge barrier was reached ([release_barrier] resumes),
+   - every live thread is waiting on the driver ([Ev_idle]),
+   - the process finished or trapped.
+
+   Counter state (Sec. 4-6): each thread carries a stack of counter
+   segments; a segment has the current counter value and a stack of
+   (loop id, iteration) pairs maintained by the Loop_enter / Loop_back /
+   Loop_exit instrumentation.  Fresh-frame calls (indirect calls and calls
+   to recursive functions) push a segment. *)
+
+module Ir = Ldx_cfg.Ir
+open Value
+
+type seg = {
+  mutable cnt : int;
+  mutable loops : (int * int) list;   (* (loop id, iteration), innermost first *)
+}
+
+type pending = {
+  sys : string;
+  sysargs : Value.t list;
+  dst : string option;
+  site : int;
+}
+
+type barrier = { loop : int; dec : int }
+
+type status =
+  | Runnable
+  | Awaiting of pending
+  | At_barrier of barrier
+  | Finished of Value.t
+
+type frame = {
+  fn : Ir.func;
+  mutable bid : int;
+  mutable idx : int;
+  locals : (string, Value.t) Hashtbl.t;
+  ret_dst : string option;
+  fresh : bool;                        (* pushed a counter segment *)
+}
+
+type thread = {
+  tid : int;
+  spawn_index : int;                   (* pairing key across dual executions *)
+  mutable frames : frame list;         (* top first *)
+  mutable segs : seg list;             (* top first *)
+  mutable status : status;
+  jmp_bufs : (string, jmp_buf) Hashtbl.t;
+  mutable alarm : (int * int) option;
+      (* (syscalls until delivery, signo) -- see [set_alarm] *)
+  mutable pending_signals : int list;   (* delivery order, oldest first *)
+}
+
+(* setjmp/longjmp (Sec. 6): the buffer snapshots the frame stack shape,
+   the resume point, the destination register of the setjmp, and — the
+   paper's key detail — a deep copy of the counter-segment stack, which
+   longjmp restores so alignment survives non-local control flow. *)
+and jmp_buf = {
+  j_frames : frame list;               (* frame list at the setjmp *)
+  j_bid : int;                         (* resume point (after setjmp) *)
+  j_idx : int;
+  j_dst : string option;
+  j_segs : (int * (int * int) list) list;  (* snapshot: (cnt, loops) *)
+}
+
+type lock_state = {
+  mutable owner : int option;          (* tid *)
+  mutable acquisitions : int;
+}
+
+type t = {
+  prog : Ir.program;
+  os : Ldx_osim.Os.t;
+  mutable threads : thread list;       (* creation order *)
+  mutable next_tid : int;
+  mutable spawn_count : int;
+  locks : (string, lock_state) Hashtbl.t;
+  sig_handlers : (int, string) Hashtbl.t;    (* signo -> handler function *)
+  mutable lock_trace : (string * int) list;  (* (lock, spawn_index), reversed *)
+  mutable lock_gate : (string -> int -> bool) option;
+  (* when set (slave mode), [try_lock] additionally asks the gate whether
+     this thread (by spawn_index) may take the lock now *)
+  sched_seed : int;
+  mutable rr_cursor : int;
+  mutable steps : int;
+  mutable cycles : int;                (* virtual clock *)
+  mutable syscalls : int;              (* syscall events emitted *)
+  mutable instr_events : int;          (* instrumentation instrs executed *)
+  mutable finished : bool;
+  mutable trap : string option;
+  max_steps : int;
+  (* dynamic counter statistics (Table 1) *)
+  mutable cnt_sum : int;
+  mutable cnt_max : int;
+  mutable cnt_samples : int;
+  mutable max_seg_depth : int;
+}
+
+type event =
+  | Ev_syscall of thread
+  | Ev_barrier of thread
+  | Ev_idle
+  | Ev_done
+  | Ev_trap of string
+
+let new_seg () = { cnt = 0; loops = [] }
+
+let lock_key = function
+  | Int n -> "i:" ^ string_of_int n
+  | Str s -> "s:" ^ s
+  | Unit | Arr _ | Fptr _ -> trap "invalid lock id"
+
+let create ?(seed = 0) ?(max_steps = 30_000_000) (prog : Ir.program)
+    (os : Ldx_osim.Os.t) : t =
+  let main = Ir.find_func_exn prog "main" in
+  if main.Ir.params <> [] then invalid_arg "Machine.create: main takes no params";
+  let main_thread =
+    { tid = 0; spawn_index = 0;
+      frames =
+        [ { fn = main; bid = main.Ir.entry; idx = 0;
+            locals = Hashtbl.create 16; ret_dst = None; fresh = false } ];
+      segs = [ new_seg () ];
+      status = Runnable;
+      jmp_bufs = Hashtbl.create 4;
+      alarm = None;
+      pending_signals = [] }
+  in
+  { prog; os;
+    threads = [ main_thread ];
+    next_tid = 1;
+    spawn_count = 1;
+    locks = Hashtbl.create 8;
+    sig_handlers = Hashtbl.create 4;
+    lock_trace = [];
+    lock_gate = None;
+    sched_seed = seed;
+    rr_cursor = 0;
+    steps = 0;
+    cycles = 0;
+    syscalls = 0;
+    instr_events = 0;
+    finished = false;
+    trap = None;
+    max_steps;
+    cnt_sum = 0;
+    cnt_max = 0;
+    cnt_samples = 0;
+    max_seg_depth = 1 }
+
+let main_thread t = List.hd t.threads
+
+let cur_seg (th : thread) =
+  match th.segs with
+  | s :: _ -> s
+  | [] -> trap "empty counter-segment stack"
+
+let cur_frame (th : thread) =
+  match th.frames with
+  | f :: _ -> f
+  | [] -> trap "empty frame stack"
+
+(* Counter + loop-iteration snapshot for alignment (outermost segment
+   first; within a segment loops are innermost first). *)
+let position_of (th : thread) : (int * (int * int) list) list =
+  List.rev_map (fun s -> (s.cnt, s.loops)) th.segs
+
+let counter_of (th : thread) = (cur_seg th).cnt
+
+(* ------------------------------------------------------------------ *)
+(* Thread primitives (used by the driver to service thread syscalls).  *)
+
+let spawn t (fname : string) (arg : Value.t) : int =
+  let fn = Ir.find_func_exn t.prog fname in
+  let locals = Hashtbl.create 16 in
+  (match fn.Ir.params with
+   | [] -> ()
+   | [ p ] -> Hashtbl.replace locals p arg
+   | _ -> trap "spawn: %s must take at most one parameter" fname);
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let spawn_index = t.spawn_count in
+  t.spawn_count <- spawn_index + 1;
+  let th =
+    { tid; spawn_index;
+      frames = [ { fn; bid = fn.Ir.entry; idx = 0; locals;
+                   ret_dst = None; fresh = false } ];
+      segs = [ new_seg () ];
+      status = Runnable;
+      jmp_bufs = Hashtbl.create 4;
+      alarm = None;
+      pending_signals = [] }
+  in
+  t.threads <- t.threads @ [ th ];
+  tid
+
+let find_thread t tid = List.find_opt (fun th -> th.tid = tid) t.threads
+
+let lock_state t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some s -> s
+  | None ->
+    let s = { owner = None; acquisitions = 0 } in
+    Hashtbl.replace t.locks key s;
+    s
+
+(* Attempt to acquire; returns true on success.  Consults the lock gate
+   (slave schedule replay) when installed. *)
+let try_lock t (th : thread) (lockv : Value.t) : bool =
+  let key = lock_key lockv in
+  let st = lock_state t key in
+  (* consult (and let advance) the gate only when the lock is free, so a
+     replay gate's cursor moves exactly when a grant happens *)
+  let gate_ok =
+    st.owner = None
+    && (match t.lock_gate with
+        | None -> true
+        | Some gate -> gate key th.spawn_index)
+  in
+  if gate_ok then begin
+    st.owner <- Some th.tid;
+    st.acquisitions <- st.acquisitions + 1;
+    t.lock_trace <- (key, th.spawn_index) :: t.lock_trace;
+    true
+  end
+  else false
+
+let unlock t (th : thread) (lockv : Value.t) : bool =
+  let key = lock_key lockv in
+  let st = lock_state t key in
+  if st.owner = Some th.tid then begin
+    st.owner <- None;
+    true
+  end
+  else false
+
+let try_join t (target : int) : Value.t option =
+  match find_thread t target with
+  | Some { status = Finished v; _ } -> Some v
+  | Some _ -> None
+  | None -> Some (Int (-1))
+
+(* setjmp: snapshot the resume point and a deep copy of the counter
+   stack.  Called while the thread is Awaiting the setjmp syscall, so
+   the current frame's [idx] already points past it. *)
+let do_setjmp t (th : thread) (bufv : Value.t) ~(dst : string option) : unit =
+  ignore t;
+  let key = lock_key bufv in
+  let frame = cur_frame th in
+  Hashtbl.replace th.jmp_bufs key
+    { j_frames = th.frames;
+      j_bid = frame.bid;
+      j_idx = frame.idx;
+      j_dst = dst;
+      j_segs = List.map (fun s -> (s.cnt, s.loops)) th.segs }
+
+(* longjmp: unwind to the saved frame list, restore the counter stack,
+   and make the setjmp return 1.  Returns false when the buffer was
+   never set (C leaves this undefined; we make it a no-op failure). *)
+let do_longjmp t (th : thread) (bufv : Value.t) : bool =
+  ignore t;
+  match Hashtbl.find_opt th.jmp_bufs (lock_key bufv) with
+  | None -> false
+  | Some buf ->
+    th.frames <- buf.j_frames;
+    let frame = cur_frame th in
+    frame.bid <- buf.j_bid;
+    frame.idx <- buf.j_idx;
+    th.segs <- List.map (fun (cnt, loops) -> { cnt; loops }) buf.j_segs;
+    (match buf.j_dst with
+     | Some d -> Hashtbl.replace frame.locals d (Int 1)
+     | None -> ());
+    true
+
+(* Signals (Sec. 7).  Handlers are invoked like indirect calls: a fresh
+   counter-stack segment is pushed for the handler frame, so syscalls
+   inside handlers align independently of the interrupted context.
+   Delivery points are deterministic (at syscall returns), so two
+   executions on the same path deliver at the same positions; path
+   divergence falls to the engine's ordinary divergence handling. *)
+
+let register_signal t (signo : int) (handler : string) : unit =
+  Hashtbl.replace t.sig_handlers signo handler
+
+let sigalrm = 14
+
+(* Deliver [signo] to this thread after [n] further syscall events. *)
+let set_alarm (th : thread) (n : int) (signo : int) : unit =
+  if n <= 0 then th.alarm <- None
+  else th.alarm <- Some (n, signo)
+
+let raise_signal (th : thread) (signo : int) : unit =
+  th.pending_signals <- th.pending_signals @ [ signo ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver interface for pending events.                                 *)
+
+let provide_result_hook :
+  (t -> thread -> unit) ref = ref (fun _ _ -> ())
+
+let provide_result t (th : thread) (v : Value.t) =
+  match th.status with
+  | Awaiting p ->
+    (match p.dst with
+     | Some d -> Hashtbl.replace (cur_frame th).locals d v
+     | None -> ());
+    t.cycles <- t.cycles + Cost.syscall;
+    th.status <- Runnable;
+    (* signal delivery point: syscall return *)
+    !provide_result_hook t th
+  | Runnable | At_barrier _ | Finished _ ->
+    invalid_arg "Machine.provide_result: thread not awaiting"
+
+let release_barrier t (th : thread) =
+  match th.status with
+  | At_barrier { loop; dec } ->
+    let seg = cur_seg th in
+    seg.cnt <- seg.cnt - dec;
+    (match seg.loops with
+     | (l, i) :: rest when l = loop -> seg.loops <- (l, i + 1) :: rest
+     | _ -> trap "loop_back L%d: loop stack mismatch" loop);
+    t.cycles <- t.cycles + Cost.barrier;
+    th.status <- Runnable
+  | Runnable | Awaiting _ | Finished _ ->
+    invalid_arg "Machine.release_barrier: thread not at barrier"
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution.                                              *)
+
+let push_call t (th : thread) ~(callee : Ir.func) ~args ~dst ~fresh =
+  let locals = Hashtbl.create 16 in
+  (try List.iter2 (fun p a -> Hashtbl.replace locals p a) callee.Ir.params args
+   with Invalid_argument _ ->
+     trap "call %s: arity mismatch (%d args, %d params)" callee.Ir.fname
+       (List.length args) (List.length callee.Ir.params));
+  th.frames <-
+    { fn = callee; bid = callee.Ir.entry; idx = 0; locals; ret_dst = dst; fresh }
+    :: th.frames;
+  if fresh then begin
+    th.segs <- new_seg () :: th.segs;
+    let depth = List.length th.segs in
+    if depth > t.max_seg_depth then t.max_seg_depth <- depth
+  end
+
+(* Push handler frames for every pending signal (oldest runs first, so
+   push in reverse order).  Unhandled signals are ignored (the default
+   disposition). *)
+let deliver_signals t (th : thread) =
+  match th.pending_signals with
+  | [] -> ()
+  | pending ->
+    th.pending_signals <- [];
+    List.iter
+      (fun signo ->
+         match Hashtbl.find_opt t.sig_handlers signo with
+         | None -> ()
+         | Some h ->
+           (match Ir.find_func t.prog h with
+            | Some fn ->
+              push_call t th ~callee:fn ~args:[ Int signo ] ~dst:None
+                ~fresh:true
+            | None -> trap "signal handler %s is not a function" h))
+      (List.rev pending)
+
+let () = provide_result_hook := deliver_signals
+
+let pop_frame t (th : thread) (retval : Value.t) =
+  match th.frames with
+  | [] -> trap "return with empty frame stack"
+  | frame :: rest ->
+    th.frames <- rest;
+    if frame.fresh then begin
+      (match th.segs with
+       | _ :: outer :: _ as segs ->
+         th.segs <- List.tl segs;
+         (* the call site contributes a fixed +1 (Sec. 6) *)
+         outer.cnt <- outer.cnt + 1
+       | _ -> trap "fresh frame without outer counter segment")
+    end;
+    (match rest with
+     | [] -> th.status <- Finished retval
+     | caller :: _ ->
+       (match frame.ret_dst with
+        | Some d -> Hashtbl.replace caller.locals d retval
+        | None -> ()));
+    ignore t
+
+let record_cnt_sample t (th : thread) =
+  let c = (cur_seg th).cnt in
+  t.cnt_sum <- t.cnt_sum + c;
+  t.cnt_samples <- t.cnt_samples + 1;
+  if c > t.cnt_max then t.cnt_max <- c
+
+(* Execute one instruction or terminator step of [th].  Returns an event
+   if the driver must intervene. *)
+let step_thread t (th : thread) : event option =
+  let frame = cur_frame th in
+  let block = frame.fn.Ir.blocks.(frame.bid) in
+  t.steps <- t.steps + 1;
+  if frame.idx < Array.length block.Ir.instrs then begin
+    let instr = block.Ir.instrs.(frame.idx) in
+    frame.idx <- frame.idx + 1;
+    match instr with
+    | Ir.Assign (x, e) ->
+      t.cycles <- t.cycles + Cost.instr;
+      Hashtbl.replace frame.locals x (Eval.eval frame.locals e);
+      None
+    | Ir.Store (a, i, e) ->
+      t.cycles <- t.cycles + Cost.instr;
+      let va =
+        match Hashtbl.find_opt frame.locals a with
+        | Some v -> v
+        | None -> trap "undefined variable %s" a
+      in
+      let vi = Eval.eval frame.locals i in
+      let ve = Eval.eval frame.locals e in
+      (match (va, vi) with
+       | Arr arr, Int k ->
+         if k >= 0 && k < Array.length arr then arr.(k) <- ve
+         else trap "store index %d out of bounds (len %d)" k (Array.length arr)
+       | _ -> trap "store into non-array %s" a);
+      None
+    | Ir.Call { dst; callee; args; fresh_frame } ->
+      t.cycles <- t.cycles + Cost.instr;
+      let vargs = List.map (Eval.eval frame.locals) args in
+      let fn = Ir.find_func_exn t.prog callee in
+      push_call t th ~callee:fn ~args:vargs ~dst ~fresh:fresh_frame;
+      None
+    | Ir.Call_indirect { dst; fptr; args; site = _ } ->
+      t.cycles <- t.cycles + Cost.instr;
+      let vf = Eval.eval frame.locals fptr in
+      let vargs = List.map (Eval.eval frame.locals) args in
+      (match vf with
+       | Fptr name ->
+         (match Ir.find_func t.prog name with
+          | Some fn -> push_call t th ~callee:fn ~args:vargs ~dst ~fresh:true
+          | None -> trap "indirect call to unknown function %s" name)
+       | v -> trap "indirect call through non-funptr %s" (to_string v));
+      None
+    | Ir.Syscall { dst; sys; args; site } ->
+      let vargs = List.map (Eval.eval frame.locals) args in
+      (match th.alarm with
+       | Some (1, signo) ->
+         th.alarm <- None;
+         raise_signal th signo
+       | Some (k, signo) -> th.alarm <- Some (k - 1, signo)
+       | None -> ());
+      let seg = cur_seg th in
+      seg.cnt <- seg.cnt + 1;
+      record_cnt_sample t th;
+      t.syscalls <- t.syscalls + 1;
+      th.status <- Awaiting { sys; sysargs = vargs; dst; site };
+      Some (Ev_syscall th)
+    | Ir.Cnt_add k ->
+      t.cycles <- t.cycles + Cost.cnt_instr;
+      t.instr_events <- t.instr_events + 1;
+      (cur_seg th).cnt <- (cur_seg th).cnt + k;
+      None
+    | Ir.Loop_enter { loop } ->
+      t.cycles <- t.cycles + Cost.cnt_instr;
+      t.instr_events <- t.instr_events + 1;
+      let seg = cur_seg th in
+      seg.loops <- (loop, 0) :: seg.loops;
+      None
+    | Ir.Loop_back { loop; dec } ->
+      t.instr_events <- t.instr_events + 1;
+      th.status <- At_barrier { loop; dec };
+      Some (Ev_barrier th)
+    | Ir.Loop_exit { pops; bump } ->
+      t.cycles <- t.cycles + Cost.cnt_instr;
+      t.instr_events <- t.instr_events + 1;
+      let seg = cur_seg th in
+      List.iter
+        (fun l ->
+           match seg.loops with
+           | (l', _) :: rest when l' = l -> seg.loops <- rest
+           | _ -> trap "loop_exit L%d: loop stack mismatch" l)
+        pops;
+      seg.cnt <- seg.cnt + bump;
+      None
+  end
+  else begin
+    (* terminator *)
+    t.cycles <- t.cycles + Cost.instr;
+    match block.Ir.term with
+    | Ir.Jump l ->
+      frame.bid <- l;
+      frame.idx <- 0;
+      None
+    | Ir.Branch (c, bt, bf) ->
+      let v = Eval.eval frame.locals c in
+      frame.bid <- (if truthy v then bt else bf);
+      frame.idx <- 0;
+      None
+    | Ir.Ret e ->
+      let v =
+        match e with None -> Unit | Some e -> Eval.eval frame.locals e
+      in
+      pop_frame t th v;
+      None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling.                                                         *)
+
+let runnable_threads t =
+  List.filter (fun th -> th.status = Runnable) t.threads
+
+let quantum t =
+  (* deterministic per-seed perturbation of time slices *)
+  8 + ((t.sched_seed lxor (t.steps * 2654435761)) land 31)
+
+exception Trapped of string
+
+let run_until_event (t : t) : event =
+  if t.finished then Ev_done
+  else begin
+    try
+      let ev = ref None in
+      while !ev = None do
+        if Ldx_osim.Os.exited t.os then begin
+          t.finished <- true;
+          ev := Some Ev_done
+        end
+        else if t.steps > t.max_steps then raise (Trapped "fuel exhausted")
+        else begin
+          match (main_thread t).status with
+          | Finished _ ->
+            t.finished <- true;
+            ev := Some Ev_done
+          | Runnable | Awaiting _ | At_barrier _ ->
+            let rs = runnable_threads t in
+            (match rs with
+             | [] ->
+               if List.exists
+                   (fun th ->
+                      match th.status with
+                      | Awaiting _ | At_barrier _ -> true
+                      | Runnable | Finished _ -> false)
+                   t.threads
+               then ev := Some Ev_idle
+               else begin
+                 t.finished <- true;
+                 ev := Some Ev_done
+               end
+             | _ :: _ ->
+               let n = List.length rs in
+               let th = List.nth rs (t.rr_cursor mod n) in
+               t.rr_cursor <- t.rr_cursor + 1;
+               let q = quantum t in
+               (try
+                  let i = ref 0 in
+                  while !i < q && !ev = None && th.status = Runnable do
+                    incr i;
+                    ev := step_thread t th
+                  done
+                with Trap msg -> raise (Trapped msg)))
+        end
+      done;
+      match !ev with Some e -> e | None -> assert false
+    with Trapped msg ->
+      t.trap <- Some msg;
+      t.finished <- true;
+      Ev_trap msg
+  end
+
+(* All threads currently awaiting the driver. *)
+let awaiting_threads t =
+  List.filter
+    (fun th -> match th.status with Awaiting _ -> true | _ -> false)
+    t.threads
+
+let pending_of (th : thread) =
+  match th.status with
+  | Awaiting p -> p
+  | Runnable | At_barrier _ | Finished _ ->
+    invalid_arg "Machine.pending_of: thread not awaiting"
+
+let result_of_main t =
+  match (main_thread t).status with
+  | Finished v -> Some v
+  | Runnable | Awaiting _ | At_barrier _ -> None
+
+(* Average dynamic counter value (Table 1 "Dyn. Cnt"). *)
+let dyn_cnt_avg t =
+  if t.cnt_samples = 0 then 0.0
+  else float_of_int t.cnt_sum /. float_of_int t.cnt_samples

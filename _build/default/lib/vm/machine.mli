@@ -1,0 +1,190 @@
+(** The MiniC virtual machine.
+
+    Event-driven: {!run_until_event} executes instructions (scheduling
+    threads round-robin with a seeded quantum) until the driver must
+    intervene — a syscall ({!provide_result} resumes), a loop backedge
+    barrier ({!release_barrier} resumes), all threads waiting, or
+    process end.  The VM never services syscalls itself, which is what
+    lets the LDX engine interpose its master/slave wrappers.
+
+    Counter state (Sec. 4-6 of the paper): each thread carries a stack of
+    counter segments; a segment holds the counter value and the stack of
+    (loop id, iteration) pairs maintained by the instrumentation.
+    Fresh-frame calls (indirect calls, calls to recursive functions) push
+    a segment. *)
+
+module Ir = Ldx_cfg.Ir
+
+type seg = {
+  mutable cnt : int;
+  mutable loops : (int * int) list;  (** (loop id, iteration), innermost first *)
+}
+
+type pending = {
+  sys : string;
+  sysargs : Value.t list;
+  dst : string option;
+  site : int;
+}
+
+type barrier = { loop : int; dec : int }
+
+type status =
+  | Runnable
+  | Awaiting of pending      (** at a syscall, waiting for the driver *)
+  | At_barrier of barrier    (** at a loop backedge barrier *)
+  | Finished of Value.t
+
+type frame = {
+  fn : Ir.func;
+  mutable bid : int;
+  mutable idx : int;
+  locals : (string, Value.t) Hashtbl.t;
+  ret_dst : string option;
+  fresh : bool;              (** pushed a counter segment *)
+}
+
+type thread = {
+  tid : int;
+  spawn_index : int;         (** pairing key across dual executions *)
+  mutable frames : frame list;
+  mutable segs : seg list;
+  mutable status : status;
+  jmp_bufs : (string, jmp_buf) Hashtbl.t;
+  mutable alarm : (int * int) option;
+      (** (syscalls until delivery, signo) — see {!set_alarm} *)
+  mutable pending_signals : int list;
+}
+
+(** setjmp buffer: resume point plus a deep copy of the counter-segment
+    stack, which longjmp restores (Sec. 6). *)
+and jmp_buf = {
+  j_frames : frame list;
+  j_bid : int;
+  j_idx : int;
+  j_dst : string option;
+  j_segs : (int * (int * int) list) list;
+}
+
+type lock_state = {
+  mutable owner : int option;
+  mutable acquisitions : int;
+}
+
+type t = {
+  prog : Ir.program;
+  os : Ldx_osim.Os.t;
+  mutable threads : thread list;
+  mutable next_tid : int;
+  mutable spawn_count : int;
+  locks : (string, lock_state) Hashtbl.t;
+  sig_handlers : (int, string) Hashtbl.t;
+      (** signal number -> handler function name *)
+  mutable lock_trace : (string * int) list;
+      (** (lock key, spawn_index) grants, most recent first *)
+  mutable lock_gate : (string -> int -> bool) option;
+      (** slave mode: may this thread take this free lock now? *)
+  sched_seed : int;
+  mutable rr_cursor : int;
+  mutable steps : int;
+  mutable cycles : int;          (** virtual clock (see {!Cost}) *)
+  mutable syscalls : int;
+  mutable instr_events : int;    (** instrumentation instrs executed *)
+  mutable finished : bool;
+  mutable trap : string option;
+  max_steps : int;
+  mutable cnt_sum : int;
+  mutable cnt_max : int;
+  mutable cnt_samples : int;
+  mutable max_seg_depth : int;
+}
+
+type event =
+  | Ev_syscall of thread
+  | Ev_barrier of thread
+  | Ev_idle     (** no runnable thread; all pending on the driver *)
+  | Ev_done
+  | Ev_trap of string
+
+(** Stable key for lock ids and jmp buffers.
+    @raise Value.Trap on non-scalar values. *)
+val lock_key : Value.t -> string
+
+(** @raise Invalid_argument if [main] is missing or takes parameters. *)
+val create : ?seed:int -> ?max_steps:int -> Ir.program -> Ldx_osim.Os.t -> t
+
+val main_thread : t -> thread
+val cur_seg : thread -> seg
+val cur_frame : thread -> frame
+
+(** Raw (counter, loops) stack, outermost segment first — the input of
+    {!Ldx_core.Align.of_thread}. *)
+val position_of : thread -> (int * (int * int) list) list
+
+(** Current counter of the active segment. *)
+val counter_of : thread -> int
+
+(** Spawn a thread running [fname arg]; returns its tid. *)
+val spawn : t -> string -> Value.t -> int
+
+val find_thread : t -> int -> thread option
+
+(** Acquire if free and the gate (when installed) permits; grants are
+    appended to [lock_trace]. *)
+val try_lock : t -> thread -> Value.t -> bool
+
+(** Release; [false] when the thread does not own the lock. *)
+val unlock : t -> thread -> Value.t -> bool
+
+(** [Some v] when the target finished ([Int (-1)] for unknown tids). *)
+val try_join : t -> int -> Value.t option
+
+(** Snapshot the resume point and counter stack (call while the thread
+    is [Awaiting] the setjmp). *)
+val do_setjmp : t -> thread -> Value.t -> dst:string option -> unit
+
+(** Unwind and restore; [false] when the buffer was never set. *)
+val do_longjmp : t -> thread -> Value.t -> bool
+
+(** {2 Signals (Sec. 7)}
+
+    Handlers run like indirect calls — a fresh counter segment is pushed
+    for the handler frame, so syscalls inside handlers align
+    independently of the interrupted context.  Delivery happens at
+    syscall returns; unhandled signals are ignored. *)
+
+val register_signal : t -> int -> string -> unit
+
+(** The signal number [alarm] delivers. *)
+val sigalrm : int
+
+(** Deliver [signo] to this thread after [n] further syscall events;
+    [n <= 0] cancels. *)
+val set_alarm : thread -> int -> int -> unit
+
+(** Queue a signal for delivery at the thread's next syscall return. *)
+val raise_signal : thread -> int -> unit
+
+(** Answer a pending syscall: stores the value, charges the syscall
+    cost, marks the thread runnable.
+    @raise Invalid_argument if the thread is not [Awaiting]. *)
+val provide_result : t -> thread -> Value.t -> unit
+
+(** Release a barrier: applies the counter reset and iteration bump.
+    @raise Invalid_argument if the thread is not [At_barrier]. *)
+val release_barrier : t -> thread -> unit
+
+(** Run until the next event (see module doc).  Traps become [Ev_trap]
+    and finish the machine. *)
+val run_until_event : t -> event
+
+val runnable_threads : t -> thread list
+val awaiting_threads : t -> thread list
+
+(** @raise Invalid_argument if the thread is not [Awaiting]. *)
+val pending_of : thread -> pending
+
+val result_of_main : t -> Value.t option
+
+(** Average dynamic counter value over syscall events (Table 1). *)
+val dyn_cnt_avg : t -> float

@@ -1,0 +1,66 @@
+(* Runtime values of MiniC. *)
+
+module Sval = Ldx_osim.Sval
+
+type t =
+  | Unit
+  | Int of int
+  | Str of string
+  | Arr of t array                      (* shared, mutable *)
+  | Fptr of string
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Fptr x, Fptr y -> String.equal x y
+  | Arr x, Arr y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if not (equal v y.(i)) then ok := false) x;
+        !ok)
+  | (Unit | Int _ | Str _ | Arr _ | Fptr _), _ -> false
+
+let truthy = function
+  | Int 0 | Unit -> false
+  | Str "" -> false
+  | Int _ | Str _ | Arr _ | Fptr _ -> true
+
+let int_exn = function
+  | Int n -> n
+  | v -> trap "expected int, got %s" (match v with
+      | Str _ -> "string" | Arr _ -> "array" | Fptr _ -> "funptr"
+      | Unit -> "unit" | Int _ -> assert false)
+
+let str_exn = function
+  | Str s -> s
+  | Int _ | Arr _ | Fptr _ | Unit -> trap "expected string"
+
+let rec to_string = function
+  | Unit -> "()"
+  | Int n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Fptr f -> "@" ^ f
+  | Arr a ->
+    "[" ^ String.concat "; " (Array.to_list (Array.map to_string a)) ^ "]"
+
+(* Conversion at the syscall boundary. *)
+let to_sval = function
+  | Int n -> Sval.I n
+  | Str s -> Sval.S s
+  | Unit -> Sval.I 0
+  | Fptr f -> Sval.S ("@" ^ f)
+  | Arr _ -> trap "array passed to syscall"
+
+let of_sval = function Sval.I n -> Int n | Sval.S s -> Str s
+
+(* Total conversion for tracing/comparison: arrays (which only thread ops
+   like [spawn] may carry) map to an opaque length-tagged token. *)
+let to_sval_safe = function
+  | Arr a -> Sval.S (Printf.sprintf "<arr:%d>" (Array.length a))
+  | (Int _ | Str _ | Unit | Fptr _) as v -> to_sval v

@@ -1,0 +1,35 @@
+(** Runtime values of MiniC. *)
+
+type t =
+  | Unit
+  | Int of int
+  | Str of string
+  | Arr of t array        (** shared, mutable — arrays alias across calls *)
+  | Fptr of string
+
+(** Raised on dynamic type errors, out-of-bounds accesses, division by
+    zero, arity mismatches and exhausted fuel. *)
+exception Trap of string
+
+(** [trap fmt ...] raises {!Trap} with a formatted message. *)
+val trap : ('a, unit, string, 'b) format4 -> 'a
+
+(** Deep structural equality (arrays by contents). *)
+val equal : t -> t -> bool
+
+(** C-like truthiness: [0], [Unit] and [""] are false. *)
+val truthy : t -> bool
+
+val int_exn : t -> int
+val str_exn : t -> string
+val to_string : t -> string
+
+(** Conversion at the syscall boundary.
+    @raise Trap on arrays (they never cross into the OS). *)
+val to_sval : t -> Ldx_osim.Sval.t
+
+val of_sval : Ldx_osim.Sval.t -> t
+
+(** Total variant for tracing/comparison: arrays map to an opaque
+    length-tagged token. *)
+val to_sval_safe : t -> Ldx_osim.Sval.t

@@ -1,0 +1,1 @@
+lib/workloads/inputs.ml: Buffer Bytes Char List Printf String

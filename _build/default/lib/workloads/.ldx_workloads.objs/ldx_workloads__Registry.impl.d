@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List String W_conc W_leak W_spec W_vuln Workload

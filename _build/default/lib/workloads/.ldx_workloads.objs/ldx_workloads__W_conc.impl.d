@@ -1,0 +1,1 @@
+lib/workloads/w_conc.ml: Ldx_core Ldx_osim Workload

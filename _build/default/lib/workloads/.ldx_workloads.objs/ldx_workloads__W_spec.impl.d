@@ -1,0 +1,1 @@
+lib/workloads/w_spec.ml: Inputs Ldx_core Ldx_osim List Printf String Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_vuln.ml: Ldx_core Ldx_osim Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ldx_cfg Ldx_core Ldx_instrument Ldx_osim

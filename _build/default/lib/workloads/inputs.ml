@@ -1,0 +1,184 @@
+(* Deterministic input synthesizers — the "reference inputs" of the
+   workload corpus.
+
+   The paper runs SPEC with its ref inputs; our analogues similarly need
+   inputs large enough that loops iterate meaningfully and the counter
+   machinery is exercised at depth.  Everything here is a pure function
+   of its seed so runs are reproducible. *)
+
+(* A tiny deterministic generator (SplitMix-ish). *)
+type rng = { mutable state : int }
+
+let rng seed = { state = (if seed = 0 then 0x9E3779B9 else seed) }
+
+let next (r : rng) : int =
+  (* 62-bit SplitMix-style mixer (OCaml ints are 63-bit) *)
+  r.state <- (r.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = r.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+let below r n = if n <= 0 then 0 else next r mod n
+
+let pick r xs = List.nth xs (below r (List.length xs))
+
+(* Pseudo-text: words of lowercase letters, space/newline separated. *)
+let text ~seed ~chars =
+  let r = rng seed in
+  let buf = Buffer.create chars in
+  while Buffer.length buf < chars do
+    let wl = 2 + below r 8 in
+    for _ = 1 to wl do
+      Buffer.add_char buf (Char.chr (Char.code 'a' + below r 26))
+    done;
+    Buffer.add_char buf (if below r 8 = 0 then '\n' else ' ')
+  done;
+  Buffer.sub buf 0 chars
+
+(* Runs of repeated letters — compressible input for the compressors. *)
+let runs ~seed ~chars =
+  let r = rng seed in
+  let buf = Buffer.create chars in
+  while Buffer.length buf < chars do
+    let c = Char.chr (Char.code 'a' + below r 26) in
+    let k = 1 + below r 12 in
+    for _ = 1 to k do Buffer.add_char buf c done
+  done;
+  Buffer.sub buf 0 chars
+
+(* Arithmetic script for the perlbench interpreter: one expression per
+   line over digits and + - * % with occasional parenthesized groups. *)
+let perl_script ~seed ~lines =
+  let r = rng seed in
+  let buf = Buffer.create (lines * 12) in
+  let vars = [ 'a'; 'b'; 'c'; 'd' ] in
+  let atom () =
+    (* numbers mostly; sometimes a variable reference *)
+    if below r 4 = 0 then Buffer.add_char buf (pick r vars)
+    else Buffer.add_string buf (string_of_int (1 + below r 9))
+  in
+  let op () = Buffer.add_char buf (pick r [ '+'; '-'; '*'; '%' ]) in
+  for _ = 1 to lines do
+    (* a third of the lines are assignments *)
+    if below r 3 = 0 then begin
+      Buffer.add_char buf (pick r vars);
+      Buffer.add_char buf '='
+    end;
+    let terms = 2 + below r 4 in
+    atom ();
+    for _ = 2 to terms do
+      op ();
+      if below r 4 = 0 then begin
+        Buffer.add_char buf '(';
+        atom (); op (); atom ();
+        Buffer.add_char buf ')'
+      end
+      else atom ()
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* "n m" header plus m random edges for the mcf relaxation. *)
+let graph ~seed ~nodes ~edges =
+  let r = rng seed in
+  let buf = Buffer.create (edges * 8) in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" nodes edges);
+  for _ = 1 to edges do
+    let u = below r nodes in
+    let v = below r nodes in
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %d\n" u v (1 + below r 20))
+  done;
+  Buffer.contents buf
+
+(* Two consecutive "video" frames differing in a few macroblocks. *)
+let frames ~seed ~w ~h =
+  let r = rng seed in
+  let base =
+    String.init (w * h) (fun _ -> Char.chr (Char.code 'a' + below r 26))
+  in
+  let cur = Bytes.of_string base in
+  for _ = 1 to (w * h / 6) + 1 do
+    Bytes.set cur (below r (w * h)) (Char.chr (Char.code 'a' + below r 26))
+  done;
+  base ^ "\n" ^ Bytes.to_string cur
+
+(* Event tape for the omnetpp simulator: arrivals, departures, noise. *)
+let events ~seed ~n =
+  let r = rng seed in
+  String.init n (fun _ -> pick r [ 'a'; 'a'; 'd'; 'n' ])
+
+(* Gate program for the libquantum register: x<q> and shift gates. *)
+let gates ~seed ~n =
+  let r = rng seed in
+  let buf = Buffer.create (n * 2) in
+  for _ = 1 to n do
+    if below r 3 = 0 then Buffer.add_string buf "s."
+    else Buffer.add_string buf (Printf.sprintf "x%d" (below r 3))
+  done;
+  Buffer.contents buf
+
+(* DNA-ish sequence. *)
+let sequence ~seed ~n =
+  let r = rng seed in
+  String.init n (fun _ -> pick r [ 'G'; 'A'; 'T'; 'C' ])
+
+(* Nested tag document for the xalancbmk transformer. *)
+let xml ~seed ~nodes =
+  let r = rng seed in
+  let buf = Buffer.create (nodes * 16) in
+  let rec emit depth budget =
+    if !budget <= 0 then ()
+    else begin
+      decr budget;
+      let tag = pick r [ "r"; "b"; "i"; "p"; "q" ] in
+      let head =
+        if below r 3 = 0 then Printf.sprintf "%s id=%d" tag (below r 100)
+        else tag
+      in
+      Buffer.add_string buf ("<" ^ head ^ ">");
+      Buffer.add_string buf (text ~seed:(next r) ~chars:(4 + below r 12));
+      if depth < 4 && below r 2 = 0 then emit (depth + 1) budget;
+      Buffer.add_string buf
+        (text ~seed:(next r) ~chars:(2 + below r 6));
+      Buffer.add_string buf ("</" ^ tag ^ ">")
+    end
+  in
+  let budget = ref nodes in
+  Buffer.add_string buf "<r>";
+  while !budget > 0 do
+    emit 1 budget
+  done;
+  Buffer.add_string buf "</r>";
+  (* tags must not contain newlines for the line-free parser *)
+  String.map (fun c -> if c = '\n' then ' ' else c) (Buffer.contents buf)
+
+(* Grid map for astar: floor 'f' and walls 'W', left column kept clear so
+   a path exists. *)
+let grid ~seed ~w ~h =
+  let r = rng seed in
+  let buf = Buffer.create ((w + 1) * h) in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let wall = x > 0 && y < h - 1 && below r 5 = 0 in
+      Buffer.add_char buf
+        (if wall then 'W' else pick r [ 'f'; 'g'; 'm'; 's' ])
+    done;
+    if y < h - 1 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* HTTP-ish request tape for the nginx analogue. *)
+let requests ~seed ~n ~auth =
+  let r = rng seed in
+  List.init n (fun _ ->
+      let verb = if below r 4 = 0 then "HEAD" else "GET" in
+      match below r 6 with
+      | 0 -> verb ^ " /index.html"
+      | 1 -> verb ^ " /about.html"
+      | 2 -> "GET /admin " ^ (if below r 2 = 0 then auth else "wrong")
+      | 3 -> verb ^ " /"
+      | 4 -> verb ^ " /style.css"
+      | _ -> Printf.sprintf "%s /asset%d.js" verb (below r 5))

@@ -1,0 +1,47 @@
+(** Deterministic input synthesizers — the corpus's "reference inputs".
+    Every function is a pure function of its seed (reproducible runs). *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int
+val below : rng -> int -> int
+val pick : rng -> 'a list -> 'a
+
+(** Pseudo-text: lowercase words, space/newline separated, exact size. *)
+val text : seed:int -> chars:int -> string
+
+(** Runs of repeated letters — compressible input. *)
+val runs : seed:int -> chars:int -> string
+
+(** Arithmetic script for the perlbench interpreter: one statement per
+    line over digits, variables a-d, + - * %, and parenthesized groups;
+    about a third of the lines are assignments. *)
+val perl_script : seed:int -> lines:int -> string
+
+(** ["n m"] header plus [m] random weighted edges. *)
+val graph : seed:int -> nodes:int -> edges:int -> string
+
+(** Two consecutive frames of [w*h] pixels, newline-separated, differing
+    in a handful of cells. *)
+val frames : seed:int -> w:int -> h:int -> string
+
+(** Event tape: arrivals ('a'), departures ('d'), noise ('n'). *)
+val events : seed:int -> n:int -> string
+
+(** Gate program: [xQ] bit flips and [s.] shifts. *)
+val gates : seed:int -> n:int -> string
+
+(** DNA-ish sequence over GATC. *)
+val sequence : seed:int -> n:int -> string
+
+(** Balanced nested tag document (no newlines). *)
+val xml : seed:int -> nodes:int -> string
+
+(** Grid map: floor 'f' / wall 'W'; the left column and bottom row stay
+    clear so a path exists. *)
+val grid : seed:int -> w:int -> h:int -> string
+
+(** HTTP-ish request tape with GET/HEAD verbs and occasional /admin
+    attempts using [auth] or a wrong token. *)
+val requests : seed:int -> n:int -> auth:string -> string list

@@ -1,0 +1,366 @@
+(* Concurrent programs (Table 1 rows 24-28: Apache, Pbzip2, Pigz, Axel,
+   X264) for the Table 4 experiment.
+
+   Threads are paired across master and slave by spawn order; lock
+   acquisition order is recorded in the master and replayed in the slave
+   (Sec. 7).  Each program contains a deliberate unprotected data race
+   (load / yield / store on shared cells) whose outcome depends on the
+   schedule seed: across repeated runs the syscall-difference counts
+   wobble, while the tainted-sink counts stay stable — except for axel
+   and x264, where the raced value feeds a sink, matching the paper's
+   observations. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+open Workload
+
+let src = Engine.source
+
+(* ------------------------------------------------------------------ *)
+(* Apache: fixed request queue, two workers, lock-protected dispatch,  *)
+(* racy byte-count statistics logged locally.                          *)
+
+let apache =
+  make ~name:"Apache" ~category:Concurrency ~paper_loc:"208K"
+    ~uses_threads:true
+    ~description:
+      "worker-pool server: lock-protected request dispatch, per-worker \
+       responses; an unprotected stats counter races"
+    ~source:
+      {| fn worker(ctx) {
+           let shared = ctx[0];
+           let wid = ctx[1];
+           let q = shared[0];
+           let next = shared[1];
+           let stats = shared[2];
+           let conn = socket("backend" + itoa(wid));
+           for (let k = 0; k < 4; k = k + 1) {
+             lock(1);
+             let idx = next[0];
+             next[0] = idx + 1;
+             unlock(1);
+             let req = q[idx];
+             // unprotected read-modify-write: the race
+             let seen = stats[0];
+             yield();
+             stats[0] = seen + strlen(req);
+             send(conn, "resp:" + upper(req));
+           }
+           return 0;
+         }
+
+         fn main() {
+           let clients = socket("frontend");
+           let q = mkarray(8, "");
+           for (let i = 0; i < 8; i = i + 1) { q[i] = recv(clients); }
+           let next = mkarray(1, 0);
+           let stats = mkarray(1, 0);
+           let shared = mkarray(3, 0);
+           shared[0] = q; shared[1] = next; shared[2] = stats;
+           let c1 = mkarray(2, 0); c1[0] = shared; c1[1] = 1;
+           let c2 = mkarray(2, 0); c2[0] = shared; c2[1] = 2;
+           let t1 = spawn(@worker, c1);
+           let t2 = spawn(@worker, c2);
+           join(t1); join(t2);
+           let log = creat("/var/log/apache.log");
+           write(log, "bytes=" + itoa(stats[0]));
+           close(log);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/var" |> with_dir "/var/log"
+        |> with_endpoint "frontend"
+          [ "get/a"; "get/bb"; "get/ccc"; "get/dddd"; "get/e";
+            "get/ff"; "get/g"; "get/hhhh" ]
+        |> with_endpoint "backend1" [] |> with_endpoint "backend2" [])
+    ~leak_sources:[ src ~sys:"recv" ~arg:"frontend" () ]
+    ~benign_sources:[]
+    ~sinks:Engine.Network_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Pbzip2: parallel block compression, ordered output.                 *)
+
+let pbzip2 =
+  make ~name:"Pbzip2" ~category:Concurrency ~paper_loc:"4.5K"
+    ~uses_threads:true
+    ~description:
+      "parallel RLE compressor: workers claim blocks under a lock, \
+       results are written in order by the main thread"
+    ~source:
+      {| fn rle(block) {
+           let out = "";
+           let i = 0;
+           let n = strlen(block);
+           while (i < n) {
+             let c = char_at(block, i);
+             let runlen = 1;
+             while (i + runlen < n && char_at(block, i + runlen) == c && runlen < 9) {
+               runlen = runlen + 1;
+             }
+             out = out + itoa(runlen) + chr(c);
+             i = i + runlen;
+           }
+           return out;
+         }
+
+         fn worker(shared) {
+           let blocks = shared[0];
+           let results = shared[1];
+           let next = shared[2];
+           let progress = shared[3];
+           for (let k = 0; k < 3; k = k + 1) {
+             lock(7);
+             let idx = next[0];
+             next[0] = idx + 1;
+             unlock(7);
+             if (idx < len(blocks)) {
+               results[idx] = rle(blocks[idx]);
+               // racy progress cell (no lock); odd readings trigger an
+               // extra progress poll (an input syscall, not an output)
+               let p = progress[0];
+               yield();
+               progress[0] = p + 1;
+               if (progress[0] % 2 == 1) { let z = stat("/data/archive.raw"); }
+             }
+           }
+           return 0;
+         }
+
+         fn main() {
+           let fd = open("/data/archive.raw");
+           let blocks = mkarray(6, "");
+           for (let i = 0; i < 6; i = i + 1) { blocks[i] = read(fd, 10); }
+           close(fd);
+           let results = mkarray(6, "");
+           let next = mkarray(1, 0);
+           let progress = mkarray(1, 0);
+           let shared = mkarray(4, 0);
+           shared[0] = blocks; shared[1] = results;
+           shared[2] = next; shared[3] = progress;
+           let t1 = spawn(@worker, shared);
+           let t2 = spawn(@worker, shared);
+           join(t1); join(t2);
+           let out = creat("/out/archive.bz2");
+           for (let i = 0; i < 6; i = i + 1) { write(out, results[i]); }
+           write(out, "#blocks=6");
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out"
+        |> with_file "/data/archive.raw"
+          "aaaaaaaabbbbccccccccdddddeeeeeeeeeeffffgggggggghhhhhhiiii")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/archive.raw" () ]
+    ~benign_sources:[]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Pigz: parallel compressor with per-worker scratch logs.             *)
+
+let pigz =
+  make ~name:"Pigz" ~category:Concurrency ~paper_loc:"5.8K"
+    ~uses_threads:true
+    ~description:
+      "parallel compressor: workers write per-worker scratch logs with \
+       racy sequence numbers; the archive itself is deterministic"
+    ~source:
+      {| fn crush(s) {
+           let out = "";
+           let i = 0;
+           while (i < strlen(s)) {
+             let c = char_at(s, i);
+             let j = i;
+             while (j < strlen(s) && char_at(s, j) == c) { j = j + 1; }
+             out = out + chr(c) + itoa(j - i);
+             i = j;
+           }
+           return out;
+         }
+
+         fn worker(ctx) {
+           let shared = ctx[0];
+           let wid = ctx[1];
+           let blocks = shared[0];
+           let results = shared[1];
+           let seq = shared[2];
+           let scratch = creat("/tmp/pigz." + itoa(wid));
+           for (let k = 0; k < 2; k = k + 1) {
+             let idx = (wid - 1) * 2 + k;       // static partition
+             results[idx] = crush(blocks[idx]);
+             // racy shared sequence number: drives extra cache probes
+             // (input syscalls), never the archive contents
+             let s = seq[0];
+             yield();
+             seq[0] = s + 1;
+             if (seq[0] % 2 == 1) { let z = stat("/data/tarball"); }
+             write(scratch, "blk" + itoa(idx) + ";");
+           }
+           close(scratch);
+           return 0;
+         }
+
+         fn main() {
+           let fd = open("/data/tarball");
+           let blocks = mkarray(4, "");
+           for (let i = 0; i < 4; i = i + 1) { blocks[i] = read(fd, 12); }
+           close(fd);
+           let results = mkarray(4, "");
+           let seq = mkarray(1, 0);
+           let shared = mkarray(3, 0);
+           shared[0] = blocks; shared[1] = results; shared[2] = seq;
+           let c1 = mkarray(2, 0); c1[0] = shared; c1[1] = 1;
+           let c2 = mkarray(2, 0); c2[0] = shared; c2[1] = 2;
+           let t1 = spawn(@worker, c1);
+           let t2 = spawn(@worker, c2);
+           join(t1); join(t2);
+           let out = creat("/out/tarball.gz");
+           for (let i = 0; i < 4; i = i + 1) { write(out, results[i]); }
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/tmp"
+        |> with_file "/data/tarball"
+          "xxxxxxyyyyzzzzzzzzwwwwwwwwwwvvvvuuuuuuuuttttttssssrrrr")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/tarball" () ]
+    ~benign_sources:[]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Axel: multi-connection downloader; a racy shared cursor scatters    *)
+(* chunks, so the assembled file itself depends on the schedule.       *)
+
+let axel =
+  make ~name:"Axel" ~category:Concurrency ~paper_loc:"2583"
+    ~uses_threads:true
+    ~description:
+      "download accelerator: three mirror threads place chunks through \
+       an unprotected shared cursor — the assembled output races"
+    ~source:
+      {| fn conn_thread(ctx) {
+           let shared = ctx[0];
+           let wid = ctx[1];
+           let out = shared[0];
+           let bytes = shared[1];
+           let mirror = socket("mirror" + itoa(wid));
+           for (let k = 0; k < 3; k = k + 1) {
+             let chunk = recv(mirror);
+             out[(wid - 1) * 3 + k] = chunk;
+             // unprotected byte counter: updates race and can be lost
+             let b = bytes[0];
+             yield();
+             bytes[0] = b + strlen(chunk);
+           }
+           return 0;
+         }
+
+         fn main() {
+           let out = mkarray(9, "");
+           let bytes = mkarray(1, 0);
+           let shared = mkarray(2, 0);
+           shared[0] = out; shared[1] = bytes;
+           let c1 = mkarray(2, 0); c1[0] = shared; c1[1] = 1;
+           let c2 = mkarray(2, 0); c2[0] = shared; c2[1] = 2;
+           let c3 = mkarray(2, 0); c3[0] = shared; c3[1] = 3;
+           let t1 = spawn(@conn_thread, c1);
+           let t2 = spawn(@conn_thread, c2);
+           let t3 = spawn(@conn_thread, c3);
+           join(t1); join(t2); join(t3);
+           let f = creat("/out/download.bin");
+           for (let i = 0; i < 9; i = i + 1) { write(f, out[i]); }
+           write(f, "#bytes=" + itoa(bytes[0]));
+           close(f);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/out"
+        |> with_endpoint "mirror1" [ "AA"; "BB"; "CC" ]
+        |> with_endpoint "mirror2" [ "DD"; "EE"; "FF" ]
+        |> with_endpoint "mirror3" [ "GG"; "HH"; "II" ])
+    ~leak_sources:[ src ~sys:"recv" ~arg:"mirror1" () ]
+    ~benign_sources:[]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* X264: parallel encoder; the stats line divides by a raced counter   *)
+(* (the paper's "bits per second" effect).                             *)
+
+let x264 =
+  make ~name:"X264" ~category:Concurrency ~paper_loc:"98K"
+    ~uses_threads:true
+    ~description:
+      "parallel encoder: workers encode disjoint frame ranges; the \
+       throughput statistic divides by a raced progress counter"
+    ~source:
+      {| fn encode_frame(frame) {
+           let bits = 0;
+           for (let i = 0; i < strlen(frame); i = i + 1) {
+             let d = abs(char_at(frame, i) - 100);
+             if (d > 8) { bits = bits + d * 2; }
+             else { bits = bits + d; }
+           }
+           return bits;
+         }
+
+         fn worker(ctx) {
+           let shared = ctx[0];
+           let wid = ctx[1];
+           let frames = shared[0];
+           let bits = shared[1];
+           let ticks = shared[2];
+           let sizes = shared[3];
+           for (let k = 0; k < 2; k = k + 1) {
+             let idx = (wid - 1) * 2 + k;
+             let b = encode_frame(frames[idx]);
+             sizes[idx] = b;
+             lock(3);
+             bits[0] = bits[0] + b;
+             unlock(3);
+             // raced tick counter (no lock): throughput denominator
+             let t = ticks[0];
+             yield();
+             ticks[0] = t + 1;
+           }
+           return 0;
+         }
+
+         fn main() {
+           let fd = open("/data/clip.yuv");
+           let frames = mkarray(4, "");
+           for (let i = 0; i < 4; i = i + 1) { frames[i] = read(fd, 16); }
+           close(fd);
+           let bits = mkarray(1, 0);
+           let ticks = mkarray(1, 1);
+           let sizes = mkarray(4, 0);
+           let shared = mkarray(4, 0);
+           shared[0] = frames; shared[1] = bits; shared[2] = ticks;
+           shared[3] = sizes;
+           let c1 = mkarray(2, 0); c1[0] = shared; c1[1] = 1;
+           let c2 = mkarray(2, 0); c2[0] = shared; c2[1] = 2;
+           let t1 = spawn(@worker, c1);
+           let t2 = spawn(@worker, c2);
+           join(t1); join(t2);
+           let out = creat("/out/clip.264");
+           write(out, "bits=" + itoa(bits[0]));
+           for (let i = 0; i < 4; i = i + 1) {
+             write(out, ";f" + itoa(i) + "=" + itoa(sizes[i]));
+           }
+           close(out);
+           // the statistics report: bits per raced tick
+           print("throughput=" + itoa(bits[0] / max(1, ticks[0])) + "\n");
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out"
+        |> with_file "/data/clip.yuv"
+          "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789+/")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/clip.yuv" () ]
+    ~benign_sources:[]
+    ~sinks:Engine.File_outputs ()
+
+let all = [ apache; pbzip2; pigz; axel; x264 ]

@@ -1,0 +1,424 @@
+(* Network/system programs for information-leak detection (Table 1 rows
+   13-17: Firefox, Lynx, Nginx, Tnftp, Sysstat).
+
+   Sinks are the outgoing network syscalls (except sysstat, whose report
+   goes to local output).  Leak sources are the secrets (cookies,
+   passwords, URLs, /proc contents); benign sources perturb behaviour
+   without reaching the sinks. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+open Workload
+
+let src = Engine.source
+
+(* ------------------------------------------------------------------ *)
+(* Firefox + ShowIP extension: an event loop dispatching UI events to  *)
+(* handlers through function pointers; the extension sends the current *)
+(* URL to a remote "showip" service on page loads.                     *)
+
+let firefox =
+  make ~name:"Firefox" ~category:Leak_detection ~paper_loc:"14M"
+    ~interactive:true
+    ~description:
+      "browser event loop (JS-engine-style indirect dispatch); the \
+       ShowIP extension leaks the visited URL to a remote server"
+    ~source:
+      {| fn handle_load(state, payload) {
+           state[0] = payload;                       // current url
+           state[1] = state[1] + 1;                  // pages loaded
+           // ShowIP extension: report the site category to the remote
+           // service.  The category is picked by branching on the URL —
+           // a control dependence, invisible to data-dep taint engines.
+           let category = "misc";
+           if (find(payload, "bank") >= 0) { category = "finance"; }
+           else { if (find(payload, "news") >= 0) { category = "press"; } }
+           let ext = socket("showip.server");
+           send(ext, "lookup " + category + "/" + itoa(state[1]));
+           let ip = recv(ext);
+           state[2] = ip;
+           return 1;
+         }
+         fn handle_click(state, payload) {
+           let log = creat("/home/user/clicks.log");
+           write(log, "click:" + payload);
+           close(log);
+           return 1;
+         }
+         fn handle_key(state, payload) {
+           // keystrokes go to the search bar buffer
+           state[3] = state[3] + payload;
+           return 1;
+         }
+         fn handle_unknown(state, payload) { return 0; }
+
+         fn dispatch(kind) {
+           if (kind == "load") { return @handle_load; }
+           if (kind == "click") { return @handle_click; }
+           if (kind == "key") { return @handle_key; }
+           return @handle_unknown;
+         }
+
+         fn main() {
+           let ui = socket("ui.events");
+           let state = mkarray(4, "");
+           state[1] = 0;
+           let ev = recv(ui);
+           while (ev != "") {
+             let colon = find(ev, ":");
+             let kind = substr(ev, 0, colon);
+             let payload = substr(ev, colon + 1, strlen(ev) - colon - 1);
+             let h = dispatch(kind);
+             let ok = h(state, payload);
+             ev = recv(ui);
+           }
+           let log = creat("/home/user/session.log");
+           write(log, "pages=" + itoa(state[1]) + " search=" + state[3]);
+           close(log);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/home" |> with_dir "/home/user"
+        |> with_endpoint "showip.server" [ "93.184.216.34"; "151.101.1.69" ]
+        |> with_endpoint "ui.events"
+          ([ "load:http://bank.example/account";
+             "key:s"; "key:ecret"; "click:42,17";
+             "load:http://news.example/today" ]
+           @ List.concat
+               (List.init 6 (fun i ->
+                    [ Printf.sprintf "key:%c" (Char.chr (97 + i));
+                      Printf.sprintf "click:%d,%d" (i * 13 mod 80) (i * 7 mod 25);
+                      Printf.sprintf "load:http://site%d.example/p" i ]))))
+    ~leak_sources:[ src ~sys:"recv" ~arg:"ui.events" ~nth:1 () ]
+      (* the first UI event carries the visited URL; ShowIP sends it out *)
+    ~benign_sources:[ src ~sys:"recv" ~arg:"ui.events" ~nth:4 () ]
+      (* a click coordinate: logged locally, never sent *)
+    ~sinks:Engine.Network_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Lynx: fetch a page; the cookie jar decides (control dependence!)    *)
+(* whether a Cookie header is attached to the outgoing request.        *)
+
+let lynx =
+  make ~name:"Lynx" ~category:Leak_detection ~paper_loc:"204K"
+    ~interactive:true
+    ~description:
+      "text browser: cookie-jar lookup decides the request header; \
+       renders the response and appends a history file"
+    ~source:
+      {| fn read_all(path) {
+           let fd = open(path);
+           if (fd < 0) { return ""; }
+           let data = "";
+           let chunk = read(fd, 32);
+           while (chunk != "") { data = data + chunk; chunk = read(fd, 32); }
+           close(fd);
+           return data;
+         }
+
+         fn render(html) {
+           // strip <tags>, keep text
+           let out = "";
+           let intag = 0;
+           for (let i = 0; i < strlen(html); i = i + 1) {
+             let c = char_at(html, i);
+             if (c == 60) { intag = 1; }
+             else { if (c == 62) { intag = 0; }
+             else { if (intag == 0) { out = out + chr(c); } } }
+           }
+           return out;
+         }
+
+         fn main() {
+           let cfg = read_all("/etc/lynx.cfg");
+           let ui_lines = atoi(cfg);
+           if (ui_lines < 1) { ui_lines = 24; }
+           let jar = read_all("/home/user/.cookies");
+           let url = "site.example/index";
+           let s = socket("site.example");
+           let req = "GET " + url;
+           // control dependence: a cookie is attached only if the jar
+           // has an entry for this host
+           if (find(jar, "site.example") >= 0) {
+             let eq = find(jar, "=");
+             let tok = substr(jar, eq + 1, strlen(jar) - eq - 1);
+             req = req + " Cookie:" + tok;
+           }
+           send(s, req);
+           let page = recv(s);
+           let text = render(page);
+           // paginate into ui_lines-character screens (input-sized loop)
+           let screens = 0;
+           let i = 0;
+           while (i < strlen(text)) {
+             screens = screens + 1;
+             i = i + ui_lines;
+           }
+           let hist = creat("/home/user/.history");
+           write(hist, url + " screens=" + itoa(screens));
+           close(hist);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/etc" |> with_dir "/home" |> with_dir "/home/user"
+        |> with_file "/etc/lynx.cfg" "8"
+        |> with_file "/home/user/.cookies" "site.example=SESSION12345"
+        |> with_endpoint "site.example"
+          [ "<html><head><title>demo</title></head><body><h1>Demo</h1>"
+            ^ String.concat ""
+                (List.init 12 (fun i ->
+                     Printf.sprintf "<p>%s <b>para %d</b></p>"
+                       (Inputs.text ~seed:(30 + i) ~chars:50) i))
+            ^ "</body></html>" ])
+    ~leak_sources:[ src ~sys:"read" ~arg:"/home/user/.cookies" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/lynx.cfg" () ]
+    ~sinks:Engine.Network_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Nginx: request loop, path routing, access control from a secrets    *)
+(* file, response + access log.                                        *)
+
+let nginx =
+  make ~name:"Nginx" ~category:Leak_detection ~paper_loc:"287K"
+    ~description:
+      "web server: GET/HEAD verbs, MIME typing by extension, redirects, \
+       auth-gated admin area (control dependence), access log"
+    ~source:
+      {| fn read_all(path) {
+           let fd = open(path);
+           if (fd < 0) { return ""; }
+           let data = "";
+           let chunk = read(fd, 48);
+           while (chunk != "") { data = data + chunk; chunk = read(fd, 48); }
+           close(fd);
+           return data;
+         }
+
+         fn mime_of(path) {
+           if (find(path, ".html") >= 0) { return "text/html"; }
+           if (find(path, ".css") >= 0) { return "text/css"; }
+           if (find(path, ".js") >= 0) { return "text/javascript"; }
+           return "application/octet-stream";
+         }
+
+         fn serve(conn, log, auth, req) {
+           // request := VERB ' ' path [' ' token]
+           let sp1 = find(req, " ");
+           let verb = substr(req, 0, sp1);
+           let rest = substr(req, sp1 + 1, strlen(req) - sp1 - 1);
+           let sp2 = find(rest, " ");
+           let path = rest;
+           let token = "";
+           if (sp2 >= 0) {
+             path = substr(rest, 0, sp2);
+             token = substr(rest, sp2 + 1, strlen(rest) - sp2 - 1);
+           }
+           if (path == "/") {
+             send(conn, "301 /index.html");
+           } else { if (starts_with(path, "/admin")) {
+             if (token == auth) { send(conn, "200 admin-panel"); }
+             else { send(conn, "403 forbidden"); }
+           } else {
+             let body = read_all("/www" + path);
+             if (body == "") {
+               send(conn, "404 not-found");
+             } else { if (verb == "HEAD") {
+               send(conn, "200 " + mime_of(path) + " len=" + itoa(strlen(body)));
+             } else {
+               send(conn, "200 " + mime_of(path) + " " + body);
+             } }
+           } }
+           write(log, verb + " " + path + ";");
+           return 0;
+         }
+
+         fn main() {
+           let auth = read_all("/etc/nginx/htpasswd");
+           let verbosity = atoi(read_all("/etc/nginx/nginx.conf"));
+           let conn = socket("clients");
+           let log = creat("/var/log/access.log");
+           let req = recv(conn);
+           let served = 0;
+           while (req != "") {
+             let ok = serve(conn, log, auth, req);
+             served = served + 1;
+             // verbose mode re-stats the served tree (cache revalidation)
+             for (let v = 0; v < verbosity; v = v + 1) {
+               let sz = stat("/www/index.html");
+             }
+             req = recv(conn);
+           }
+           write(log, "#served=" + itoa(served));
+           close(log);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/etc" |> with_dir "/etc/nginx"
+        |> with_dir "/var" |> with_dir "/var/log"
+        |> with_dir "/www"
+        |> with_file "/etc/nginx/htpasswd" "hunter2"
+        |> with_file "/etc/nginx/nginx.conf" "1"
+        |> with_file "/www/index.html" "welcome"
+        |> with_file "/www/about.html" "about-us"
+        |> with_file "/www/style.css" "body{}"
+        |> with_endpoint "clients"
+          (Inputs.requests ~seed:31 ~n:40 ~auth:"hunter2"))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/etc/nginx/htpasswd" () ]
+      (* mutating the stored token flips the /admin authorization:
+         the 200/403 answer leaks the secret through control deps *)
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/nginx/nginx.conf" () ]
+    ~sinks:Engine.Network_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Tnftp: scripted FTP session; the password from ~/.netrc goes out    *)
+(* on the wire during login.                                           *)
+
+let tnftp =
+  make ~name:"Tnftp" ~category:Leak_detection ~paper_loc:"152K"
+    ~description:
+      "ftp client: scripted session with cd/ls/get/quit; .netrc \
+       credentials go out at login; downloads land in local files"
+    ~source:
+      {| fn read_all(path) {
+           let fd = open(path);
+           if (fd < 0) { return ""; }
+           let data = "";
+           let chunk = read(fd, 32);
+           while (chunk != "") { data = data + chunk; chunk = read(fd, 32); }
+           close(fd);
+           return data;
+         }
+
+         fn do_get(ctrl, cwd, fname, idx) {
+           send(ctrl, "RETR " + cwd + "/" + fname);
+           let body = recv(ctrl);
+           let ofd = creat("/home/user/dl_" + itoa(idx));
+           write(ofd, body);
+           close(ofd);
+           return strlen(body);
+         }
+
+         fn main() {
+           let netrc = read_all("/home/user/.netrc");
+           let script = read_all("/home/user/ftp.script");
+           let retries = atoi(read_all("/etc/ftp.conf"));
+           let ctrl = socket("ftp.server");
+           let banner = recv(ctrl);
+           // keepalive polling of a status channel (count from config)
+           let statusch = socket("ftp.status");
+           for (let r = 0; r < retries; r = r + 1) { let st = recv(statusch); }
+           // login
+           send(ctrl, "USER anonymous");
+           let resp1 = recv(ctrl);
+           if (find(resp1, "331") >= 0) {
+             send(ctrl, "PASS " + netrc);
+             let resp2 = recv(ctrl);
+           }
+           // execute script commands, one per line
+           let i = 0;
+           let line = "";
+           let downloaded = 0;
+           let bytes = 0;
+           let cwd = "";
+           while (i <= strlen(script)) {
+             let c = char_at(script, i);
+             if (c == 10 || c == -1) {
+               if (starts_with(line, "cd ")) {
+                 cwd = substr(line, 3, strlen(line) - 3);
+                 send(ctrl, "CWD " + cwd);
+                 let ack = recv(ctrl);
+               } else { if (line == "ls") {
+                 send(ctrl, "LIST " + cwd);
+                 let listing = recv(ctrl);
+                 print(listing + "\n");
+               } else { if (starts_with(line, "get ")) {
+                 let fname = substr(line, 4, strlen(line) - 4);
+                 bytes = bytes + do_get(ctrl, cwd, fname, downloaded);
+                 downloaded = downloaded + 1;
+               } else { if (line == "quit") {
+                 send(ctrl, "QUIT");
+               } } } }
+               line = "";
+             } else { line = line + chr(c); }
+             i = i + 1;
+           }
+           print("fetched " + itoa(downloaded) + " files, "
+                 + itoa(bytes) + " bytes\n");
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/home" |> with_dir "/home/user" |> with_dir "/etc"
+        |> with_file "/home/user/.netrc" "s3cr3tpass"
+        |> with_file "/home/user/ftp.script"
+          ("cd pub\nls\n"
+           ^ String.concat ""
+               (List.init 6 (fun i -> Printf.sprintf "get file%02d.dat\n" i))
+           ^ "cd archive\nls\nget backup.tar\nquit\n")
+        |> with_file "/etc/ftp.conf" "2"
+        |> with_endpoint "ftp.server"
+          ([ "220 welcome"; "331 need password"; "230 logged in";
+             "250 CWD ok"; "file00.dat file01.dat file02.dat" ]
+           @ List.init 6 (fun i -> Inputs.text ~seed:(40 + i) ~chars:120)
+           @ [ "250 CWD ok"; "backup.tar";
+               Inputs.text ~seed:47 ~chars:200; "221 bye" ])
+        |> with_endpoint "ftp.status" (List.init 8 (fun _ -> "ok")))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/home/user/.netrc" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/ftp.conf" () ]
+    ~sinks:Engine.Network_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* Sysstat: /proc sampler producing a local report.                    *)
+
+let sysstat =
+  make ~name:"Sysstat" ~category:Leak_detection ~paper_loc:"29K"
+    ~description:
+      "sar-style sampler: parses /proc counters, aggregates, prints a \
+       report (local outputs are the sinks)"
+    ~source:
+      {| fn parse_field(text, key) {
+           let k = find(text, key);
+           if (k < 0) { return 0; }
+           let start = k + strlen(key);
+           let i = start;
+           while (char_at(text, i) >= 48 && char_at(text, i) <= 57) { i = i + 1; }
+           return atoi(substr(text, start, i - start));
+         }
+
+         fn main() {
+           let ifd = open("/etc/sysstat.conf");
+           let intervals = atoi(read(ifd, 4));
+           close(ifd);
+           if (intervals < 1) { intervals = 1; }
+           let user_total = 0;
+           let sys_total = 0;
+           for (let s = 0; s < intervals; s = s + 1) {
+             let t = time();                    // sampling timestamp
+             let fd = open("/proc/stat");
+             let text = read(fd, 256);
+             close(fd);
+             user_total = user_total + parse_field(text, "user=");
+             sys_total = sys_total + parse_field(text, "sys=");
+           }
+           print("CPU user=" + itoa(user_total / intervals)
+                 + " sys=" + itoa(sys_total / intervals) + "\n");
+           let mfd = open("/proc/meminfo");
+           let mtext = read(mfd, 256);
+           close(mfd);
+           print("MEM free=" + itoa(parse_field(mtext, "free=")) + "\n");
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/proc" |> with_dir "/etc"
+        |> with_file "/etc/sysstat.conf" "5"
+        |> with_file "/proc/stat" "user=420 sys=137 idle=9000"
+        |> with_file "/proc/meminfo" "total=8192 free=2048")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/proc/stat" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/sysstat.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+let all = [ firefox; lynx; nginx; tnftp; sysstat ]

@@ -1,0 +1,1094 @@
+(* SPEC INT 2006 analogues (the first 12 rows of Table 1).
+
+   Sources: the program's data files (mutated in the slave).  Sinks: local
+   file outputs, as in the paper.  Each program also reads an auxiliary
+   configuration whose mutation perturbs the syscall sequence without
+   changing the outputs — the Table 2 'X' input. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+open Workload
+
+let src = Engine.source
+
+(* ------------------------------------------------------------------ *)
+(* 400.perlbench: a tiny script interpreter (recursion + fptr dispatch) *)
+
+let perlbench =
+  make ~name:"400.perlbench" ~category:Spec ~paper_loc:"128K"
+    ~description:
+      "script interpreter: a 26-slot variable store, assignments, \
+       operator dispatch through function pointers, recursive \
+       expression evaluation"
+    ~source:
+      {| // operators, dispatched indirectly
+         fn op_add(a, b) { return a + b; }
+         fn op_sub(a, b) { return a - b; }
+         fn op_mul(a, b) { return a * b; }
+         fn op_mod(a, b) { if (b == 0) { return 0; } return a % b; }
+
+         fn pick_op(c) {
+           if (c == 43) { return @op_add; }
+           if (c == 45) { return @op_sub; }
+           if (c == 42) { return @op_mul; }
+           return @op_mod;
+         }
+
+         // atom := number | variable a..z | '(' expr ')'
+         fn eval_atom(s, posa, vars) {
+           let i = posa[0];
+           let c = char_at(s, i);
+           if (c == 40) {                   // '('
+             posa[0] = i + 1;
+             let v = eval_expr(s, posa, vars);
+             posa[0] = posa[0] + 1;         // skip ')'
+             return v;
+           }
+           if (c >= 97 && c <= 122) {       // variable
+             posa[0] = i + 1;
+             return vars[c - 97];
+           }
+           let start = i;
+           while (char_at(s, i) >= 48 && char_at(s, i) <= 57) { i = i + 1; }
+           posa[0] = i;
+           return atoi(substr(s, start, i - start));
+         }
+
+         // expr := atom (op atom)* left to right
+         fn eval_expr(s, posa, vars) {
+           let acc = eval_atom(s, posa, vars);
+           while (posa[0] < strlen(s)) {
+             let c = char_at(s, posa[0]);
+             if (c == 41) { break; }        // ')'
+             let f = pick_op(c);
+             posa[0] = posa[0] + 1;
+             let rhs = eval_atom(s, posa, vars);
+             acc = f(acc, rhs);
+           }
+           return acc;
+         }
+
+         // line := [a-z] '=' expr | expr
+         fn exec_line(line, vars, out) {
+           let posa = mkarray(1, 0);
+           let c0 = char_at(line, 0);
+           if (c0 >= 97 && c0 <= 122 && char_at(line, 1) == 61) {
+             posa[0] = 2;
+             let v = eval_expr(line, posa, vars);
+             vars[c0 - 97] = v;
+             return 0;
+           }
+           let v = eval_expr(line, posa, vars);
+           write(out, itoa(v) + ";");
+           return v;
+         }
+
+         fn read_all(path, bufsize) {
+           let fd = open(path);
+           if (fd < 0) { return ""; }
+           let data = "";
+           let chunk = read(fd, bufsize);
+           while (chunk != "") {
+             data = data + chunk;
+             chunk = read(fd, bufsize);
+           }
+           close(fd);
+           return data;
+         }
+
+         fn main() {
+           let bufsize = atoi(read_all("/etc/perl.conf", 8));
+           if (bufsize < 1) { bufsize = 8; }
+           let script = read_all("/data/script.pl", bufsize);
+           let out = creat("/out/result");
+           let vars = mkarray(26, 0);
+           let line = "";
+           let total = 0;
+           let i = 0;
+           while (i <= strlen(script)) {
+             let c = char_at(script, i);
+             if (c == 10 || c == -1) {
+               if (strlen(line) > 0) {
+                 total = total + exec_line(line, vars, out);
+               }
+               line = "";
+             } else {
+               line = line + chr(c);
+             }
+             i = i + 1;
+           }
+           write(out, "#total=" + itoa(total));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/perl.conf" "6"
+        |> with_file "/data/script.pl" (Inputs.perl_script ~seed:11 ~lines:40))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/script.pl" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/perl.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 401.bzip2: run-length block compressor                              *)
+
+let bzip2 =
+  make ~name:"401.bzip2" ~category:Spec ~paper_loc:"5739"
+    ~description:
+      "block compressor: move-to-front transform then run-length \
+       encoding, block by block (the bzip2 pipeline in miniature)"
+    ~source:
+      {| // move-to-front: emit each byte's position in a self-organizing
+         // alphabet table, moving it to the front
+         fn mtf(block, table) {
+           let out = "";
+           for (let i = 0; i < strlen(block); i = i + 1) {
+             let c = char_at(block, i);
+             let j = 0;
+             while (j < len(table) && table[j] != c) { j = j + 1; }
+             if (j >= len(table)) { j = len(table) - 1; }
+             out = out + chr(65 + j);
+             while (j > 0) { table[j] = table[j - 1]; j = j - 1; }
+             table[0] = c;
+           }
+           return out;
+         }
+
+         fn rle(block) {
+           let out = "";
+           let i = 0;
+           let n = strlen(block);
+           while (i < n) {
+             let c = char_at(block, i);
+             let runlen = 1;
+             while (i + runlen < n && char_at(block, i + runlen) == c && runlen < 9) {
+               runlen = runlen + 1;
+             }
+             out = out + itoa(runlen) + chr(c);
+             i = i + runlen;
+           }
+           return out;
+         }
+
+         fn main() {
+           let cfd = open("/etc/bzip.conf");
+           let blocksize = atoi(read(cfd, 4));
+           close(cfd);
+           if (blocksize < 2) { blocksize = 8; }
+           let table = mkarray(26, 0);
+           for (let t = 0; t < 26; t = t + 1) { table[t] = 97 + t; }
+           let ifd = open("/data/input.raw");
+           let ofd = creat("/out/input.bz");
+           let nblocks = 0;
+           let block = read(ifd, blocksize);
+           let compressed = "";
+           while (block != "") {
+             compressed = compressed + rle(mtf(block, table));
+             nblocks = nblocks + 1;
+             block = read(ifd, blocksize);
+           }
+           write(ofd, compressed);
+           write(ofd, "#blocks=" + itoa(nblocks));
+           close(ifd);
+           close(ofd);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/bzip.conf" "16"
+        |> with_file "/data/input.raw" (Inputs.runs ~seed:12 ~chars:2000))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/input.raw" () ]
+      (* no benign_sources: the block size changes the compressed block
+         boundaries and the output block count — like the paper's numeric
+         programs, every input mutation reaches the sink *)
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 403.gcc: a mini C preprocessor (#define / #if / #include) — also the *)
+(* Fig. 7 case study                                                   *)
+
+let cpp_source =
+  {| fn read_all(path) {
+       let fd = open(path);
+       if (fd < 0) { return ""; }
+       let data = "";
+       let chunk = read(fd, 64);
+       while (chunk != "") {
+         data = data + chunk;
+         chunk = read(fd, 64);
+       }
+       close(fd);
+       return data;
+     }
+
+     // linear symbol table
+     fn lookup(names, vals, count, name) {
+       for (let i = 0; i < count; i = i + 1) {
+         if (names[i] == name) { return vals[i]; }
+       }
+       return 0 - 1;
+     }
+
+     fn next_line(s, posa) {
+       let i = posa[0];
+       let line = "";
+       while (i < strlen(s) && char_at(s, i) != 10) {
+         line = line + chr(char_at(s, i));
+         i = i + 1;
+       }
+       posa[0] = i + 1;
+       return line;
+     }
+
+     fn first_word(s) {
+       let sp = find(s, " ");
+       if (sp < 0) { return s; }
+       return substr(s, 0, sp);
+     }
+
+     fn rest_after(s, k) { return substr(s, k, strlen(s) - k); }
+
+     fn process(text, out, names, vals, counta, depth) {
+       let posa = mkarray(1, 0);
+       let skipping = 0;
+       let emitted = 0;
+       while (posa[0] < strlen(text)) {
+         let line = next_line(text, posa);
+         if (starts_with(line, "#define ")) {
+           if (skipping == 0) {
+             let body = rest_after(line, 8);
+             let sp = find(body, " ");
+             let name = substr(body, 0, sp);
+             let val = atoi(rest_after(body, sp + 1));
+             names[counta[0]] = name;
+             vals[counta[0]] = val;
+             counta[0] = counta[0] + 1;
+           }
+         } else { if (starts_with(line, "#if ")) {
+           let name = rest_after(line, 4);
+           let v = lookup(names, vals, counta[0], name);
+           if (v < 1) { skipping = 1; }
+         } else { if (starts_with(line, "#else")) {
+           skipping = 1 - skipping;
+         } else { if (starts_with(line, "#endif")) {
+           skipping = 0;
+         } else { if (starts_with(line, "#include ")) {
+           if (skipping == 0 && depth < 4) {
+             let path = rest_after(line, 9);
+             let inc = read_all(path);
+             emitted = emitted + process(inc, out, names, vals, counta, depth + 1);
+           }
+         } else {
+           if (skipping == 0 && strlen(line) > 0) {
+             write(out, line + "\n");
+             emitted = emitted + 1;
+           }
+         } } } } }
+       }
+       return emitted;
+     }
+
+     fn main() {
+       // auxiliary pass count: stat the main input a configurable number
+       // of times (cache warming), syscall-visible but output-neutral
+       let warm = atoi(read_all("/etc/cpp.conf"));
+       for (let w = 0; w < warm; w = w + 1) { let s = stat("/src/main.c"); }
+       let names = mkarray(64, "");
+       let vals = mkarray(64, 0);
+       let counta = mkarray(1, 0);
+       let config = read_all("/src/config.h");
+       let out = creat("/out/main.i");
+       let n1 = process(config, out, names, vals, counta, 0);
+       let text = read_all("/src/main.c");
+       let n2 = process(text, out, names, vals, counta, 0);
+       write(out, "#lines=" + itoa(n1 + n2) + "\n");
+       close(out);
+     } |}
+
+let cpp_world =
+  World.(
+    empty
+    |> with_dir "/src" |> with_dir "/out" |> with_dir "/etc"
+    |> with_file "/etc/cpp.conf" "2"
+    |> with_file "/src/config.h" "#define NGX_HAVE_POLL 1\n#define NGX_DEBUG 0\n"
+    |> with_file "/src/poll.h" "void poll_init();\nint poll_wait(int t);\n"
+    |> with_file "/src/main.c"
+      ("#if NGX_HAVE_POLL\n#include /src/poll.h\nint use_poll = 1;\n#else\nint use_poll = 0;\n#endif\nint main_loop() { return use_poll; }\n"
+       ^ String.concat ""
+           (List.init 40 (fun i ->
+                Printf.sprintf "int field_%d = %d;\n" i (i * 7 mod 97)))))
+
+let gcc_spec =
+  make ~name:"403.gcc" ~category:Spec ~paper_loc:"385K"
+    ~description:
+      "mini C preprocessor: #define/#if/#include with recursive \
+       inclusion — the Fig. 7 case study (NGX_HAVE_POLL leak through \
+       control dependence)"
+    ~source:cpp_source ~world:cpp_world
+    ~leak_sources:[ src ~sys:"read" ~arg:"/src/config.h" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/cpp.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 429.mcf: Bellman-Ford relaxation over an edge list                  *)
+
+let mcf =
+  make ~name:"429.mcf" ~category:Spec ~paper_loc:"1379"
+    ~description:"shortest-path relaxation over a parsed edge list"
+    ~source:
+      {| fn parse_int(s, posa) {
+           let i = posa[0];
+           while (i < strlen(s) && (char_at(s, i) < 48 || char_at(s, i) > 57)) {
+             i = i + 1;
+           }
+           let start = i;
+           while (i < strlen(s) && char_at(s, i) >= 48 && char_at(s, i) <= 57) {
+             i = i + 1;
+           }
+           posa[0] = i;
+           return atoi(substr(s, start, i - start));
+         }
+
+         fn main() {
+           let passes_fd = open("/etc/mcf.conf");
+           let extra_passes = atoi(read(passes_fd, 4));
+           close(passes_fd);
+           let fd = open("/data/graph");
+           let text = read(fd, 4096);
+           close(fd);
+           let posa = mkarray(1, 0);
+           let n = parse_int(text, posa);
+           let m = parse_int(text, posa);
+           let eu = mkarray(m, 0);
+           let ev = mkarray(m, 0);
+           let ew = mkarray(m, 0);
+           for (let i = 0; i < m; i = i + 1) {
+             if (posa[0] >= strlen(text)) { m = i; break; }
+             eu[i] = parse_int(text, posa);
+             ev[i] = parse_int(text, posa);
+             ew[i] = parse_int(text, posa);
+           }
+           let dist = mkarray(n, 1000000);
+           dist[0] = 0;
+           // Bellman-Ford with early exit: iterate until no relaxation
+           // changes anything (bounded by n for safety)
+           let changed = 1;
+           let iter = 0;
+           while (changed == 1 && iter < n) {
+             changed = 0;
+             for (let e = 0; e < m; e = e + 1) {
+               let cand = dist[eu[e]] + ew[e];
+               if (cand < dist[ev[e]]) { dist[ev[e]] = cand; changed = 1; }
+             }
+             iter = iter + 1;
+           }
+           // extra verification passes: output-invariant once converged;
+           // each re-stats the input (cache check)
+           for (let p = 0; p < extra_passes; p = p + 1) {
+             let sz = stat("/data/graph");
+             for (let e = 0; e < m; e = e + 1) {
+               let cand = dist[eu[e]] + ew[e];
+               if (cand < dist[ev[e]]) { dist[ev[e]] = cand; }
+             }
+           }
+           let out = creat("/out/dist");
+           let total = 0;
+           for (let v = 0; v < n; v = v + 1) {
+             write(out, itoa(dist[v]) + ";");
+             total = total + dist[v];
+           }
+           write(out, "#sum=" + itoa(total));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/mcf.conf" "2"
+        |> with_file "/data/graph" (Inputs.graph ~seed:13 ~nodes:40 ~edges:120))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/graph" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/mcf.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 445.gobmk: recursive game-tree search over a board                  *)
+
+let gobmk =
+  make ~name:"445.gobmk" ~category:Spec ~paper_loc:"157K"
+    ~description:
+      "recursive two-player search over a parsed board, with a \
+       liberty-counting positional evaluation"
+    ~source:
+      {| // orthogonal free neighbours of cell i on the 3x3 board
+         fn liberties(cells, i) {
+           let libs = 0;
+           let x = i % 3;
+           let y = i / 3;
+           if (x > 0 && cells[i - 1] == 0) { libs = libs + 1; }
+           if (x < 2 && cells[i + 1] == 0) { libs = libs + 1; }
+           if (y > 0 && cells[i - 3] == 0) { libs = libs + 1; }
+           if (y < 2 && cells[i + 3] == 0) { libs = libs + 1; }
+           return libs;
+         }
+
+         fn board_score(cells, who) {
+           let s = 0;
+           for (let i = 0; i < len(cells); i = i + 1) {
+             if (cells[i] == who) { s = s + 2 + liberties(cells, i); }
+             if (cells[i] == 3 - who) { s = s - 2 - liberties(cells, i); }
+           }
+           return s;
+         }
+
+         fn search(cells, who, depth) {
+           if (depth == 0) { return board_score(cells, 1); }
+           let best = 0 - 1000;
+           let worst = 1000;
+           for (let i = 0; i < len(cells); i = i + 1) {
+             if (cells[i] == 0) {
+               cells[i] = who;
+               let v = search(cells, 3 - who, depth - 1);
+               cells[i] = 0;
+               if (v > best) { best = v; }
+               if (v < worst) { worst = v; }
+             }
+           }
+           if (best == 0 - 1000) { return board_score(cells, 1); }
+           if (who == 1) { return best; }
+           return worst;
+         }
+
+         fn main() {
+           let bfd = open("/etc/gobmk.conf");
+           let book_warm = atoi(read(bfd, 4));
+           close(bfd);
+           for (let w = 0; w < book_warm; w = w + 1) {
+             let ofd = open("/data/book");
+             let b = read(ofd, 32);
+             close(ofd);
+           }
+           let fd = open("/data/board");
+           let text = read(fd, 256);
+           close(fd);
+           let cells = mkarray(9, 0);
+           for (let i = 0; i < 9; i = i + 1) {
+             let c = char_at(text, i);
+             if (c == 120) { cells[i] = 1; }       // 'x'
+             if (c == 111) { cells[i] = 2; }       // 'o'
+           }
+           let bestmove = 0 - 1;
+           let bestval = 0 - 1000;
+           for (let i = 0; i < 9; i = i + 1) {
+             if (cells[i] == 0) {
+               cells[i] = 1;
+               let v = search(cells, 2, 2);
+               cells[i] = 0;
+               if (v > bestval) { bestval = v; bestmove = i; }
+             }
+           }
+           let out = creat("/out/move");
+           write(out, "move=" + itoa(bestmove) + " val=" + itoa(bestval)
+                      + " mat=" + itoa(board_score(cells, 1)));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/gobmk.conf" "1"
+        |> with_file "/data/book" "standard-fuseki-v2"
+        |> with_file "/data/board" "x.o.x.o..")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/board" () ]
+    ~strategy:(Ldx_core.Mutation.Swap_substring ("x.o.x", "x.x.x"))
+      (* flip one stone: same number of empty cells, so the slave's
+         game tree has the same size but a different value *)
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/gobmk.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 456.hmmer: dynamic-programming sequence alignment                   *)
+
+let hmmer =
+  make ~name:"456.hmmer" ~category:Spec ~paper_loc:"20K"
+    ~description:"edit-distance dynamic program over two sequences"
+    ~source:
+      {| fn min3(a, b, c) { return min(a, min(b, c)); }
+
+         fn read_all(path, chunk) {
+           let fd = open(path);
+           let text = "";
+           let piece = read(fd, chunk);
+           while (piece != "") { text = text + piece; piece = read(fd, chunk); }
+           close(fd);
+           return text;
+         }
+
+         fn main() {
+           let cfd = open("/etc/hmmer.conf");
+           let chunk = atoi(read(cfd, 4));
+           close(cfd);
+           if (chunk < 1) { chunk = 16; }
+           let a = read_all("/data/query.seq", 16);
+           let b = read_all("/data/db.seq", chunk);
+           let la = strlen(a);
+           let lb = strlen(b);
+           let dp = mkarray((la + 1) * (lb + 1), 0);
+           for (let i = 0; i <= la; i = i + 1) { dp[i * (lb + 1)] = i; }
+           for (let j = 0; j <= lb; j = j + 1) { dp[j] = j; }
+           for (let i = 1; i <= la; i = i + 1) {
+             for (let j = 1; j <= lb; j = j + 1) {
+               let costv = 1;
+               if (char_at(a, i - 1) == char_at(b, j - 1)) { costv = 0; }
+               dp[i * (lb + 1) + j] =
+                 min3(dp[(i - 1) * (lb + 1) + j] + 1,
+                      dp[i * (lb + 1) + j - 1] + 1,
+                      dp[(i - 1) * (lb + 1) + j - 1] + costv);
+             }
+           }
+           let matches = 0;
+           for (let k = 0; k < min(la, lb); k = k + 1) {
+             if (char_at(a, k) == char_at(b, k)) { matches = matches + 1; }
+           }
+           let out = creat("/out/score");
+           write(out, "dist=" + itoa(dp[la * (lb + 1) + lb])
+                      + " id=" + itoa(matches));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/hmmer.conf" "12"
+        |> with_file "/data/query.seq" (Inputs.sequence ~seed:14 ~n:48)
+        |> with_file "/data/db.seq" (Inputs.sequence ~seed:15 ~n:56))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/query.seq" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/hmmer.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 458.sjeng: alpha-beta with evaluators behind function pointers      *)
+
+let sjeng =
+  make ~name:"458.sjeng" ~category:Spec ~paper_loc:"10K"
+    ~description:
+      "alpha-beta search with pruning; evaluation functions dispatched \
+       through function pointers"
+    ~source:
+      {| fn eval_material(pieces) {
+           let s = 0;
+           for (let i = 0; i < len(pieces); i = i + 1) { s = s + pieces[i]; }
+           return s;
+         }
+         fn eval_mobility(pieces) {
+           let s = 0;
+           for (let i = 0; i < len(pieces); i = i + 1) {
+             if (pieces[i] > 0) { s = s + i; }
+           }
+           return s;
+         }
+
+         // negamax with alpha-beta pruning over sign-flip "moves"
+         fn alphabeta(pieces, depth, alpha, beta, evalf) {
+           if (depth == 0) { return evalf(pieces); }
+           let moved = 0;
+           for (let i = 0; i < len(pieces); i = i + 1) {
+             if (pieces[i] != 0 && alpha < beta) {
+               moved = 1;
+               let saved = pieces[i];
+               pieces[i] = 0 - saved;
+               let v = 0 - alphabeta(pieces, depth - 1, 0 - beta, 0 - alpha, evalf);
+               pieces[i] = saved;
+               if (v > alpha) { alpha = v; }
+             }
+           }
+           if (moved == 0) { return evalf(pieces); }
+           return alpha;
+         }
+
+         fn main() {
+           let wfd = open("/etc/sjeng.conf");
+           let warm = atoi(read(wfd, 4));
+           close(wfd);
+           for (let w = 0; w < warm; w = w + 1) { let s = stat("/data/position"); }
+           let fd = open("/data/position");
+           let text = read(fd, 64);
+           close(fd);
+           let pieces = mkarray(6, 0);
+           for (let i = 0; i < 6; i = i + 1) {
+             pieces[i] = char_at(text, i) - 48;
+           }
+           let evalf = @eval_material;
+           if (char_at(text, 6) == 109) { evalf = @eval_mobility; }  // 'm'
+           let v = alphabeta(pieces, 4, 0 - 100000, 100000, evalf);
+           let out = creat("/out/bestline");
+           write(out, "score=" + itoa(v) + " mat=" + itoa(eval_material(pieces)));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/sjeng.conf" "1"
+        |> with_file "/data/position" "314159m")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/position" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/sjeng.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 462.libquantum: state-vector gate simulation                        *)
+
+let libquantum =
+  make ~name:"462.libquantum" ~category:Spec ~paper_loc:"2.6K"
+    ~description:"toy quantum register: X/SWAP gate program over a state"
+    ~source:
+      {| fn main() {
+           let cfd = open("/etc/lq.conf");
+           let chunk = atoi(read(cfd, 4));
+           close(cfd);
+           if (chunk < 1) { chunk = 8; }
+           let fd = open("/data/gates");
+           let prog = "";
+           let piece = read(fd, chunk);
+           while (piece != "") { prog = prog + piece; piece = read(fd, chunk); }
+           close(fd);
+           let state = mkarray(8, 0);
+           state[0] = 1;
+           let i = 0;
+           let applied = 0;
+           while (i + 1 < strlen(prog)) {
+             let g = char_at(prog, i);
+             let q = char_at(prog, i + 1) - 48;
+             if (g == 120 && q >= 0 && q < 3) {        // 'x' q: flip bit q
+               let next = mkarray(8, 0);
+               for (let s = 0; s < 8; s = s + 1) {
+                 next[s ^ (1 << q)] = state[s];
+               }
+               state = next;
+               applied = applied + 1;
+             }
+             if (g == 115) {                           // 's': shift amplitude
+               let carry = state[7];
+               for (let s = 7; s > 0; s = s - 1) { state[s] = state[s - 1]; }
+               state[0] = carry;
+               applied = applied + 1;
+             }
+             i = i + 2;
+           }
+           let out = creat("/out/state");
+           for (let s = 0; s < 8; s = s + 1) { write(out, itoa(state[s])); }
+           write(out, "#gates=" + itoa(applied));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/lq.conf" "4"
+        |> with_file "/data/gates" (Inputs.gates ~seed:16 ~n:150))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/gates" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/lq.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 464.h264ref: macroblock encoder over frame pairs                    *)
+
+let h264ref =
+  make ~name:"464.h264ref" ~category:Spec ~paper_loc:"36K"
+    ~description:
+      "macroblock encoder with +-1 motion search over the previous frame"
+    ~source:
+      {| fn mb_cost(cur, prv, bx, by, dx, dy, w, h, bs) {
+           let c = 0;
+           for (let yy = 0; yy < bs; yy = yy + 1) {
+             for (let xx = 0; xx < bs; xx = xx + 1) {
+               let cx = bx * bs + xx;
+               let cy = by * bs + yy;
+               let px = cx + dx;
+               let py = cy + dy;
+               let ref = 0;
+               if (px >= 0 && px < w && py >= 0 && py < h) {
+                 ref = char_at(prv, py * w + px);
+               }
+               let d = char_at(cur, cy * w + cx) - ref;
+               c = c + abs(d);
+             }
+           }
+           return c;
+         }
+
+         fn main() {
+           let cfd = open("/etc/h264.conf");
+           let stats_passes = atoi(read(cfd, 4));
+           close(cfd);
+           let w = 16;
+           let h = 8;
+           // frame-at-a-time reads, as a real encoder ingests input
+           let fd = open("/data/frames");
+           let prv = read(fd, w * h);
+           let sep = read(fd, 1);
+           let cur = read(fd, w * h);
+           close(fd);
+           for (let p = 0; p < stats_passes; p = p + 1) {
+             let sz = stat("/data/frames");
+           }
+           let out = creat("/out/encoded");
+           let bits = 0;
+           let bs = 4;
+           for (let by = 0; by < h / bs; by = by + 1) {
+             for (let bx = 0; bx < w / bs; bx = bx + 1) {
+               // +-1 motion search around the co-located block
+               let best = 1000000;
+               let bestdx = 0;
+               let bestdy = 0;
+               for (let dy = 0 - 1; dy <= 1; dy = dy + 1) {
+                 for (let dx = 0 - 1; dx <= 1; dx = dx + 1) {
+                   let cost = mb_cost(cur, prv, bx, by, dx, dy, w, h, bs);
+                   if (cost < best) { best = cost; bestdx = dx; bestdy = dy; }
+                 }
+               }
+               if (best > 24) {
+                 write(out, "I" + itoa(best) + ";");
+                 bits = bits + best * 3;
+               } else {
+                 write(out, "P" + itoa(bestdx) + itoa(bestdy)
+                            + ":" + itoa(best) + ";");
+                 bits = bits + best + 4;
+               }
+             }
+           }
+           write(out, "#bits=" + itoa(bits));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/h264.conf" "2"
+        |> with_file "/data/frames" (Inputs.frames ~seed:17 ~w:16 ~h:8))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/frames" ~nth:3 () ]
+      (* nth=3: the current frame (mutating both frames equally would
+         cancel in the residuals) *)
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/h264.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 471.omnetpp: event-queue simulation with handler dispatch           *)
+
+let omnetpp =
+  make ~name:"471.omnetpp" ~category:Spec ~paper_loc:"26K"
+    ~description:
+      "discrete-event simulation: a binary-heap future-event set, \
+       handlers behind function pointers that schedule follow-up events"
+    ~source:
+      {| // future-event set: a binary min-heap on event time
+         fn heap_push(times, kinds, sizea, t, kind) {
+           let i = sizea[0];
+           times[i] = t;
+           kinds[i] = kind;
+           sizea[0] = i + 1;
+           while (i > 0 && times[(i - 1) / 2] > times[i]) {
+             let p = (i - 1) / 2;
+             let tt = times[p]; times[p] = times[i]; times[i] = tt;
+             let tk = kinds[p]; kinds[p] = kinds[i]; kinds[i] = tk;
+             i = p;
+           }
+           return 0;
+         }
+
+         fn heap_pop(times, kinds, sizea, outa) {
+           let n = sizea[0];
+           outa[0] = times[0];
+           outa[1] = kinds[0];
+           times[0] = times[n - 1];
+           kinds[0] = kinds[n - 1];
+           sizea[0] = n - 1;
+           let i = 0;
+           let moving = 1;
+           while (moving == 1) {
+             moving = 0;
+             let l = 2 * i + 1;
+             let rr = 2 * i + 2;
+             let m = i;
+             if (l < n - 1 && times[l] < times[m]) { m = l; }
+             if (rr < n - 1 && times[rr] < times[m]) { m = rr; }
+             if (m != i) {
+               let tt = times[m]; times[m] = times[i]; times[i] = tt;
+               let tk = kinds[m]; kinds[m] = kinds[i]; kinds[i] = tk;
+               i = m;
+               moving = 1;
+             }
+           }
+           return 0;
+         }
+
+         // handlers: kind 1 = arrival (enqueue + schedule service end),
+         //           kind 2 = departure (dequeue)
+         fn on_arrive(st, t, times, kinds, sizea) {
+           st[0] = st[0] + 1;                  // queue length
+           let service = 2 + (st[0] % 3);
+           let z = heap_push(times, kinds, sizea, t + service, 2);
+           return 0;
+         }
+         fn on_depart(st, t, times, kinds, sizea) {
+           if (st[0] > 0) { st[0] = st[0] - 1; }
+           return 0;
+         }
+
+         fn main() {
+           let cfd = open("/etc/omnet.conf");
+           let replay = atoi(read(cfd, 4));
+           close(cfd);
+           for (let rr = 0; rr < replay; rr = rr + 1) {
+             let rfd = open("/data/events");
+             let x = read(rfd, 8);
+             close(rfd);
+           }
+           let fd = open("/data/events");
+           let evs = read(fd, 1024);
+           close(fd);
+           let cap = 2 * strlen(evs) + 8;
+           let times = mkarray(cap, 0);
+           let kinds = mkarray(cap, 0);
+           let sizea = mkarray(1, 0);
+           // seed arrivals: interarrival gap derived from the tape
+           let t = 0;
+           for (let i = 0; i < strlen(evs); i = i + 1) {
+             let c = char_at(evs, i);
+             if (c == 97) { t = t + 1; }       // 'a': burst
+             else { t = t + 1 + (c % 3); }
+             let z = heap_push(times, kinds, sizea, t, 1);
+           }
+           let st = mkarray(1, 0);
+           let peak = 0;
+           let clock = 0;
+           let handled = 0;
+           let out = creat("/out/trace");
+           let outa = mkarray(2, 0);
+           while (sizea[0] > 0) {
+             let z = heap_pop(times, kinds, sizea, outa);
+             clock = outa[0];
+             let h = @on_depart;
+             if (outa[1] == 1) { h = @on_arrive; }
+             let zz = h(st, clock, times, kinds, sizea);
+             handled = handled + 1;
+             if (st[0] > peak) { peak = st[0]; }
+             // periodic queue-length samples: the length moves only by
+             // the +-1 the dispatched handler applies — control flow
+             if (handled % 4 == 0) {
+               write(out, "q" + itoa(st[0]) + ";");
+             }
+           }
+           write(out, "#events=" + itoa(handled) + " peak=" + itoa(peak));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/omnet.conf" "1"
+        |> with_file "/data/events" (Inputs.events ~seed:18 ~n:150))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/events" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/omnet.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 473.astar: greedy grid pathfinder                                   *)
+
+let astar =
+  make ~name:"473.astar" ~category:Spec ~paper_loc:"4.2K"
+    ~description:
+      "true A* search over a weighted grid: per-cell terrain costs, \
+       open set with f = g + manhattan h, path reconstruction"
+    ~source:
+      {| fn manhattan(x, y, gx, gy) {
+           return abs(gx - x) + abs(gy - y);
+         }
+
+         fn main() {
+           let cfd = open("/etc/astar.conf");
+           let warm = atoi(read(cfd, 4));
+           close(cfd);
+           for (let w = 0; w < warm; w = w + 1) { let s = stat("/data/map"); }
+           let fd = open("/data/map");
+           let map = read(fd, 2048);
+           close(fd);
+           let w = find(map, "\n");
+           let rows = (strlen(map) + 1) / (w + 1);
+           let n = w * rows;
+           let gx = w - 1;
+           let gy = rows - 1;
+           // cell index helpers over the newline-separated grid
+           let gscore = mkarray(n, 1000000);
+           let fscore = mkarray(n, 1000000);
+           let closed = mkarray(n, 0);
+           let from = mkarray(n, 0 - 1);
+           gscore[0] = 0;
+           fscore[0] = manhattan(0, 0, gx, gy);
+           let found = 0;
+           let expanded = 0;
+           let running = 1;
+           while (running == 1) {
+             // pick the open cell with the least f (linear scan)
+             let cur = 0 - 1;
+             let best = 1000000;
+             for (let c = 0; c < n; c = c + 1) {
+               if (closed[c] == 0 && gscore[c] < 1000000 && fscore[c] < best) {
+                 best = fscore[c];
+                 cur = c;
+               }
+             }
+             if (cur < 0) { running = 0; }
+             else {
+               if (cur == gy * w + gx) { found = 1; running = 0; }
+               else {
+                 closed[cur] = 1;
+                 expanded = expanded + 1;
+                 let cx = cur % w;
+                 let cy = cur / w;
+                 for (let d = 0; d < 4; d = d + 1) {
+                   let nx = cx;
+                   let ny = cy;
+                   if (d == 0) { nx = cx + 1; }
+                   if (d == 1) { nx = cx - 1; }
+                   if (d == 2) { ny = cy + 1; }
+                   if (d == 3) { ny = cy - 1; }
+                   if (nx >= 0 && nx < w && ny >= 0 && ny < rows) {
+                     let cell = char_at(map, ny * (w + 1) + nx);
+                     // uppercase cells are walls; lowercase terrain has a
+                     // per-cell traversal cost derived from its byte
+                     if (cell < 65 || cell > 90) {
+                       let stepcost = 1 + (cell % 3);
+                       let nc = ny * w + nx;
+                       if (closed[nc] == 0 && gscore[cur] + stepcost < gscore[nc]) {
+                         gscore[nc] = gscore[cur] + stepcost;
+                         fscore[nc] = gscore[nc] + manhattan(nx, ny, gx, gy);
+                         from[nc] = cur;
+                       }
+                     }
+                   }
+                 }
+               }
+             }
+           }
+           let out = creat("/out/path");
+           if (found == 1) {
+             // walk the parent links back to the start
+             let hops = 0;
+             let c = gy * w + gx;
+             while (c > 0 && hops < n) {
+               write(out, itoa(c % w) + "," + itoa(c / w) + ";");
+               c = from[c];
+               hops = hops + 1;
+             }
+             write(out, "#len=" + itoa(gscore[gy * w + gx]));
+           } else {
+             write(out, "#unreachable");
+           }
+           write(out, " expanded=" + itoa(expanded)
+                      + " map=" + itoa(hash(map)));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/astar.conf" "1"
+        |> with_file "/data/map" (Inputs.grid ~seed:19 ~w:24 ~h:12))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/map" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/astar.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+(* ------------------------------------------------------------------ *)
+(* 483.xalancbmk: XML-ish transformer with rule dispatch               *)
+
+let xalancbmk =
+  make ~name:"483.xalancbmk" ~category:Spec ~paper_loc:"266K"
+    ~description:
+      "tag-tree transformer: parses <tag attr=value> elements and \
+       applies per-tag rules through function pointers, recursively; \
+       attributes are rewritten into the output"
+    ~source:
+      {| fn rule_upper(s) { return upper(s); }
+         fn rule_lower(s) { return lower(s); }
+         fn rule_copy(s) { return s; }
+
+         fn rule_for(tag) {
+           if (tag == "b") { return @rule_upper; }
+           if (tag == "i") { return @rule_lower; }
+           return @rule_copy;
+         }
+
+         // transform starting at posa[0]; stops at closing tag
+         fn transform(xml, posa, out, depth, tag) {
+           let emitted = 0;
+           while (posa[0] < strlen(xml)) {
+             let i = posa[0];
+             let c = char_at(xml, i);
+             if (c == 60) {                                 // '<'
+               if (char_at(xml, i + 1) == 47) {             // "</"
+                 let closerel = find(substr(xml, i, strlen(xml) - i), ">");
+                 if (closerel < 0) { posa[0] = strlen(xml); return emitted; }
+                 posa[0] = i + closerel + 1;
+                 return emitted;
+               }
+               let gtrel = find(substr(xml, i, strlen(xml) - i), ">");
+               if (gtrel < 0) { posa[0] = strlen(xml); return emitted; }
+               let head = substr(xml, i + 1, gtrel - 1);
+               // split "tag attr=value" into name and attribute
+               let sp = find(head, " ");
+               let child = head;
+               let attr = "";
+               if (sp >= 0) {
+                 child = substr(head, 0, sp);
+                 attr = substr(head, sp + 1, strlen(head) - sp - 1);
+               }
+               posa[0] = i + gtrel + 1;
+               if (depth < 6) {
+                 if (attr == "") { write(out, "<" + child + ">"); }
+                 else { write(out, "<" + child + " data-" + attr + ">"); }
+                 emitted = emitted + transform(xml, posa, out, depth + 1, child);
+                 write(out, "</" + child + ">");
+               }
+             } else {
+               let start = i;
+               while (i < strlen(xml) && char_at(xml, i) != 60) { i = i + 1; }
+               let text = substr(xml, start, i - start);
+               posa[0] = i;
+               // apply the rule of the ENCLOSING tag to its text
+               let f = rule_for(tag);
+               write(out, f(text));
+               emitted = emitted + 1;
+             }
+           }
+           return emitted;
+         }
+
+         fn main() {
+           let cfd = open("/etc/xalan.conf");
+           let warm = atoi(read(cfd, 4));
+           close(cfd);
+           for (let w = 0; w < warm; w = w + 1) { let s = stat("/data/doc.xml"); }
+           let fd = open("/data/doc.xml");
+           let xml = read(fd, 4096);
+           close(fd);
+           let out = creat("/out/doc.html");
+           let posa = mkarray(1, 0);
+           let n = transform(xml, posa, out, 0, "");
+           write(out, "#nodes=" + itoa(n));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out" |> with_dir "/etc"
+        |> with_file "/etc/xalan.conf" "1"
+        |> with_file "/data/doc.xml" (Inputs.xml ~seed:20 ~nodes:30))
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/doc.xml" () ]
+    ~benign_sources:[ src ~sys:"read" ~arg:"/etc/xalan.conf" () ]
+    ~sinks:Engine.File_outputs ()
+
+let all =
+  [ perlbench; bzip2; gcc_spec; mcf; gobmk; hmmer; sjeng; libquantum;
+    h264ref; omnetpp; astar; xalancbmk ]

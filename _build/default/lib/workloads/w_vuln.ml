@@ -1,0 +1,309 @@
+(* Vulnerable programs for attack detection (Table 1 rows 18-23:
+   Gif2png, Mp3info, Prozilla, Yopsws, Ngircd, Gcc).
+
+   The sinks model the paper's attack-detection points: [retaddr(v)] is
+   the function-return-address check (buffer overflows corrupt v with
+   input-derived bytes) and [malloc(n)] is the memory-management-
+   parameter check (integer overflows corrupt n).  Mutating the untrusted
+   input changes the corrupted value, which LDX observes as strong
+   causality between input and the critical execution point.  The taint
+   baselines see these too when the corruption flows through plain data
+   dependences — and miss the ones routed through control dependences or
+   unmodelled library calls. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+open Workload
+
+let src = Engine.source
+
+(* ------------------------------------------------------------------ *)
+(* Gif2png: header width field drives a fixed-buffer copy.             *)
+
+let gif2png =
+  make ~name:"Gif2png" ~category:Vulnerable ~paper_loc:"16K"
+    ~description:
+      "image converter: the GIF width field overruns a 16-byte pixel \
+       buffer; the overflow bytes corrupt the return address"
+    ~source:
+      {| fn convert(header, pixels) {
+           // claimed width from the (untrusted) header
+           let width = atoi(substr(header, 3, 3));
+           let buf = mkarray(16, 0);
+           let ret = 4096;                 // saved return address (model)
+           for (let i = 0; i < width; i = i + 1) {
+             let px = char_at(pixels, i % max(1, strlen(pixels)));
+             if (i < 16) {
+               buf[i] = px;
+             } else {
+               // out-of-bounds writes clobber the saved return address
+               ret = (ret * 31 + px) % 65536;
+             }
+           }
+           let sum = 0;
+           for (let i = 0; i < 16; i = i + 1) { sum = sum + buf[i]; }
+           retaddr(ret);
+           return sum;
+         }
+
+         fn main() {
+           // field-at-a-time parse, as the real decoder does
+           let fd = open("/data/evil.gif");
+           let magic = read(fd, 3);
+           let widthtxt = read(fd, 3);
+           let flags = read(fd, 2);
+           let pixels = read(fd, 200);
+           close(fd);
+           let sum = convert("xxx" + widthtxt + flags, pixels);
+           let out = creat("/out/evil.png");
+           write(out, "PNG:" + itoa(sum) + magic);
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out"
+        |> with_file "/data/evil.gif" "GIF024!!AAAABBBBCCCCDDDDEEEEFFFF")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/evil.gif" ~nth:2 () ]
+      (* nth=2: the width field, not the magic bytes *)
+    ~strategy:(Ldx_core.Mutation.Swap_substring ("024", "025"))
+    ~safe_world:
+      World.(
+        empty
+        |> with_dir "/data" |> with_dir "/out"
+        |> with_file "/data/evil.gif" "GIF012!!AAAABBBB")
+      (* width 12 fits the 16-byte buffer: no overflow, the return slot
+         stays clean whatever the mutation does *)
+    ~sinks:Engine.Attack_sinks ()
+
+(* ------------------------------------------------------------------ *)
+(* Mp3info: tag size fields multiply into a malloc size (integer       *)
+(* overflow pattern).                                                  *)
+
+let mp3info =
+  make ~name:"Mp3info" ~category:Vulnerable ~paper_loc:"925"
+    ~description:
+      "tag reader: frame-count times frame-size drives an allocation; \
+       crafted fields overflow the size computation"
+    ~source:
+      {| fn main() {
+           let fd = open("/data/song.mp3");
+           let magic = read(fd, 3);
+           let nframes = atoi(read(fd, 3));
+           let framesz = atoi(read(fd, 3));
+           let title = read(fd, 12);
+           close(fd);
+           // 16-bit wraparound models the integer overflow
+           let total = (nframes * framesz) % 65536;
+           let buf = malloc(total);
+           print("title=" + title + " frames=" + itoa(nframes) + "\n");
+           free(buf);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/data"
+        |> with_file "/data/song.mp3" "ID3999999darkside-ofx")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/data/song.mp3" ~nth:2 () ]
+      (* nth=2: the frame-count field *)
+    ~sinks:Engine.Attack_sinks ()
+
+(* ------------------------------------------------------------------ *)
+(* Prozilla: Content-Length from the server overruns a stack buffer.   *)
+
+let prozilla =
+  make ~name:"Prozilla" ~category:Vulnerable ~paper_loc:"13K"
+    ~description:
+      "download accelerator: the response Content-Length drives a copy \
+       into a fixed chunk buffer; the overflow corrupts the return slot"
+    ~source:
+      {| fn fetch(conn) {
+           send(conn, "GET /file HTTP/1.0");
+           let hdr = recv(conn);
+           let cl = find(hdr, "Length:");
+           let claimed = atoi(substr(hdr, cl + 7, 6));
+           let body = recv(conn);
+           let buf = mkarray(32, 0);
+           let ret = 8192;
+           for (let i = 0; i < claimed; i = i + 1) {
+             let b = char_at(body, i % max(1, strlen(body)));
+             if (i < 32) { buf[i] = b; }
+             else { ret = (ret ^ (b * (i + 1))) % 65536; }
+           }
+           retaddr(ret);
+           return claimed;
+         }
+
+         fn main() {
+           let conn = socket("mirror.example");
+           let n = fetch(conn);
+           let out = creat("/out/file.part");
+           write(out, "got=" + itoa(n));
+           close(out);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/out"
+        |> with_endpoint "mirror.example"
+          [ "HTTP/1.0 200 Length:000048"; "payloadpayloadpayload" ])
+    ~leak_sources:[ src ~sys:"recv" ~arg:"mirror.example" () ]
+    ~safe_world:
+      World.(
+        empty
+        |> with_dir "/out"
+        |> with_endpoint "mirror.example"
+          [ "HTTP/1.0 200 Length:000024"; "payloadpayloadpayload" ])
+    ~sinks:Engine.Attack_sinks ()
+
+(* ------------------------------------------------------------------ *)
+(* Yopsws: the request path is copied into a small URI buffer.         *)
+
+let yopsws =
+  make ~name:"Yopsws" ~category:Vulnerable ~paper_loc:"1.9K"
+    ~description:
+      "tiny web server: an over-long request path overruns the URI \
+       buffer and smashes the frame"
+    ~source:
+      {| fn handle(conn, req) {
+           let uri = mkarray(12, 0);
+           let ret = 16384;
+           for (let i = 0; i < strlen(req); i = i + 1) {
+             let c = char_at(req, i);
+             if (i < 12) { uri[i] = c; }
+           }
+           if (strlen(req) > 12) {
+             // the smashed slot holds attacker-controlled payload bits
+             ret = (16384 + hash(req)) % 65536;
+           }
+           retaddr(ret);
+           if (char_at(req, 0) == 47) { send(conn, "200 ok"); }
+           else { send(conn, "400 bad"); }
+           return 0;
+         }
+
+         fn main() {
+           let conn = socket("www.clients");
+           let req = recv(conn);
+           let served = 0;
+           while (req != "") {
+             let ok = handle(conn, req);
+             served = served + 1;
+             req = recv(conn);
+           }
+           print("served=" + itoa(served) + "\n");
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_endpoint "www.clients"
+          [ "/index.html"; "/AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA" ])
+    ~leak_sources:[ src ~sys:"recv" ~arg:"www.clients" ~nth:2 () ]
+    ~safe_world:
+      World.(empty |> with_endpoint "www.clients" [ "/index"; "/about" ])
+    ~sinks:Engine.Attack_sinks ()
+
+(* ------------------------------------------------------------------ *)
+(* Ngircd: IRC NICK message parsing with a fixed nick buffer.          *)
+
+let ngircd =
+  make ~name:"Ngircd" ~category:Vulnerable ~paper_loc:"66K"
+    ~description:
+      "IRC daemon: NICK argument copied into a 9-byte nick buffer; \
+       longer nicks clobber adjacent frame state"
+    ~source:
+      {| fn handle_nick(conn, arg) {
+           let nick = mkarray(9, 0);
+           let ret = 32768;
+           for (let i = 0; i < strlen(arg); i = i + 1) {
+             let c = char_at(arg, i);
+             if (i < 9) { nick[i] = c; }
+             else { ret = (ret + (c << (i % 8))) % 65536; }
+           }
+           retaddr(ret);
+           send(conn, "001 welcome");
+           return 0;
+         }
+
+         fn handle_join(conn, arg) {
+           send(conn, "JOIN " + arg);
+           return 0;
+         }
+
+         fn main() {
+           let conn = socket("irc.clients");
+           let msg = recv(conn);
+           let handled = 0;
+           while (msg != "") {
+             let sp = find(msg, " ");
+             let cmd = msg;
+             let arg = "";
+             if (sp >= 0) {
+               cmd = substr(msg, 0, sp);
+               arg = substr(msg, sp + 1, strlen(msg) - sp - 1);
+             }
+             let h = @handle_join;
+             if (cmd == "NICK") { h = @handle_nick; }
+             let ok = h(conn, arg);
+             handled = handled + 1;
+             msg = recv(conn);
+           }
+           print("handled=" + itoa(handled) + "\n");
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_endpoint "irc.clients"
+          [ "NICK averyveryverylongnickname_overflowing"; "JOIN #ocaml" ])
+    ~leak_sources:[ src ~sys:"recv" ~arg:"irc.clients" ~nth:1 () ]
+    ~safe_world:
+      World.(empty |> with_endpoint "irc.clients" [ "JOIN #chat"; "JOIN #caml" ])
+    ~sinks:Engine.Attack_sinks ()
+
+(* ------------------------------------------------------------------ *)
+(* Gcc (the 54K vulnerable row): a declared array size from the input  *)
+(* source flows into an allocation after an unchecked multiply.        *)
+
+let gcc_vuln =
+  make ~name:"Gcc" ~category:Vulnerable ~paper_loc:"54K"
+    ~description:
+      "compiler front end: a declared array extent times element size \
+       reaches the arena allocator unchecked"
+    ~source:
+      {| fn parse_extent(text) {
+           // find "int a[NNNN]" and return NNNN
+           let lb = find(text, "[");
+           let rb = find(text, "]");
+           if (lb < 0 || rb < lb) { return 0; }
+           return atoi(substr(text, lb + 1, rb - lb - 1));
+         }
+
+         fn main() {
+           let fd = open("/src/prog.c");
+           let text = read(fd, 512);
+           close(fd);
+           let extent = parse_extent(text);
+           let elem = 8;
+           let size = (extent * elem) % 65536;     // wraparound
+           let arena = malloc(size);
+           // token count pass (realistic extra work)
+           let tokens = 0;
+           for (let i = 0; i < strlen(text); i = i + 1) {
+             if (char_at(text, i) == 32) { tokens = tokens + 1; }
+           }
+           let out = creat("/out/prog.o");
+           write(out, "obj tokens=" + itoa(tokens));
+           close(out);
+           free(arena);
+         } |}
+    ~world:
+      World.(
+        empty
+        |> with_dir "/src" |> with_dir "/out"
+        |> with_file "/src/prog.c" "int main() { int a[9999]; return a[0]; }")
+    ~leak_sources:[ src ~sys:"read" ~arg:"/src/prog.c" () ]
+    ~strategy:(Ldx_core.Mutation.Swap_substring ("[9999]", "[9998]"))
+      (* targeted data-field mutation: the declared extent *)
+    ~sinks:Engine.Attack_sinks ()
+
+let all = [ gif2png; mp3info; prozilla; yopsws; ngircd; gcc_vuln ]

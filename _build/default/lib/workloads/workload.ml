@@ -1,0 +1,74 @@
+(* Workload descriptors: one per paper benchmark row (Table 1).
+
+   Each workload is a MiniC analogue of the paper's benchmark — it mirrors
+   the structural features the evaluation depends on (loop/recursion/
+   function-pointer density, syscall mix, where secrets flow) at reduced
+   scale.  [leak_sources] is the input mutation that must produce a sink
+   difference (Table 2's 'O'); [benign_sources], when constructible, is a
+   mutation that perturbs execution without reaching the sinks (Table 2's
+   'X' — absent for the numeric SPEC programs, as in the paper). *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+
+type category = Spec | Leak_detection | Vulnerable | Concurrency
+
+let category_to_string = function
+  | Spec -> "SPEC-like"
+  | Leak_detection -> "network/system"
+  | Vulnerable -> "vulnerable"
+  | Concurrency -> "concurrency"
+
+type t = {
+  name : string;                       (* the paper's benchmark name *)
+  category : category;
+  description : string;
+  source : string;                     (* MiniC program text *)
+  world : World.t;
+  leak_sources : Engine.source_spec list;
+  benign_sources : Engine.source_spec list option;
+  sinks : Engine.sink_config;
+  strategy : Ldx_core.Mutation.strategy;
+  (* default off-by-one; a targeted Swap_substring models the paper's
+     "mutate data fields, not magic values" for blob inputs *)
+  safe_world : World.t option;
+  (* a benign-input world on which the same mutation must NOT produce a
+     causality report — the "no false warnings" check for the
+     attack-detection programs *)
+  paper_loc : string;                  (* LOC reported in Table 1 *)
+  interactive : bool;                  (* excluded from Fig. 6 *)
+  uses_threads : bool;
+}
+
+let make ~name ~category ~description ~source ~world ~leak_sources
+    ?benign_sources ~sinks ?(strategy = Ldx_core.Mutation.Off_by_one)
+    ?safe_world ~paper_loc ?(interactive = false) ?(uses_threads = false) () =
+  { name; category; description; source; world; leak_sources;
+    benign_sources; sinks; strategy; safe_world; paper_loc; interactive;
+    uses_threads }
+
+let leak_config ?strategy (w : t) : Engine.config =
+  { Engine.default_config with
+    Engine.sources = w.leak_sources;
+    sinks = w.sinks;
+    strategy = (match strategy with Some s -> s | None -> w.strategy) }
+
+let benign_config (w : t) : Engine.config option =
+  Option.map
+    (fun sources ->
+       { Engine.default_config with Engine.sources = sources; sinks = w.sinks })
+    w.benign_sources
+
+let no_mutation_config (w : t) : Engine.config =
+  { Engine.default_config with Engine.sources = []; sinks = w.sinks }
+
+(* Count the MiniC source lines (our LOC for Table 1). *)
+let minic_loc (w : t) =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) w.source;
+  !n + 1
+
+let lower (w : t) = Ldx_cfg.Lower.lower_source w.source
+
+let instrumented (w : t) =
+  Ldx_instrument.Counter.instrument (lower w)

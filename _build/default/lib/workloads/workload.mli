@@ -1,0 +1,58 @@
+(** Workload descriptors: one per paper benchmark row (Table 1).
+
+    Each workload is a MiniC analogue of a paper benchmark, mirroring the
+    structural features the evaluation depends on at reduced scale.
+    [leak_sources] is the input mutation that must reach a sink (Table 2
+    'O'); [benign_sources], when constructible, perturbs execution
+    without reaching the sinks (Table 2 'X'). *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+
+type category = Spec | Leak_detection | Vulnerable | Concurrency
+
+val category_to_string : category -> string
+
+type t = {
+  name : string;
+  category : category;
+  description : string;
+  source : string;                     (** MiniC program text *)
+  world : World.t;
+  leak_sources : Engine.source_spec list;
+  benign_sources : Engine.source_spec list option;
+  sinks : Engine.sink_config;
+  strategy : Ldx_core.Mutation.strategy;
+      (** default off-by-one; targeted [Swap_substring] for blob fields *)
+  safe_world : World.t option;
+      (** benign-input world: the same mutation must stay silent (the
+          "no false warnings" check for attack detection) *)
+  paper_loc : string;                  (** LOC reported in the paper *)
+  interactive : bool;                  (** excluded from Fig. 6 *)
+  uses_threads : bool;
+}
+
+val make :
+  name:string -> category:category -> description:string -> source:string ->
+  world:World.t -> leak_sources:Engine.source_spec list ->
+  ?benign_sources:Engine.source_spec list -> sinks:Engine.sink_config ->
+  ?strategy:Ldx_core.Mutation.strategy -> ?safe_world:World.t ->
+  paper_loc:string -> ?interactive:bool -> ?uses_threads:bool -> unit -> t
+
+(** The leak-mutation configuration ([?strategy] overrides the
+    workload's). *)
+val leak_config : ?strategy:Ldx_core.Mutation.strategy -> t -> Engine.config
+
+(** The benign-mutation configuration; [None] when not constructible. *)
+val benign_config : t -> Engine.config option
+
+(** Sources disabled — for alignment/overhead baselines. *)
+val no_mutation_config : t -> Engine.config
+
+(** MiniC source line count (our Table 1 LOC). *)
+val minic_loc : t -> int
+
+val lower : t -> Ldx_cfg.Ir.program
+
+val instrumented :
+  t -> Ldx_cfg.Ir.program * Ldx_instrument.Counter.stats

@@ -1,0 +1,1 @@
+test/test_align.ml: Alcotest Array Ldx_cfg Ldx_core Ldx_instrument Ldx_osim Ldx_vm List Printf

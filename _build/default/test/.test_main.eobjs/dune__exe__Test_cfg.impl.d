@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Ldx_cfg List String

@@ -1,0 +1,1 @@
+test/test_concurrency_edges.ml: Alcotest Ldx_core Ldx_osim Ldx_workloads List Printf

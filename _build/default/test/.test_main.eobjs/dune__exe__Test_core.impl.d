@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ldx_core Ldx_osim List Printf

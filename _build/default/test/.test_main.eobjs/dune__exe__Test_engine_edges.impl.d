@@ -1,0 +1,1 @@
+test/test_engine_edges.ml: Alcotest Ldx_cfg Ldx_core Ldx_osim List String

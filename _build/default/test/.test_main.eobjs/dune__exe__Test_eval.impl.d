@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Ast Hashtbl Ldx_lang Ldx_vm

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Float Ldx_cfg Ldx_core Ldx_instrument Ldx_osim Ldx_report Ldx_vm List String

@@ -1,0 +1,1 @@
+test/test_inputs.ml: Alcotest Ldx_workloads List String

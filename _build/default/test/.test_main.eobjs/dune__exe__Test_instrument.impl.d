@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Ldx_cfg Ldx_instrument Ldx_lang Ldx_osim Ldx_vm List String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Check Ldx_lang Lexer List Parser Printer

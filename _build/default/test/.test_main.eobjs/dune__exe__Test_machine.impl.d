@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Fmt Ldx_cfg Ldx_osim Ldx_vm List Printf

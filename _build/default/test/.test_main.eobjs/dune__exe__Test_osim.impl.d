@@ -1,0 +1,1 @@
+test/test_osim.ml: Alcotest Ldx_osim List Net Os Sval Vfs World

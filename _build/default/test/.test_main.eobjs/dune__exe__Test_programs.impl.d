@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Filename In_channel Ldx_core Ldx_osim List Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Ast Hashtbl Ldx_cfg Ldx_core Ldx_genprog Ldx_instrument Ldx_lang Ldx_osim Ldx_taint Ldx_vm List Parser Printer Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ldx_core Ldx_report Ldx_taint Ldx_workloads List String

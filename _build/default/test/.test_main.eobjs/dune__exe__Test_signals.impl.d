@@ -1,0 +1,1 @@
+test/test_signals.ml: Alcotest Ldx_core Ldx_osim Ldx_vm

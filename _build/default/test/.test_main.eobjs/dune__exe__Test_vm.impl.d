@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Ldx_osim Ldx_vm List Printf String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ldx_core Ldx_vm Ldx_workloads List

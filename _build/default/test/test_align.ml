@@ -1,0 +1,134 @@
+(* Focused unit tests for the position order and its rendering, plus
+   instrumentation placement details (critical-edge splitting, multi-loop
+   exits). *)
+
+module Align = Ldx_core.Align
+module Ir = Ldx_cfg.Ir
+module Lower = Ldx_cfg.Lower
+module Counter = Ldx_instrument.Counter
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let seg cnt loops = { Align.cnt; loops }
+
+let test_seg_compare_matrix () =
+  let cases =
+    [ (* same loop: iteration decides before counter *)
+      (seg 9 [ (1, 0) ], seg 2 [ (1, 1) ], -1);
+      (* same loop & iteration: counter decides *)
+      (seg 3 [ (1, 2) ], seg 5 [ (1, 2) ], -1);
+      (* nested: outer equal, inner iteration decides *)
+      (seg 4 [ (1, 2); (2, 0) ], seg 4 [ (1, 2); (2, 3) ], -1);
+      (* disjoint loops: counter decides *)
+      (seg 7 [ (1, 5) ], seg 4 [ (3, 0) ], 1);
+      (* no loops at all *)
+      (seg 2 [], seg 2 [], 0) ]
+  in
+  List.iteri
+    (fun i (a, b, expected) ->
+       let norm x = compare x 0 in
+       check int (Printf.sprintf "case %d" i) expected
+         (norm (Align.compare_seg a b));
+       check int (Printf.sprintf "case %d sym" i) (-expected)
+         (norm (Align.compare_seg b a)))
+    cases
+
+let test_position_depth_order () =
+  let outer = seg 5 [] in
+  check bool "deeper is ahead" true
+    (Align.compare [ outer; seg 0 [] ] [ outer ] > 0);
+  check bool "differing outer dominates depth" true
+    (Align.compare [ seg 6 [] ] [ seg 5 []; seg 99 [] ] > 0)
+
+let test_to_string_format () =
+  check string "flat" "<7>" (Align.to_string [ seg 7 [] ]);
+  check string "loops and segments" "<L1#2.4|0>"
+    (Align.to_string [ seg 4 [ (1, 2) ]; seg 0 [] ])
+
+(* Instrumentation placement.  Structured if-lowering materializes both
+   arms, so plain branches never yield critical edges; they arise at
+   loop exits when a [break] gives the exit target two predecessors while
+   the loop header keeps two successors.  The Loop_exit code on the
+   header's exit edge must then be SPLIT into a fresh block, never merged
+   into either endpoint. *)
+let test_critical_edge_split () =
+  let src =
+    {| fn main() {
+         let i = 0;
+         while (i < 10) {
+           print(itoa(i));
+           if (i == 3) { break; }
+           i = i + 1;
+         }
+         print("after");
+       } |}
+  in
+  let plain = Lower.lower_source src in
+  let before = Array.length (Ir.find_func_exn plain "main").Ir.blocks in
+  let prog, stats = Counter.instrument plain in
+  let after = Array.length (Ir.find_func_exn prog "main").Ir.blocks in
+  check bool "compensation emitted" true (stats.Counter.instrs_added > 0);
+  check bool "edge split added a block" true (after > before);
+  (* the instrumented program still runs and behaves identically *)
+  let o1 = Ldx_vm.Driver.run plain Ldx_osim.World.empty in
+  let o2 = Ldx_vm.Driver.run prog Ldx_osim.World.empty in
+  check string "same output" o1.Ldx_vm.Driver.stdout o2.Ldx_vm.Driver.stdout
+
+(* A return from inside two nested loops exits both at once: the exit
+   instrumentation must pop both loop records (otherwise the VM traps
+   with a loop-stack mismatch). *)
+let test_multi_loop_exit_pop () =
+  let src =
+    {| fn scan(s) {
+         for (let i = 0; i < strlen(s); i = i + 1) {
+           print("i");
+           for (let j = 0; j < strlen(s); j = j + 1) {
+             print("j");
+             if (char_at(s, j) == 122) { return i * 100 + j; }
+           }
+         }
+         return 0 - 1;
+       }
+       fn main() {
+         let r = scan("abz");
+         print("=" + itoa(r));
+       } |}
+  in
+  let o = Ldx_vm.Driver.run_source ~instrument:true src Ldx_osim.World.empty in
+  (match o.Ldx_vm.Driver.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "trap: %s" m);
+  check string "early return through both loops" "ijjj=2"
+    o.Ldx_vm.Driver.stdout
+
+(* Two sequential loops: the second's entry must re-push a fresh
+   iteration record after the first's exit popped its own. *)
+let test_sequential_loops () =
+  let src =
+    {| fn main() {
+         for (let i = 0; i < 2; i = i + 1) { print("a"); }
+         for (let j = 0; j < 3; j = j + 1) { print("b"); }
+         print("end");
+       } |}
+  in
+  let o = Ldx_vm.Driver.run_source ~instrument:true ~record_trace:true src
+      Ldx_osim.World.empty in
+  (match o.Ldx_vm.Driver.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "trap: %s" m);
+  let counters =
+    List.map (fun t -> t.Ldx_vm.Driver.counter) o.Ldx_vm.Driver.trace
+  in
+  (* loop1: 1,1; after exit: loop2 at 2: 2,2,2; end at 3 *)
+  check (Alcotest.list int) "counters" [ 1; 1; 2; 2; 2; 3 ] counters
+
+let tests =
+  [ Alcotest.test_case "seg compare matrix" `Quick test_seg_compare_matrix;
+    Alcotest.test_case "position depth order" `Quick test_position_depth_order;
+    Alcotest.test_case "to_string format" `Quick test_to_string_format;
+    Alcotest.test_case "critical edge split" `Quick test_critical_edge_split;
+    Alcotest.test_case "multi-loop exit pop" `Quick test_multi_loop_exit_pop;
+    Alcotest.test_case "sequential loops" `Quick test_sequential_loops ]

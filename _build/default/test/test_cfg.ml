@@ -1,0 +1,204 @@
+(* CFG lowering, dominators, loops, call-graph tests. *)
+
+module Ir = Ldx_cfg.Ir
+module Lower = Ldx_cfg.Lower
+module Dominators = Ldx_cfg.Dominators
+module Loops = Ldx_cfg.Loops
+module Callgraph = Ldx_cfg.Callgraph
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let lower src = Lower.lower_source src
+
+let func p name = Ir.find_func_exn p name
+
+let test_lower_straightline () =
+  let p = lower "fn main() { let x = 1; let y = x + 2; print(itoa(y)); }" in
+  let m = func p "main" in
+  check bool "has blocks" true (Array.length m.Ir.blocks >= 2);
+  check int "one syscall site" 1 (Ir.total_syscall_sites p)
+
+let test_lower_if_diamond () =
+  let p = lower "fn main() { let x = 1; if (x) { print(\"a\"); } else { print(\"b\"); } }" in
+  let m = func p "main" in
+  let branches =
+    Array.fold_left
+      (fun acc (b : Ir.block) ->
+         match b.Ir.term with Ir.Branch _ -> acc + 1 | _ -> acc)
+      0 m.Ir.blocks
+  in
+  check int "one branch" 1 branches;
+  check int "two syscalls" 2 (Ir.total_syscall_sites p)
+
+let test_lower_single_exit () =
+  (* all Ret terminators collapse into one block *)
+  let p =
+    lower
+      {| fn f(x) {
+           if (x > 0) { return 1; }
+           if (x < 0) { return 0 - 1; }
+           return 0;
+         }
+         fn main() { let y = f(3); print(itoa(y)); } |}
+  in
+  let f = func p "f" in
+  let rets =
+    Array.fold_left
+      (fun acc (b : Ir.block) ->
+         match b.Ir.term with Ir.Ret _ -> acc + 1 | _ -> acc)
+      0 f.Ir.blocks
+  in
+  check int "single exit" 1 rets
+
+let test_lower_no_unreachable () =
+  let p =
+    lower
+      {| fn main() {
+           while (1) { if (rand() > 5) { break; } }
+           print("done");
+         } |}
+  in
+  let m = func p "main" in
+  let reach = Ir.reachable_blocks m in
+  Array.iter (fun r -> check bool "reachable" true r) reach
+
+let test_short_circuit_control_flow () =
+  (* && lowers to a branch: 2 branches for one && plus the if *)
+  let p = lower "fn main() { let a = 1; if (a > 0 && a < 10) { print(\"x\"); } }" in
+  let m = func p "main" in
+  let branches =
+    Array.fold_left
+      (fun acc (b : Ir.block) ->
+         match b.Ir.term with Ir.Branch _ -> acc + 1 | _ -> acc)
+      0 m.Ir.blocks
+  in
+  check bool ">= 2 branches" true (branches >= 2)
+
+let test_dominators_diamond () =
+  let p = lower "fn main() { let x = 1; if (x) { let a = 1; } else { let b = 2; } print(\"z\"); }" in
+  let m = func p "main" in
+  let d = Dominators.compute m in
+  (* entry dominates everything *)
+  Array.iter
+    (fun (b : Ir.block) ->
+       check bool "entry dominates" true (Dominators.dominates d m.Ir.entry b.Ir.bid))
+    m.Ir.blocks
+
+let test_loop_detection_while () =
+  let p = lower "fn main() { let i = 0; while (i < 3) { i = i + 1; } print(itoa(i)); }" in
+  let m = func p "main" in
+  let ld = Loops.detect m in
+  check int "one loop" 1 (List.length ld.Loops.loops);
+  check bool "reducible" true (Loops.is_reducible m ld)
+
+let test_loop_detection_nested () =
+  let p =
+    lower
+      {| fn main() {
+           for (let i = 0; i < 2; i = i + 1) {
+             for (let j = 0; j < 2; j = j + 1) { let x = i * j; }
+           }
+           print("k");
+         } |}
+  in
+  let m = func p "main" in
+  let ld = Loops.detect m in
+  check int "two loops" 2 (List.length ld.Loops.loops);
+  (* the inner loop body is contained in the outer *)
+  match
+    List.sort
+      (fun (a : Loops.loop) b ->
+         compare
+           (Loops.IntSet.cardinal a.Loops.body)
+           (Loops.IntSet.cardinal b.Loops.body))
+      ld.Loops.loops
+  with
+  | [ inner; outer ] ->
+    check bool "nesting" true
+      (Loops.IntSet.subset inner.Loops.body outer.Loops.body)
+  | _ -> Alcotest.fail "expected two loops"
+
+let test_loop_exits () =
+  let p =
+    lower
+      {| fn main() {
+           let i = 0;
+           while (i < 10) {
+             if (i == 3) { break; }
+             i = i + 1;
+           }
+           print(itoa(i));
+         } |}
+  in
+  let m = func p "main" in
+  let ld = Loops.detect m in
+  match ld.Loops.loops with
+  | [ l ] -> check bool "two exits (cond + break)" true (List.length l.Loops.exits >= 2)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_callgraph_recursion () =
+  let p =
+    lower
+      {| fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+         fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+         fn leaf(x) { return x; }
+         fn main() { let a = even(4); let b = leaf(a); print(itoa(b)); } |}
+  in
+  let cg = Callgraph.compute p in
+  check bool "even recursive" true (Callgraph.is_recursive cg "even");
+  check bool "odd recursive" true (Callgraph.is_recursive cg "odd");
+  check bool "leaf not recursive" false (Callgraph.is_recursive cg "leaf");
+  check bool "main not recursive" false (Callgraph.is_recursive cg "main")
+
+let test_callgraph_order () =
+  let p =
+    lower
+      {| fn a() { return b() + c(); }
+         fn b() { return c(); }
+         fn c() { return 1; }
+         fn main() { let x = a(); print(itoa(x)); } |}
+  in
+  let cg = Callgraph.compute p in
+  let pos name =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s not in order" name
+      | x :: rest -> if String.equal x name then i else go (i + 1) rest
+    in
+    go 0 cg.Callgraph.order
+  in
+  check bool "c before b" true (pos "c" < pos "b");
+  check bool "b before a" true (pos "b" < pos "a");
+  check bool "a before main" true (pos "a" < pos "main")
+
+let test_self_recursion () =
+  let p =
+    lower
+      {| fn f(n) { if (n <= 0) { return 0; } return f(n - 1); }
+         fn main() { let x = f(3); print(itoa(x)); } |}
+  in
+  let cg = Callgraph.compute p in
+  check bool "self recursive" true (Callgraph.is_recursive cg "f")
+
+let test_predecessors () =
+  let p = lower "fn main() { let x = 1; if (x) { let a = 2; } print(\"e\"); }" in
+  let m = func p "main" in
+  let preds = Ir.predecessors m in
+  check int "entry has no preds" 0 (List.length preds.(m.Ir.entry))
+
+let tests =
+  [ Alcotest.test_case "lower straightline" `Quick test_lower_straightline;
+    Alcotest.test_case "lower if diamond" `Quick test_lower_if_diamond;
+    Alcotest.test_case "lower single exit" `Quick test_lower_single_exit;
+    Alcotest.test_case "lower prunes unreachable" `Quick test_lower_no_unreachable;
+    Alcotest.test_case "short circuit control flow" `Quick
+      test_short_circuit_control_flow;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "loop detection while" `Quick test_loop_detection_while;
+    Alcotest.test_case "loop detection nested" `Quick test_loop_detection_nested;
+    Alcotest.test_case "loop exits" `Quick test_loop_exits;
+    Alcotest.test_case "callgraph recursion" `Quick test_callgraph_recursion;
+    Alcotest.test_case "callgraph order" `Quick test_callgraph_order;
+    Alcotest.test_case "self recursion" `Quick test_self_recursion;
+    Alcotest.test_case "predecessors" `Quick test_predecessors ]

@@ -1,0 +1,111 @@
+(* Input synthesizers: determinism, sizes, and the structural guarantees
+   the workloads rely on. *)
+
+module Inputs = Ldx_workloads.Inputs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let test_determinism () =
+  check string "text" (Inputs.text ~seed:5 ~chars:100)
+    (Inputs.text ~seed:5 ~chars:100);
+  check string "graph" (Inputs.graph ~seed:5 ~nodes:10 ~edges:20)
+    (Inputs.graph ~seed:5 ~nodes:10 ~edges:20);
+  check bool "seeds differ" true
+    (Inputs.text ~seed:1 ~chars:50 <> Inputs.text ~seed:2 ~chars:50)
+
+let test_sizes () =
+  check int "text size" 321 (String.length (Inputs.text ~seed:9 ~chars:321));
+  check int "runs size" 777 (String.length (Inputs.runs ~seed:9 ~chars:777));
+  check int "sequence size" 64 (String.length (Inputs.sequence ~seed:9 ~n:64));
+  check int "events size" 99 (String.length (Inputs.events ~seed:9 ~n:99))
+
+let test_graph_structure () =
+  let g = Inputs.graph ~seed:3 ~nodes:12 ~edges:30 in
+  let lines = String.split_on_char '\n' (String.trim g) in
+  check int "header + edges" 31 (List.length lines);
+  (match lines with
+   | hdr :: edges ->
+     check string "header" "12 30" hdr;
+     List.iter
+       (fun line ->
+          match String.split_on_char ' ' line with
+          | [ u; v; w ] ->
+            let u = int_of_string u and v = int_of_string v
+            and w = int_of_string w in
+            check bool "u in range" true (u >= 0 && u < 12);
+            check bool "v in range" true (v >= 0 && v < 12);
+            check bool "w positive" true (w >= 1)
+          | _ -> Alcotest.failf "bad edge line %S" line)
+       edges
+   | [] -> Alcotest.fail "empty graph")
+
+let test_perl_script_parses () =
+  (* every line must be digits/vars/ops/parens with optional 'v=' head *)
+  let s = Inputs.perl_script ~seed:7 ~lines:25 in
+  let ok_char c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'd')
+    || List.mem c [ '+'; '-'; '*'; '%'; '('; ')'; '=' ]
+  in
+  String.iter
+    (fun c -> if c <> '\n' && not (ok_char c) then
+        Alcotest.failf "unexpected char %C" c)
+    s;
+  check int "line count" 25
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' s)))
+
+let test_frames_shape () =
+  let f = Inputs.frames ~seed:4 ~w:16 ~h:8 in
+  check int "two frames + separator" (16 * 8 * 2 + 1) (String.length f);
+  check bool "frames differ" true
+    (String.sub f 0 128 <> String.sub f 129 128)
+
+let test_grid_has_path_column () =
+  let g = Inputs.grid ~seed:6 ~w:10 ~h:6 in
+  let rows = String.split_on_char '\n' g in
+  check int "rows" 6 (List.length rows);
+  List.iter
+    (fun row ->
+       check int "width" 10 (String.length row);
+       check bool "left column clear" true (row.[0] <> 'W'))
+    rows
+
+let test_xml_balanced () =
+  let x = Inputs.xml ~seed:8 ~nodes:20 in
+  let count sub =
+    let n = ref 0 in
+    let sl = String.length sub in
+    for i = 0 to String.length x - sl do
+      if String.sub x i sl = sub then incr n
+    done;
+    !n
+  in
+  (* every opening tag (with or without an attribute) has a closer *)
+  List.iter
+    (fun tag ->
+       check int ("balanced <" ^ tag ^ ">")
+         (count ("<" ^ tag ^ ">") + count ("<" ^ tag ^ " "))
+         (count ("</" ^ tag ^ ">")))
+    [ "r"; "b"; "i"; "p"; "q" ]
+
+let test_requests_contain_admin_auth () =
+  let reqs = Inputs.requests ~seed:31 ~n:40 ~auth:"hunter2" in
+  check int "count" 40 (List.length reqs);
+  check bool "has a correct-auth admin request" true
+    (List.exists (fun r -> r = "GET /admin hunter2") reqs);
+  check bool "has a wrong-auth admin request" true
+    (List.exists (fun r -> r = "GET /admin wrong") reqs)
+
+let tests =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "graph structure" `Quick test_graph_structure;
+    Alcotest.test_case "perl script parses" `Quick test_perl_script_parses;
+    Alcotest.test_case "frames shape" `Quick test_frames_shape;
+    Alcotest.test_case "grid path column" `Quick test_grid_has_path_column;
+    Alcotest.test_case "xml balanced" `Quick test_xml_balanced;
+    Alcotest.test_case "requests admin auth" `Quick
+      test_requests_contain_admin_auth ]

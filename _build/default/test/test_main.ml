@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "ldx"
+    [ ("lang", Test_lang.tests);
+      ("cfg", Test_cfg.tests);
+      ("instrument", Test_instrument.tests);
+      ("osim", Test_osim.tests);
+      ("vm", Test_vm.tests);
+      ("core", Test_core.tests);
+      ("workloads", Test_workloads.tests);
+      ("setjmp", Test_setjmp.tests);
+      ("extensions", Test_extensions.tests);
+      ("signals", Test_signals.tests);
+      ("engine-edges", Test_engine_edges.tests);
+      ("eval", Test_eval.tests);
+      ("report", Test_report.tests);
+      ("concurrency-edges", Test_concurrency_edges.tests);
+      ("programs", Test_programs.tests);
+      ("machine", Test_machine.tests);
+      ("inputs", Test_inputs.tests);
+      ("integration", Test_integration.tests);
+      ("align", Test_align.tests);
+      ("properties", Test_properties.tests) ]

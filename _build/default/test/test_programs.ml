@@ -1,0 +1,139 @@
+(* The programs/ corpus: every standalone .minic file must parse, check,
+   and behave as its header comment promises under dual execution. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* The sources are inlined here (tests run from the build sandbox, so we
+   keep the corpus embedded rather than reading the repo tree; a fixture
+   test below verifies the files on disk stay in sync). *)
+let load name =
+  let candidates =
+    [ Filename.concat "../programs" name;
+      Filename.concat "programs" name;
+      Filename.concat "../../../programs" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> Some (In_channel.with_open_text path In_channel.input_all)
+  | None -> None
+
+let with_program name k () =
+  match load name with
+  | None -> Alcotest.skip ()   (* source tree not visible from sandbox *)
+  | Some src -> k src
+
+let run ~config ~world src = Engine.run_source ~config src world
+
+let test_greeter =
+  with_program "greeter.minic" (fun src ->
+      let config =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"recv" () ];
+          sinks = Engine.Network_outputs }
+      in
+      let world = World.(empty |> with_endpoint "client" [ "ada" ]) in
+      let r = run ~config ~world src in
+      check bool "causality" true r.Engine.leak)
+
+let test_wordcount =
+  with_program "wordcount.minic" (fun src ->
+      let config =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"read" ~arg:"/in.txt" () ];
+          sinks = Engine.Output_syscalls }
+      in
+      let world =
+        World.(empty |> with_file "/in.txt" "hello brave new world")
+      in
+      (* off-by-one preserves word structure: no strong causality *)
+      let r = run ~config ~world src in
+      check bool "counts stable under neighbourhood mutation" false
+        r.Engine.leak;
+      (* a structure-changing mutation flips the counts *)
+      let config2 =
+        { config with
+          Engine.strategy = Ldx_core.Mutation.Swap_substring (" ", "_") }
+      in
+      let r2 = run ~config:config2 ~world src in
+      check bool "structural mutation leaks the counts" true r2.Engine.leak)
+
+let test_auth_gate =
+  with_program "auth_gate.minic" (fun src ->
+      let config =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"read" ~arg:"/etc/passwd" () ];
+          sinks = Engine.Network_outputs }
+      in
+      let world =
+        World.(
+          empty
+          |> with_dir "/etc"
+          |> with_file "/etc/passwd" "hunter2"
+          |> with_endpoint "client" [ "hunter2"; "wrongpw" ])
+      in
+      let r = run ~config ~world src in
+      check bool "secret leaks through comparison" true r.Engine.leak)
+
+let test_overflow_victim =
+  with_program "overflow_victim.minic" (fun src ->
+      let config =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"recv" () ];
+          sinks = Engine.Attack_sinks }
+      in
+      let world =
+        World.(
+          empty
+          |> with_endpoint "clients"
+            [ "/short"; "/AAAAAAAAAAAAAAAAAAAAAAAAAA" ])
+      in
+      let r = run ~config ~world src in
+      check bool "attack detected" true r.Engine.leak)
+
+let test_retry_loop =
+  with_program "retry_loop.minic" (fun src ->
+      let config =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"read" ~arg:"/etc/retries" () ];
+          sinks = Engine.Network_outputs }
+      in
+      let world =
+        World.(
+          empty
+          |> with_dir "/etc"
+          |> with_file "/etc/retries" "3"
+          |> with_endpoint "health" [ "ok"; "ok"; "ok"; "ok"; "ok" ]
+          |> with_endpoint "upstream" [])
+      in
+      let r = run ~config ~world src in
+      check bool "no causality at the send" false r.Engine.leak;
+      check bool "but loop diffs happened" true (r.Engine.syscall_diffs > 0))
+
+let test_worker_pool =
+  with_program "worker_pool.minic" (fun src ->
+      let config =
+        { Engine.default_config with
+          Engine.sources = [ Engine.source ~sys:"recv" ~arg:"jobs" () ];
+          sinks = Engine.Network_outputs }
+      in
+      let world =
+        World.(
+          empty
+          |> with_endpoint "jobs" [ "a"; "bb"; "ccc"; "dddd" ]
+          |> with_endpoint "done1" [] |> with_endpoint "done2" [])
+      in
+      let r = run ~config ~world src in
+      check bool "responses depend on jobs" true r.Engine.leak;
+      check int "all four responses flagged" 4 r.Engine.tainted_sinks)
+
+let tests =
+  [ Alcotest.test_case "greeter" `Quick test_greeter;
+    Alcotest.test_case "wordcount" `Quick test_wordcount;
+    Alcotest.test_case "auth gate" `Quick test_auth_gate;
+    Alcotest.test_case "overflow victim" `Quick test_overflow_victim;
+    Alcotest.test_case "retry loop" `Quick test_retry_loop;
+    Alcotest.test_case "worker pool" `Quick test_worker_pool ]

@@ -1,0 +1,117 @@
+(* Experiment-suite smoke tests: every table/figure renders, with the
+   headline relations from the paper asserted on the live corpus. *)
+
+module Experiments = Ldx_report.Experiments
+module Table = Ldx_report.Table
+module Registry = Ldx_workloads.Registry
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let contains hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to hn - nn do
+    if (not !found) && String.sub hay i nn = needle then found := true
+  done;
+  !found
+
+let test_table1_shape () =
+  let t = Experiments.table1 () in
+  check int "28 rows" 28 (List.length t.Table.rows);
+  check bool "renders" true (String.length (Table.render t) > 0)
+
+let test_fig6_overheads_low () =
+  let data = Experiments.fig6_data () in
+  let same = List.map (fun d -> d.Experiments.f6_same) data in
+  let muts = List.map (fun d -> d.Experiments.f6_mutated) data in
+  (* the headline claim: single-digit-percent mean overheads, and the
+     mutated runs are not meaningfully costlier than the identical runs *)
+  check bool "same-input mean < 15%" true (Table.mean same < 0.15);
+  check bool "mutated mean < 15%" true (Table.mean muts < 0.15);
+  List.iter
+    (fun d ->
+       check bool
+         (d.Experiments.f6_name ^ " overhead sane")
+         true
+         (d.Experiments.f6_same >= 0.0 && d.Experiments.f6_same < 0.60))
+    data
+
+let test_table3_relations () =
+  (* LibDFT <= TaintGrind per program (the library-modelling gap), and
+     LDX >= TaintGrind in total *)
+  let rows = List.map Experiments.table3_row Registry.all in
+  List.iter
+    (fun ((w : Ldx_workloads.Workload.t),
+          (tg : Ldx_taint.Tracker.result),
+          (ld : Ldx_taint.Tracker.result), _) ->
+       check bool
+         (w.Ldx_workloads.Workload.name ^ ": libdft <= taintgrind")
+         true
+         (ld.Ldx_taint.Tracker.tainted_sinks
+          <= tg.Ldx_taint.Tracker.tainted_sinks))
+    rows;
+  let total f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let tg = total (fun (_, (t : Ldx_taint.Tracker.result), _, _) ->
+      t.Ldx_taint.Tracker.tainted_sinks) in
+  let ld = total (fun (_, _, (t : Ldx_taint.Tracker.result), _) ->
+      t.Ldx_taint.Tracker.tainted_sinks) in
+  let ldx = total (fun (_, _, _, (r : Ldx_core.Engine.result)) ->
+      r.Ldx_core.Engine.tainted_sinks) in
+  check bool "ldx > taintgrind > libdft in total" true (ldx > tg && tg > ld);
+  (* every attack in the vulnerable set detected by LDX *)
+  List.iter
+    (fun ((w : Ldx_workloads.Workload.t), _, _, (r : Ldx_core.Engine.result)) ->
+       if w.Ldx_workloads.Workload.category = Ldx_workloads.Workload.Vulnerable
+       then
+         check bool (w.Ldx_workloads.Workload.name ^ " attack caught") true
+           r.Ldx_core.Engine.leak)
+    rows
+
+let test_table4_small () =
+  let t = Experiments.table4 ~runs:5 () in
+  check int "5 rows" 5 (List.length t.Table.rows);
+  check bool "renders" true (contains (Table.render t) "Apache")
+
+let test_cases_render () =
+  let gcc = Experiments.case_gcc () in
+  check bool "gcc: LDX leak" true (contains gcc "leak=true");
+  check bool "gcc: taint engines blind" true (contains gcc "tainted sinks=0");
+  let ff = Experiments.case_firefox () in
+  check bool "firefox: LDX leak" true (contains ff "leak=true")
+
+let test_mutation_table () =
+  let t = Experiments.mutation_study () in
+  check int "5 strategies" 5 (List.length t.Table.rows);
+  (* off-by-one detects everything the others do *)
+  match t.Table.rows with
+  | (_ :: off :: _) :: _ ->
+    check bool "off-by-one full marks" true (contains off "11")
+  | _ -> Alcotest.fail "unexpected row shape"
+
+let test_fp_check () =
+  let t = Experiments.fp_check () in
+  check int "4 rows" 4 (List.length t.Table.rows);
+  List.iter
+    (fun row ->
+       check bool "attack detected" true (contains (List.nth row 1) "attack");
+       check bool "benign silent" true (contains (List.nth row 2) "silent"))
+    t.Table.rows
+
+let test_ablations_render () =
+  check bool "A1" true
+    (String.length (Table.render (Experiments.ablation_alignment ())) > 0);
+  let a2 = Table.render (Experiments.ablation_loops ()) in
+  check bool "A2 shows false positives without reset" true
+    (contains a2 "leak=true")
+
+let tests =
+  [ Alcotest.test_case "table1 shape" `Quick test_table1_shape;
+    Alcotest.test_case "fig6 overheads low" `Quick test_fig6_overheads_low;
+    Alcotest.test_case "table3 relations" `Quick test_table3_relations;
+    Alcotest.test_case "table4 small" `Quick test_table4_small;
+    Alcotest.test_case "case studies render" `Quick test_cases_render;
+    Alcotest.test_case "mutation table" `Quick test_mutation_table;
+    Alcotest.test_case "fp check" `Quick test_fp_check;
+    Alcotest.test_case "ablations render" `Quick test_ablations_render ]

@@ -1,0 +1,92 @@
+(* Whole-corpus validation: all 28 benchmark analogues must
+   (1) run natively without traps,
+   (2) dual-execute with zero divergence when nothing is mutated,
+   (3) report causality under their leak configuration,
+   (4) stay silent under their benign configuration (when present). *)
+
+module Engine = Ldx_core.Engine
+module Workload = Ldx_workloads.Workload
+module Registry = Ldx_workloads.Registry
+module Driver = Ldx_vm.Driver
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let native_ok (w : Workload.t) () =
+  let o = Driver.run (Workload.lower w) w.Workload.world in
+  (match o.Driver.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "%s trapped natively: %s" w.Workload.name m);
+  check bool "did some syscalls" true (o.Driver.syscalls > 0)
+
+let aligned_ok (w : Workload.t) () =
+  let prog, _ = Workload.instrumented w in
+  let r = Engine.run ~config:(Workload.no_mutation_config w) prog w.Workload.world in
+  (match r.Engine.master.Engine.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "%s master trapped: %s" w.Workload.name m);
+  (match r.Engine.slave.Engine.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "%s slave trapped: %s" w.Workload.name m);
+  check int (w.Workload.name ^ " diffs") 0 r.Engine.syscall_diffs;
+  check bool (w.Workload.name ^ " no leak") false r.Engine.leak
+
+let leak_ok (w : Workload.t) () =
+  let prog, _ = Workload.instrumented w in
+  let r = Engine.run ~config:(Workload.leak_config w) prog w.Workload.world in
+  (match r.Engine.slave.Engine.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "%s slave trapped: %s" w.Workload.name m);
+  check bool (w.Workload.name ^ " leak detected") true r.Engine.leak;
+  check bool (w.Workload.name ^ " mutated inputs > 0") true
+    (r.Engine.mutated_inputs > 0)
+
+let benign_ok (w : Workload.t) () =
+  match Workload.benign_config w with
+  | None -> ()
+  | Some config ->
+    let prog, _ = Workload.instrumented w in
+    let r = Engine.run ~config prog w.Workload.world in
+    (match r.Engine.slave.Engine.trap with
+     | None -> ()
+     | Some m -> Alcotest.failf "%s slave trapped: %s" w.Workload.name m);
+    check bool (w.Workload.name ^ " benign: no leak") false r.Engine.leak
+
+(* Concurrency set: schedule perturbation (different seeds) must not
+   break the engine even when races change behaviour. *)
+let perturbed_ok (w : Workload.t) () =
+  let prog, _ = Workload.instrumented w in
+  let config =
+    { (Workload.leak_config w) with
+      Engine.master_seed = 11; Engine.slave_seed = 47 }
+  in
+  let r = Engine.run ~config prog w.Workload.world in
+  (match r.Engine.master.Engine.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "%s master trapped: %s" w.Workload.name m);
+  match r.Engine.slave.Engine.trap with
+  | None -> ()
+  | Some m -> Alcotest.failf "%s slave trapped: %s" w.Workload.name m
+
+let registry_complete () =
+  check int "28 workloads" 28 (List.length Registry.all);
+  check int "12 spec" 12 (List.length Registry.spec);
+  check int "5 leak" 5 (List.length Registry.leak);
+  check int "6 vulnerable" 6 (List.length Registry.vulnerable);
+  check int "5 concurrency" 5 (List.length Registry.concurrency)
+
+let tests =
+  Alcotest.test_case "registry complete" `Quick registry_complete
+  :: List.concat_map
+    (fun (w : Workload.t) ->
+       [ Alcotest.test_case (w.Workload.name ^ " native") `Quick (native_ok w);
+         Alcotest.test_case (w.Workload.name ^ " aligned") `Quick (aligned_ok w);
+         Alcotest.test_case (w.Workload.name ^ " leak") `Quick (leak_ok w);
+         Alcotest.test_case (w.Workload.name ^ " benign") `Quick (benign_ok w) ])
+    Registry.all
+  @ List.map
+    (fun (w : Workload.t) ->
+       Alcotest.test_case (w.Workload.name ^ " perturbed") `Quick
+         (perturbed_ok w))
+    Registry.concurrency
