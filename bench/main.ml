@@ -162,9 +162,7 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
-let print_results results =
-  Printf.printf "%-34s %16s\n" "benchmark" "time/run";
-  Printf.printf "%s\n" (String.make 52 '-');
+let result_rows results =
   let rows = ref [] in
   Hashtbl.iter
     (fun _instance tbl ->
@@ -178,6 +176,11 @@ let print_results results =
             rows := (name, est) :: !rows)
          tbl)
     results;
+  List.sort compare !rows
+
+let print_results rows =
+  Printf.printf "%-34s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 52 '-');
   List.iter
     (fun (name, est) ->
        let human =
@@ -188,12 +191,65 @@ let print_results results =
          else Printf.sprintf "%.0f ns" est
        in
        Printf.printf "%-34s %16s\n" name human)
-    (List.sort compare !rows)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json: machine-readable wall times plus the key engine
+   counters of one recorded leak run per (non-interactive) workload. *)
+
+module J = Ldx_obs.Json
+
+let recorded_counters () =
+  List.map
+    (fun ((w : Workload.t), prog) ->
+       let rc = Ldx_obs.Recorder.create () in
+       let r =
+         Engine.run ~config:(Workload.leak_config w)
+           ~obs:(Ldx_obs.Recorder.sink rc) prog w.Workload.world
+       in
+       let snap = Ldx_obs.Recorder.snapshot rc in
+       let c name = J.Int (Ldx_obs.Metrics.counter snap name) in
+       ( w.Workload.name,
+         J.Obj
+           [ ("leak", J.Bool r.Engine.leak);
+             ("tainted_sinks", J.Int r.Engine.tainted_sinks);
+             ("master_syscalls", c "master.syscalls");
+             ("slave_syscalls", c "slave.syscalls");
+             ("copies", c "engine.copies");
+             ("sink_compares", c "engine.sink_compares");
+             ("mutations", c "engine.mutations");
+             ("divergence_case1", c "divergence.case1");
+             ("divergence_case2", c "divergence.case2");
+             ("divergence_case3", c "divergence.case3");
+             ("wall_cycles", c "run.wall_cycles") ] ))
+    (List.filter
+       (fun ((w : Workload.t), _) -> not w.Workload.interactive)
+       (Lazy.force prepared))
+
+let write_bench_json rows =
+  let json =
+    J.Obj
+      [ ("schema", J.Str "ldx-bench/1");
+        ("time_unit", J.Str "ns_per_run");
+        ( "wall_times",
+          J.Obj
+            (List.map
+               (fun (name, est) ->
+                  (name, if Float.is_nan est then J.Null else J.Float est))
+               rows) );
+        ("engine_counters", J.Obj (recorded_counters ())) ]
+  in
+  Out_channel.with_open_text "BENCH_results.json" (fun oc ->
+      output_string oc (J.to_string json);
+      output_char oc '\n')
 
 let () =
   Printf.printf
     "=== Bechamel: wall time per experiment kernel (host machine) ===\n\n%!";
-  print_results (benchmark ());
+  let rows = result_rows (benchmark ()) in
+  print_results rows;
+  write_bench_json rows;
+  Printf.printf "\nbench results written to BENCH_results.json\n";
   Printf.printf
     "\n=== Regenerated evaluation (simulated metrics, cf. EXPERIMENTS.md) \
      ===\n\n%!";

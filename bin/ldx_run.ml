@@ -71,6 +71,26 @@ let final_state =
          ~doc:"Also diff the two filesystems (contents and mtimes) after \
                the run.")
 
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record the run and write a Chrome trace-event JSON dual \
+               timeline (master and slave tracks, flow arrows on coupled \
+               syscalls) to $(docv) — load it in Perfetto or \
+               chrome://tracing.")
+
+let metrics =
+  Arg.(value & flag
+       & info [ "metrics" ]
+         ~doc:"Record the run and print the metrics tables (overhead \
+               accounting, counters, histograms).")
+
+let metrics_json =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+         ~doc:"Record the run and write the metrics snapshot (plus the \
+               cycle-cost model) as JSON to $(docv).")
+
 let build_world files endpoints =
   let w = ref World.empty in
   List.iter
@@ -108,7 +128,7 @@ let parse_strategy = function
   | s -> Error (Printf.sprintf "unknown strategy %S" s)
 
 let run prog_file files endpoints sources sink strategy verbose trace dot
-    attribute final_state =
+    attribute final_state trace_out metrics metrics_json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
   let* strategy = parse_strategy strategy in
@@ -140,7 +160,13 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       `Ok ()
   end
   else
-  match Engine.run_source ~config src world with
+  let recorder =
+    if trace_out <> None || metrics || metrics_json <> None then
+      Some (Ldx_obs.Recorder.create ())
+    else None
+  in
+  let obs = Option.map Ldx_obs.Recorder.sink recorder in
+  match Engine.run_source ~config ?obs src world with
   | exception Failure msg -> `Error (false, msg)
   | r ->
     Printf.printf "master: %d syscalls, %d cycles%s\n"
@@ -170,7 +196,38 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       Printf.printf "\nAligned trace (master | slave):\n";
       print_string (Ldx_report.Trace_view.render r.Engine.trace)
     end;
-    `Ok ()
+    (try match recorder with
+     | None -> `Ok ()
+     | Some rc ->
+       let write_file path data =
+         Out_channel.with_open_text path (fun oc -> output_string oc data)
+       in
+       (match trace_out with
+        | Some path ->
+          write_file path
+            (Ldx_obs.Chrome_trace.to_string (Ldx_obs.Recorder.events rc));
+          Printf.printf "dual-timeline trace written to %s\n" path
+        | None -> ());
+       let snap = Ldx_obs.Recorder.snapshot rc in
+       (match metrics_json with
+        | Some path ->
+          write_file path
+            (Ldx_obs.Json.to_string
+               (Ldx_obs.Json.Obj
+                  [ ("metrics", Ldx_obs.Metrics.to_json snap);
+                    ( "cost_model",
+                      Ldx_obs.Json.Obj
+                        (List.map
+                           (fun (k, v) -> (k, Ldx_obs.Json.Int v))
+                           (Ldx_vm.Cost.to_assoc ())) ) ]));
+          Printf.printf "metrics JSON written to %s\n" path
+        | None -> ());
+       if metrics then begin
+         print_newline ();
+         print_string (Ldx_report.Obs_report.render snap)
+       end;
+       `Ok ()
+     with Sys_error msg -> `Error (false, msg))
 
 let cmd =
   let info =
@@ -180,6 +237,7 @@ let cmd =
     Term.(
       ret
         (const run $ prog_file $ files $ endpoints $ sources $ sink $ strategy
-         $ verbose $ trace $ dot $ attribute $ final_state))
+         $ verbose $ trace $ dot $ attribute $ final_state $ trace_out
+         $ metrics $ metrics_json))
 
 let () = exit (Cmd.eval cmd)

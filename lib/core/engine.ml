@@ -32,6 +32,7 @@ module Os = Ldx_osim.Os
 module Sval = Ldx_osim.Sval
 module World = Ldx_osim.World
 module Ir = Ldx_cfg.Ir
+module Obs = Ldx_obs
 
 (* ------------------------------------------------------------------ *)
 (* Configuration.                                                      *)
@@ -170,6 +171,83 @@ type trace_entry = {
   t_slave : (string * Sval.t list) option;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Observability (Ldx_obs).  Everything below is guarded on the ?obs
+   sink being present: with obs off the engine pays one pointer
+   comparison per emission point and builds no payloads.               *)
+
+(* The paper's divergence-case number of a report kind: 1 = syscall
+   missing in one execution, 2 = same counter different PC, 3 = aligned
+   sink with different parameters; 0 for the final-state extension. *)
+let case_of_kind = function
+  | Missing_in_slave | Missing_in_master -> 1
+  | Different_syscall -> 2
+  | Args_differ -> 3
+  | File_state_differs | File_metadata_differs -> 0
+
+let decision_of_action = function
+  | T_copied -> Obs.Event.D_copied
+  | T_sink_match -> Obs.Event.D_sink_match
+  | T_args_differ -> Obs.Event.D_args_differ
+  | T_path_diff -> Obs.Event.D_path_diff
+  | T_slave_only -> Obs.Event.D_slave_only
+  | T_master_only -> Obs.Event.D_master_only
+  | T_decoupled -> Obs.Event.D_decoupled
+
+(* Install the VM step hooks and the OS dispatch hook of one side. *)
+let install_obs (s : Obs.Sink.t) (side : Obs.Event.side) (m : Machine.t)
+    (os : Os.t) : unit =
+  let emit = Obs.Sink.emit s in
+  m.Machine.on_obs_syscall <-
+    Some
+      (fun t th (p : Machine.pending) ->
+         emit
+           (Obs.Event.Syscall
+              { side; tid = th.Machine.spawn_index; sys = p.Machine.sys;
+                site = p.Machine.site;
+                pos = Align.to_string (Align.of_thread th);
+                ts = t.Machine.cycles; dur = Cost.syscall }));
+  m.Machine.on_obs_barrier <-
+    Some
+      (fun t th (b : Machine.barrier) ->
+         emit
+           (Obs.Event.Barrier_wait
+              { side; tid = th.Machine.spawn_index; loop = b.Machine.loop;
+                ts = t.Machine.cycles; dur = Cost.barrier }));
+  m.Machine.on_obs_cnt_sample <-
+    Some (fun _ _ c -> emit (Obs.Event.Cnt_sample { side; value = c }));
+  os.Os.on_exec <-
+    Some
+      (fun o sys _args _r ->
+         emit
+           (Obs.Event.Os_call
+              { side; pid = o.Os.pid; sys; clock = o.Os.clock }))
+
+let emit_summary obs (side : Obs.Event.side) (m : Machine.t) : unit =
+  match obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.emit s
+      (Obs.Event.Run_summary
+         { side; cycles = m.Machine.cycles; steps = m.Machine.steps;
+           syscalls = m.Machine.syscalls;
+           cnt_instrs = m.Machine.instr_events; trap = m.Machine.trap })
+
+let phase_begin obs p = Obs.Sink.emit_opt obs (Obs.Event.Phase_begin p)
+let phase_end obs p = Obs.Sink.emit_opt obs (Obs.Event.Phase_end p)
+
+(* [with_phase obs p f] brackets [f] with begin/end events, ending the
+   phase even when [f] raises. *)
+let with_phase obs p f =
+  phase_begin obs p;
+  match f () with
+  | v ->
+    phase_end obs p;
+    v
+  | exception e ->
+    phase_end obs p;
+    raise e
+
 type result = {
   trace : trace_entry list;        (* empty unless config.record_trace *)
   reports : sink_report list;
@@ -290,10 +368,13 @@ let run_side (m : Machine.t)
   in
   loop ()
 
-let master_pass (config : config) (prog : Ir.program) (world : World.t) :
+let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
   master_out =
   let os = Os.create ~pid:1000 world in
   let m = Machine.create ~seed:config.master_seed ~max_steps:config.max_steps prog os in
+  (match obs with
+   | Some s -> install_obs s Obs.Event.Master m os
+   | None -> ());
   let is_sink = sink_pred config.sinks in
   let queues = Hashtbl.create 4 in
   let total_sinks = ref 0 in
@@ -317,6 +398,7 @@ let master_pass (config : config) (prog : Ir.program) (world : World.t) :
     Value.of_sval r
   in
   run_side m ~on_os_syscall ~on_stuck:(fun _ -> false);
+  emit_summary obs Obs.Event.Master m;
   { mqueues = queues;
     mlock_trace = List.rev m.Machine.lock_trace;
     msummary = summary_of m;
@@ -336,10 +418,13 @@ type slave_out = {
   sos : Os.t;                  (* the slave's private OS (final state) *)
 }
 
-let slave_pass (config : config) (prog : Ir.program) (world : World.t)
+let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
     (mo : master_out) : slave_out =
   let os = Os.create ~pid:1001 world in
   let m = Machine.create ~seed:config.slave_seed ~max_steps:config.max_steps prog os in
+  (match obs with
+   | Some s -> install_obs s Obs.Event.Slave m os
+   | None -> ());
   let is_sink = sink_pred config.sinks in
   (* --- schedule replay gate over the master's lock-grant order --- *)
   let grants : (string, int Queue.t) Hashtbl.t = Hashtbl.create 4 in
@@ -373,27 +458,49 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
   let diffs = ref 0 in
   let diffs_before_first = ref (-1) in
   let trace = ref [] in
-  let record_trace ~pos ~action ~master ~slave =
+  (* One alignment decision: feeds the (opt-in) trace log and the (opt-in)
+     observability sink.  [master_ts] is the producing master cycle stamp,
+     -1 when there is no master counterpart; the slave stamp is read off
+     the slave clock at the call, so in the copy path this runs after the
+     fast-forward. *)
+  let note ~tid ~pos ~action ~sinkp ~master_ts ~master ~slave =
     if config.record_trace then
       trace :=
         { t_pos = Align.to_string pos; t_action = action;
           t_master = master; t_slave = slave }
-        :: !trace
+        :: !trace;
+    match obs with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.emit s
+        (Obs.Event.Couple
+           { tid; pos = Align.to_string pos;
+             decision = decision_of_action action; sink = sinkp;
+             master_sys = Option.map fst master;
+             slave_sys = Option.map fst slave;
+             master_ts; slave_ts = m.Machine.cycles })
   in
   let tainted_resources : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let report kind ~sys ~site ~pos ~master_args ~slave_args =
     if !diffs_before_first < 0 then diffs_before_first := !diffs;
+    (match obs with
+     | None -> ()
+     | Some s ->
+       Obs.Sink.emit s
+         (Obs.Event.Divergence
+            { case = case_of_kind kind; kind = kind_to_string kind; sys;
+              site; pos = Align.to_string pos }));
     reports :=
       { kind; sys; site; position = Align.to_string pos;
         master_args; slave_args }
       :: !reports
   in
   let taint rs = List.iter (fun r -> Hashtbl.replace tainted_resources r ()) rs in
-  let drop_master_only (r : record) =
+  let drop_master_only ~tid (r : record) =
     incr diffs;
     taint (Os.resource_of_syscall os r.rsys r.rargs);
-    record_trace ~pos:r.rpos ~action:T_master_only
-      ~master:(Some (r.rsys, r.rargs)) ~slave:None;
+    note ~tid ~pos:r.rpos ~action:T_master_only ~sinkp:r.rsink
+      ~master_ts:r.rcyc ~master:(Some (r.rsys, r.rargs)) ~slave:None;
     if r.rsink then
       report Missing_in_slave ~sys:r.rsys ~site:r.rsite ~pos:r.rpos
         ~master_args:(Some r.rargs) ~slave_args:None
@@ -432,10 +539,19 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
          hit || this)
       false config.sources
   in
-  let maybe_mutate ~sys ~site ~args ~resources (v : Sval.t) : Sval.t =
+  let maybe_mutate ~sys ~site ~pos ~args ~resources (v : Sval.t) : Sval.t =
     if is_source ~sys ~site ~args ~resources then begin
       let v' = Mutation.mutate config.strategy v in
-      if not (Sval.equal v' v) then incr mutated;
+      if not (Sval.equal v' v) then begin
+        incr mutated;
+        match obs with
+        | None -> ()
+        | Some s ->
+          Obs.Sink.emit s
+            (Obs.Event.Mutation
+               { sys; site; pos = Align.to_string pos;
+                 before = Sval.to_string v; after = Sval.to_string v' })
+      end;
       v'
     end
     else v
@@ -447,12 +563,13 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
     let pos = Align.of_thread th in
     let resources = Os.resource_of_syscall os sys sargs in
     let sinkp = is_sink sys site sargs in
-    let q = queue_for mo.mqueues th.Machine.spawn_index in
+    let tid = th.Machine.spawn_index in
+    let q = queue_for mo.mqueues tid in
     (* discard outcomes the slave has passed: master-only syscalls *)
     while
       (not (Queue.is_empty q)) && Align.compare (Queue.peek q).rpos pos < 0
     do
-      drop_master_only (Queue.pop q)
+      drop_master_only ~tid (Queue.pop q)
     done;
     let private_exec () =
       taint resources;
@@ -460,7 +577,7 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
     in
     let slave_only () =
       incr diffs;
-      record_trace ~pos ~action:T_slave_only ~master:None
+      note ~tid ~pos ~action:T_slave_only ~sinkp ~master_ts:(-1) ~master:None
         ~slave:(Some (sys, sargs));
       if sinkp then
         report Missing_in_master ~sys ~site ~pos ~master_args:None
@@ -479,7 +596,7 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
           if res_tainted then begin
             (* control-flow aligned but on a diverged resource: decoupled *)
             incr diffs;
-            record_trace ~pos ~action:T_decoupled
+            note ~tid ~pos ~action:T_decoupled ~sinkp ~master_ts:r.rcyc
               ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
             if sinkp && not (Sval.list_equal r.rargs sargs) then
               report Args_differ ~sys ~site ~pos ~master_args:(Some r.rargs)
@@ -488,18 +605,19 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
           end
           else if Sval.list_equal r.rargs sargs then begin
             (* fully aligned: copy the master's outcome *)
-            record_trace ~pos
-              ~action:(if sinkp then T_sink_match else T_copied)
-              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
             (try ignore (Os.exec os sys sargs) with Os.Os_error _ -> ());
             m.Machine.cycles <- max m.Machine.cycles r.rcyc + Cost.share_copy;
             if sinkp then m.Machine.cycles <- m.Machine.cycles + Cost.sink_compare;
+            note ~tid ~pos
+              ~action:(if sinkp then T_sink_match else T_copied)
+              ~sinkp ~master_ts:r.rcyc
+              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
             r.rresult
           end
           else begin
             (* case 3: aligned, same PC, different parameters *)
             incr diffs;
-            record_trace ~pos ~action:T_args_differ
+            note ~tid ~pos ~action:T_args_differ ~sinkp ~master_ts:r.rcyc
               ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
             if sinkp then
               report Args_differ ~sys ~site ~pos ~master_args:(Some r.rargs)
@@ -512,7 +630,7 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
           (* case 2: same counter, different PC — both run independently *)
           ignore (Queue.pop q);
           incr diffs;
-          record_trace ~pos ~action:T_path_diff
+          note ~tid ~pos ~action:T_path_diff ~sinkp ~master_ts:r.rcyc
             ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
           taint (Os.resource_of_syscall os r.rsys r.rargs);
           if r.rsink || sinkp then
@@ -524,7 +642,7 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
         end
       end
     in
-    Value.of_sval (maybe_mutate ~sys ~site ~args:sargs ~resources res)
+    Value.of_sval (maybe_mutate ~sys ~site ~pos ~args:sargs ~resources res)
   in
   let on_stuck blocked =
     (* every blocked lock request whose gate refuses: taint the lock *)
@@ -546,8 +664,9 @@ let slave_pass (config : config) (prog : Ir.program) (world : World.t)
   run_side m ~on_os_syscall ~on_stuck;
   (* drain leftover master outcomes: syscalls the slave never reached *)
   Hashtbl.iter
-    (fun _ q -> Queue.iter drop_master_only q)
+    (fun tid q -> Queue.iter (drop_master_only ~tid) q)
     mo.mqueues;
+  emit_summary obs Obs.Event.Slave m;
   { sreports = List.rev !reports;
     sdiffs = !diffs;
     sdiffs_before_first = (if !diffs_before_first < 0 then !diffs else !diffs_before_first);
@@ -605,13 +724,32 @@ let final_state_reports (mos : Os.t) (sos : Os.t) : sink_report list =
 (* ------------------------------------------------------------------ *)
 (* Top level.                                                          *)
 
-let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
+let run ?(config = default_config) ?obs (prog : Ir.program) (world : World.t) :
   result =
-  let mo = master_pass config prog world in
-  let so = slave_pass config prog world mo in
+  let mo =
+    with_phase obs Obs.Event.Master_run (fun () ->
+        master_pass ?obs config prog world)
+  in
+  let so =
+    with_phase obs Obs.Event.Slave_run (fun () ->
+        slave_pass ?obs config prog world mo)
+  in
   let state_reports =
     if config.check_final_state then
-      final_state_reports mo.mmachine.Machine.os so.sos
+      with_phase obs Obs.Event.Final_state (fun () ->
+          let rs = final_state_reports mo.mmachine.Machine.os so.sos in
+          (match obs with
+           | None -> ()
+           | Some s ->
+             List.iter
+               (fun r ->
+                  Obs.Sink.emit s
+                    (Obs.Event.Divergence
+                       { case = case_of_kind r.kind;
+                         kind = kind_to_string r.kind; sys = r.sys;
+                         site = r.site; pos = r.position }))
+               rs);
+          rs)
     else []
   in
   let mm = mo.mmachine in
@@ -637,13 +775,20 @@ let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
     max_seg_depth = mm.Machine.max_seg_depth }
 
 (* Parse, check, lower, instrument, dual-execute. *)
-let run_source ?config ?instrument_config (src : string) (world : World.t) :
-  result =
-  let prog = Ldx_cfg.Lower.lower_source src in
-  let prog, _ =
-    Ldx_instrument.Counter.instrument ?config:instrument_config prog
+let run_source ?config ?instrument_config ?obs (src : string) (world : World.t)
+  : result =
+  let ast =
+    with_phase obs Obs.Event.Parse (fun () -> Ldx_lang.Parser.parse_exn src)
   in
-  run ?config prog world
+  let prog =
+    with_phase obs Obs.Event.Lower (fun () ->
+        Ldx_cfg.Lower.lower_program ast)
+  in
+  let prog, _ =
+    with_phase obs Obs.Event.Instrument (fun () ->
+        Ldx_instrument.Counter.instrument ?config:instrument_config prog)
+  in
+  run ?config ?obs prog world
 
 (* Native (uninstrumented, single-execution) cycles for overhead
    computations (Fig. 6 baseline). *)

@@ -74,6 +74,13 @@ type divergence_kind =
 
 val kind_to_string : divergence_kind -> string
 
+(** The paper's divergence-case number of a report kind: 1 for
+    missing-in-either-execution, 2 for different-syscall, 3 for
+    args-differ; 0 for the final-state extension kinds.  This is the
+    [case] carried by [Ldx_obs.Event.Divergence] events, so a recording
+    sink's [divergence.caseN] counters tally the run's reports. *)
+val case_of_kind : divergence_kind -> int
+
 type sink_report = {
   kind : divergence_kind;
   sys : string;
@@ -167,18 +174,30 @@ val run_side :
   on_stuck:(Machine.thread list -> bool) ->
   unit
 
-(** Run the master: execute everything for real, record outcomes. *)
-val master_pass : config -> Ir.program -> World.t -> master_out
+(** Run the master: execute everything for real, record outcomes.
+    [?obs] installs the observability hooks on the master machine and
+    its OS and emits a run summary (see {!run}). *)
+val master_pass :
+  ?obs:Ldx_obs.Sink.t -> config -> Ir.program -> World.t -> master_out
 
-(** {1 Entry points} *)
+(** {1 Entry points}
+
+    [?obs] threads an observability sink ({!Ldx_obs.Sink.t}) through
+    the run: phase begin/end events, per-syscall events from both VM
+    machines, OS dispatches, the slave's per-syscall coupling decisions,
+    divergence reports (tagged with the paper's case number), source
+    mutations, and per-side run summaries.  With [?obs] omitted the
+    engine pays one pointer comparison per emission point and results
+    are unchanged — observation never perturbs the experiment
+    (asserted by [test_obs.ml]). *)
 
 (** Dual-execute an (instrumented) program. *)
-val run : ?config:config -> Ir.program -> World.t -> result
+val run : ?config:config -> ?obs:Ldx_obs.Sink.t -> Ir.program -> World.t -> result
 
 (** Parse, check, lower, instrument, dual-execute. *)
 val run_source :
   ?config:config -> ?instrument_config:Ldx_instrument.Counter.config ->
-  string -> World.t -> result
+  ?obs:Ldx_obs.Sink.t -> string -> World.t -> result
 
 (** Uninstrumented single-execution cycles — the Fig. 6 baseline. *)
 val native_cycles :

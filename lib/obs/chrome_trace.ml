@@ -1,0 +1,161 @@
+(* Chrome trace-event export.  See the interface for the track layout. *)
+
+let pid_engine = 0
+let pid_master = 1
+let pid_slave = 2
+
+let pid_of_side = function
+  | Event.Master -> pid_master
+  | Event.Slave -> pid_slave
+
+let obj ~name ~cat ~ph ~ts ~pid ~tid extra =
+  Json.Obj
+    ([ ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid) ]
+     @ extra)
+
+let args fields = [ ("args", Json.Obj fields) ]
+
+let of_events (events : Event.t list) : Json.t =
+  let out = ref [] in
+  let emit j = out := j :: !out in
+  (* engine-track timestamps: running max of every stamp seen so far *)
+  let now = ref 0 in
+  let tick ts = if ts > !now then now := ts in
+  (* lanes seen, for thread_name metadata *)
+  let lanes : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let lane pid tid = Hashtbl.replace lanes (pid, tid) () in
+  lane pid_engine 0;
+  let flow_id = ref 0 in
+  let summaries = ref [] in
+  List.iter
+    (fun (ev : Event.t) ->
+       match ev with
+       | Event.Phase_begin p ->
+         emit
+           (obj ~name:(Event.phase_to_string p) ~cat:"phase" ~ph:"B" ~ts:!now
+              ~pid:pid_engine ~tid:0 [])
+       | Event.Phase_end p ->
+         emit
+           (obj ~name:(Event.phase_to_string p) ~cat:"phase" ~ph:"E" ~ts:!now
+              ~pid:pid_engine ~tid:0 [])
+       | Event.Syscall { side; tid; sys; site; pos; ts; dur } ->
+         tick ts;
+         let pid = pid_of_side side in
+         lane pid tid;
+         emit
+           (obj ~name:sys ~cat:"syscall" ~ph:"X" ~ts:(ts - dur) ~pid ~tid
+              (("dur", Json.Int dur)
+               :: args [ ("site", Json.Int site); ("pos", Json.Str pos) ]))
+       | Event.Barrier_wait { side; tid; loop; ts; dur } ->
+         tick ts;
+         let pid = pid_of_side side in
+         lane pid tid;
+         emit
+           (obj ~name:(Printf.sprintf "L%d" loop) ~cat:"barrier" ~ph:"X"
+              ~ts:(ts - dur) ~pid ~tid
+              (("dur", Json.Int dur) :: args [ ("loop", Json.Int loop) ]))
+       | Event.Couple
+           { tid; pos; decision; sink; master_sys; slave_sys; master_ts;
+             slave_ts } ->
+         tick slave_ts;
+         if Event.decision_coupled decision && master_ts >= 0 then begin
+           incr flow_id;
+           let name = Option.value master_sys ~default:"couple" in
+           lane pid_master tid;
+           lane pid_slave tid;
+           emit
+             (obj ~name ~cat:"couple" ~ph:"s" ~ts:master_ts ~pid:pid_master
+                ~tid
+                (("id", Json.Int !flow_id)
+                 :: args [ ("pos", Json.Str pos) ]));
+           emit
+             (obj ~name ~cat:"couple" ~ph:"f" ~ts:slave_ts ~pid:pid_slave ~tid
+                (("id", Json.Int !flow_id)
+                 :: ("bp", Json.Str "e")
+                 :: args [ ("pos", Json.Str pos) ]))
+         end
+         else
+           emit
+             (obj
+                ~name:(Event.decision_to_string decision)
+                ~cat:"align" ~ph:"i" ~ts:slave_ts ~pid:pid_slave ~tid
+                (("s", Json.Str "t")
+                 :: args
+                      [ ("pos", Json.Str pos);
+                        ("sink", Json.Bool sink);
+                        ( "master",
+                          match master_sys with
+                          | Some s -> Json.Str s
+                          | None -> Json.Null );
+                        ( "slave",
+                          match slave_sys with
+                          | Some s -> Json.Str s
+                          | None -> Json.Null ) ]))
+       | Event.Divergence { case; kind; sys; site; pos } ->
+         emit
+           (obj ~name:kind ~cat:"divergence" ~ph:"i" ~ts:!now ~pid:pid_engine
+              ~tid:0
+              (("s", Json.Str "p")
+               :: args
+                    [ ("case", Json.Int case);
+                      ("sys", Json.Str sys);
+                      ("site", Json.Int site);
+                      ("pos", Json.Str pos) ]))
+       | Event.Mutation { sys; site; pos; before; after } ->
+         emit
+           (obj ~name:("mutate " ^ sys) ~cat:"mutation" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:0
+              (("s", Json.Str "p")
+               :: args
+                    [ ("site", Json.Int site);
+                      ("pos", Json.Str pos);
+                      ("before", Json.Str before);
+                      ("after", Json.Str after) ]))
+       | Event.Os_call _ | Event.Cnt_sample _ -> ()
+       | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
+         ->
+         tick cycles;
+         summaries :=
+           ( Event.side_to_string side,
+             Json.Obj
+               [ ("cycles", Json.Int cycles);
+                 ("steps", Json.Int steps);
+                 ("syscalls", Json.Int syscalls);
+                 ("cnt_instrs", Json.Int cnt_instrs);
+                 ( "trap",
+                   match trap with Some m -> Json.Str m | None -> Json.Null )
+               ] )
+           :: !summaries)
+    events;
+  let meta =
+    List.concat_map
+      (fun (pid, name) ->
+         [ Json.Obj
+             [ ("name", Json.Str "process_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int pid);
+               ("args", Json.Obj [ ("name", Json.Str name) ]) ] ])
+      [ (pid_engine, "engine"); (pid_master, "master"); (pid_slave, "slave") ]
+    @ (Hashtbl.fold (fun k () acc -> k :: acc) lanes []
+       |> List.sort compare
+       |> List.map (fun (pid, tid) ->
+         Json.Obj
+           [ ("name", Json.Str "thread_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int pid);
+             ("tid", Json.Int tid);
+             ( "args",
+               Json.Obj
+                 [ ("name", Json.Str (Printf.sprintf "thread %d" tid)) ] ) ]))
+  in
+  Json.Obj
+    [ ("displayTimeUnit", Json.Str "ns");
+      ("otherData", Json.Obj (List.rev !summaries));
+      ("traceEvents", Json.Arr (meta @ List.rev !out)) ]
+
+let to_string events = Json.to_string (of_events events)

@@ -1,0 +1,26 @@
+(** Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+
+    Renders a recorded dual run as a visual Fig. 3 / Fig. 5: the master
+    and slave executions appear as two process tracks (pid 1 and pid 2)
+    on the shared virtual-cycle time axis, with one thread lane per
+    spawn index; each serviced syscall is a complete ("X") slice, loop
+    barrier waits are "barrier" slices, and every coupled syscall pair
+    (copied or sink-match) is linked master-to-slave by a flow arrow
+    ("s"/"f" pair) — the arrows make the slave's clock fast-forwarding
+    past the producing master stamp directly visible.
+
+    Engine-level happenings with no thread of their own — run phases
+    (as "B"/"E" spans), divergence reports and source mutations (as
+    instant events) — live on pid 0 ("engine"); their timestamps are
+    the running maximum of all cycle stamps seen so far in the stream,
+    which keeps the track monotone and properly nested.
+
+    Timestamps are virtual cycles reported in the format's microsecond
+    field; absolute values are the engine's cycle model, only ratios
+    are meaningful. *)
+
+(** Build the trace object from events in emission order. *)
+val of_events : Event.t list -> Json.t
+
+(** [to_string events = Json.to_string (of_events events)]. *)
+val to_string : Event.t list -> string

@@ -1,0 +1,104 @@
+(* Typed observability events.  Flat payloads only — see the interface
+   for why this module must not depend on the rest of ldx. *)
+
+type side = Master | Slave
+
+let side_to_string = function Master -> "master" | Slave -> "slave"
+
+type phase = Parse | Lower | Instrument | Master_run | Slave_run | Final_state
+
+let phase_to_string = function
+  | Parse -> "parse"
+  | Lower -> "lower"
+  | Instrument -> "instrument"
+  | Master_run -> "master-run"
+  | Slave_run -> "slave-run"
+  | Final_state -> "final-state"
+
+type decision =
+  | D_copied
+  | D_sink_match
+  | D_args_differ
+  | D_path_diff
+  | D_slave_only
+  | D_master_only
+  | D_decoupled
+
+let decision_to_string = function
+  | D_copied -> "copied"
+  | D_sink_match -> "sink-match"
+  | D_args_differ -> "args-differ"
+  | D_path_diff -> "path-diff"
+  | D_slave_only -> "slave-only"
+  | D_master_only -> "master-only"
+  | D_decoupled -> "decoupled"
+
+let decision_coupled = function
+  | D_copied | D_sink_match -> true
+  | D_args_differ | D_path_diff | D_slave_only | D_master_only | D_decoupled ->
+    false
+
+type t =
+  | Phase_begin of phase
+  | Phase_end of phase
+  | Syscall of {
+      side : side;
+      tid : int;
+      sys : string;
+      site : int;
+      pos : string;
+      ts : int;
+      dur : int;
+    }
+  | Os_call of { side : side; pid : int; sys : string; clock : int }
+  | Couple of {
+      tid : int;
+      pos : string;
+      decision : decision;
+      sink : bool;
+      master_sys : string option;
+      slave_sys : string option;
+      master_ts : int;
+      slave_ts : int;
+    }
+  | Divergence of { case : int; kind : string; sys : string; site : int; pos : string }
+  | Mutation of { sys : string; site : int; pos : string; before : string; after : string }
+  | Barrier_wait of { side : side; tid : int; loop : int; ts : int; dur : int }
+  | Cnt_sample of { side : side; value : int }
+  | Run_summary of {
+      side : side;
+      cycles : int;
+      steps : int;
+      syscalls : int;
+      cnt_instrs : int;
+      trap : string option;
+    }
+
+let to_string = function
+  | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
+  | Phase_end p -> Printf.sprintf "phase-end %s" (phase_to_string p)
+  | Syscall { side; tid; sys; site; pos; ts; dur } ->
+    Printf.sprintf "syscall %s t%d %s@%d pos=%s ts=%d dur=%d"
+      (side_to_string side) tid sys site pos ts dur
+  | Os_call { side; pid; sys; clock } ->
+    Printf.sprintf "os-call %s pid=%d %s clock=%d" (side_to_string side) pid
+      sys clock
+  | Couple { tid; pos; decision; sink; master_sys; slave_sys; master_ts; slave_ts } ->
+    Printf.sprintf "couple t%d %s pos=%s%s master=%s@%d slave=%s@%d" tid
+      (decision_to_string decision) pos
+      (if sink then " sink" else "")
+      (Option.value master_sys ~default:"-") master_ts
+      (Option.value slave_sys ~default:"-") slave_ts
+  | Divergence { case; kind; sys; site; pos } ->
+    Printf.sprintf "divergence case%d %s %s@%d pos=%s" case kind sys site pos
+  | Mutation { sys; site; pos; before; after } ->
+    Printf.sprintf "mutation %s@%d pos=%s %s -> %s" sys site pos before after
+  | Barrier_wait { side; tid; loop; ts; dur } ->
+    Printf.sprintf "barrier %s t%d L%d ts=%d dur=%d" (side_to_string side) tid
+      loop ts dur
+  | Cnt_sample { side; value } ->
+    Printf.sprintf "cnt-sample %s %d" (side_to_string side) value
+  | Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap } ->
+    Printf.sprintf "run-summary %s cycles=%d steps=%d syscalls=%d cnt=%d%s"
+      (side_to_string side) cycles steps syscalls cnt_instrs
+      (match trap with None -> "" | Some m -> " trap=" ^ m)

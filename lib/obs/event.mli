@@ -1,0 +1,116 @@
+(** The typed event vocabulary of the observability layer.
+
+    Events are deliberately flat — strings, ints and small enums only —
+    so that this library sits below every other [ldx] component: the VM,
+    the OS simulation and the engine all emit through {!Sink.t} without
+    [Ldx_obs] depending on any of them.
+
+    Timestamps ([ts], [dur], [clock]) are {e virtual cycles} from the
+    engine's two-CPU cycle model (see [Ldx_vm.Cost] and DESIGN.md
+    "Cycle model"), not wall time.  Master and slave each carry their
+    own clock; the coupling rule fast-forwards the slave's clock past
+    the producing master stamp on every copy, so the two clocks live on
+    one shared virtual time axis — which is what makes the dual-timeline
+    trace export meaningful. *)
+
+type side = Master | Slave
+
+val side_to_string : side -> string
+
+(** Run phases, in the order [Engine.run_source] executes them. *)
+type phase =
+  | Parse          (** MiniC parsing + checking *)
+  | Lower          (** AST to CFG lowering *)
+  | Instrument     (** counter instrumentation (Sec. 4-6) *)
+  | Master_run
+  | Slave_run
+  | Final_state    (** optional filesystem diff (future-work extension) *)
+
+val phase_to_string : phase -> string
+
+(** One slave-side alignment decision (mirrors
+    [Engine.trace_action], but recorded unconditionally when a sink is
+    installed, with both cycle stamps). *)
+type decision =
+  | D_copied       (** aligned non-sink; master outcome copied *)
+  | D_sink_match   (** aligned sink, equal parameters *)
+  | D_args_differ  (** paper case 3: aligned, different parameters *)
+  | D_path_diff    (** paper case 2: same counter, different PC *)
+  | D_slave_only   (** paper case 1: syscall appeared only in the slave *)
+  | D_master_only  (** paper case 1: syscall disappeared in the slave *)
+  | D_decoupled    (** tainted resource; slave executed privately *)
+
+val decision_to_string : decision -> string
+
+(** [true] when the decision coupled the pair (the slave consumed the
+    master's outcome): exactly [D_copied] and [D_sink_match]. *)
+val decision_coupled : decision -> bool
+
+(** In [Divergence], [case] is the paper's divergence-case number of the
+    sink report kind: 1 for missing-in-either-execution, 2 for
+    different-syscall, 3 for args-differ, 0 for the final-state
+    extension kinds. *)
+type t =
+  | Phase_begin of phase
+  | Phase_end of phase
+  | Syscall of {
+      side : side;
+      tid : int;               (** spawn index (dual-execution pairing key) *)
+      sys : string;
+      site : int;              (** static site id (PC) *)
+      pos : string;            (** rendered {!Align.t} position *)
+      ts : int;                (** cycles when servicing completed *)
+      dur : int;               (** service cost in cycles *)
+    }
+  | Os_call of {
+      side : side;
+      pid : int;
+      sys : string;
+      clock : int;             (** the OS's private clock after the call *)
+    }
+  | Couple of {
+      tid : int;
+      pos : string;
+      decision : decision;
+      sink : bool;             (** the slave-side syscall is a sink *)
+      master_sys : string option;
+      slave_sys : string option;
+      master_ts : int;         (** producing master cycle stamp; -1 if none *)
+      slave_ts : int;          (** slave clock after the decision *)
+    }
+  | Divergence of {
+      case : int;              (** 1, 2, 3, or 0 for final-state kinds *)
+      kind : string;           (** [Engine.kind_to_string] *)
+      sys : string;
+      site : int;
+      pos : string;
+    }
+  | Mutation of {
+      sys : string;
+      site : int;
+      pos : string;
+      before : string;
+      after : string;
+    }
+  | Barrier_wait of {
+      side : side;
+      tid : int;
+      loop : int;
+      ts : int;
+      dur : int;
+    }
+  | Cnt_sample of {
+      side : side;
+      value : int;             (** dynamic counter value at a syscall *)
+    }
+  | Run_summary of {
+      side : side;
+      cycles : int;
+      steps : int;
+      syscalls : int;
+      cnt_instrs : int;        (** counter-maintenance instructions (Fig. 6) *)
+      trap : string option;
+    }
+
+(** Short human-readable rendering (debug sinks, logs). *)
+val to_string : t -> string

@@ -1,0 +1,23 @@
+(** Minimal JSON construction — enough for the trace and metrics
+    exporters without an external dependency.  Values are built as a
+    tree and serialized compactly (no trailing spaces, stable field
+    order = construction order). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Serialize compactly.  Strings are escaped per RFC 8259; floats are
+    printed with [%.6g] ([Float nan] and infinities become [null]). *)
+val to_string : t -> string
+
+(** [to_buffer b v] appends the serialization of [v] to [b]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** Escape and quote a string literal. *)
+val quote : string -> string

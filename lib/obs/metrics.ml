@@ -1,0 +1,128 @@
+(* Counters, gauges and log2 histograms. *)
+
+type hist = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : (int, int) Hashtbl.t;   (* log2 bucket index -> count *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; hists = Hashtbl.create 8 }
+
+let cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    r
+
+let add t name k = cell t name := !(cell t name) + k
+let incr t name = add t name 1
+let set t name v = cell t name := v
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* 1 + floor(log2 v) = bit length of v *)
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    !b
+  end
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+      let h =
+        { count = 0; sum = 0; min_v = max_int; max_v = min_int;
+          buckets = Hashtbl.create 8 }
+      in
+      Hashtbl.replace t.hists name h;
+      h
+  in
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  Hashtbl.replace h.buckets b
+    (1 + (try Hashtbl.find h.buckets b with Not_found -> 0))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+let hist_mean h =
+  if h.h_count = 0 then 0.0
+  else float_of_int h.h_sum /. float_of_int h.h_count
+
+type snapshot = {
+  counters : (string * int) list;
+  hists : (string * hist_snapshot) list;
+}
+
+let snapshot (t : t) =
+  let counters =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+    |> List.sort compare
+  in
+  let hists =
+    Hashtbl.fold
+      (fun k h acc ->
+         let buckets =
+           Hashtbl.fold (fun b c acc -> (b, c) :: acc) h.buckets []
+           |> List.sort compare
+         in
+         ( k,
+           { h_count = h.count;
+             h_sum = h.sum;
+             h_min = (if h.count = 0 then 0 else h.min_v);
+             h_max = (if h.count = 0 then 0 else h.max_v);
+             h_buckets = buckets } )
+         :: acc)
+      t.hists []
+    |> List.sort compare
+  in
+  { counters; hists }
+
+let counter snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let to_json snap =
+  Json.Obj
+    [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) ->
+                ( k,
+                  Json.Obj
+                    [ ("count", Json.Int h.h_count);
+                      ("sum", Json.Int h.h_sum);
+                      ("min", Json.Int h.h_min);
+                      ("max", Json.Int h.h_max);
+                      ("mean", Json.Float (hist_mean h));
+                      ( "log2_buckets",
+                        Json.Obj
+                          (List.map
+                             (fun (b, c) -> (string_of_int b, Json.Int c))
+                             h.h_buckets) ) ] ))
+             snap.hists) ) ]

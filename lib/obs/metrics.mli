@@ -1,0 +1,49 @@
+(** Monotonic counters, gauges and log2 latency/size histograms.
+
+    Names are dotted strings; the stable schema produced by
+    {!Recorder} is documented in README.md "Observability".  A snapshot
+    is an immutable, sorted view suitable for golden tests, JSON export
+    and table rendering ({!Ldx_report.Obs_report}). *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name] / [add t name k] bump a monotonic counter (created at
+    0 on first use). *)
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+(** [set t name v] sets a gauge (last write wins; reported alongside
+    counters). *)
+val set : t -> string -> int -> unit
+
+(** [observe t hist v] records a sample into histogram [hist]:
+    count/sum/min/max plus log2 buckets ([v <= 0] lands in bucket 0,
+    otherwise bucket [1 + floor(log2 v)]). *)
+val observe : t -> string -> int -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;                  (** 0 when empty *)
+  h_max : int;
+  h_buckets : (int * int) list; (** (log2 bucket index, count), sorted *)
+}
+
+val hist_mean : hist_snapshot -> float
+
+type snapshot = {
+  counters : (string * int) list;   (** counters and gauges, name-sorted *)
+  hists : (string * hist_snapshot) list;
+}
+
+val snapshot : t -> snapshot
+
+(** [counter snap name] is the counter's value, or 0 when absent. *)
+val counter : snapshot -> string -> int
+
+val to_json : snapshot -> Json.t

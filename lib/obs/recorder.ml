@@ -1,0 +1,57 @@
+(* Recording sink: event log + metrics fold.  See the interface for the
+   counter schema. *)
+
+type t = {
+  mutable rev_events : Event.t list;
+  mutable count : int;
+  m : Metrics.t;
+}
+
+let create () = { rev_events = []; count = 0; m = Metrics.create () }
+
+let side_key prefix side = prefix ^ "." ^ Event.side_to_string side
+
+let absorb t (ev : Event.t) =
+  let m = t.m in
+  match ev with
+  | Event.Phase_begin _ | Event.Phase_end _ -> ()
+  | Event.Syscall { side; _ } -> Metrics.incr m (side_key "syscalls" side)
+  | Event.Os_call { side; _ } -> Metrics.incr m (side_key "os_calls" side)
+  | Event.Couple { decision; master_ts; slave_ts; _ } ->
+    Metrics.incr m ("align." ^ Event.decision_to_string decision);
+    if Event.decision_coupled decision then begin
+      Metrics.incr m "engine.copies";
+      if decision = Event.D_sink_match then Metrics.incr m "engine.sink_compares";
+      if master_ts >= 0 then
+        Metrics.observe m "couple_lag" (slave_ts - master_ts)
+    end
+  | Event.Divergence { case; _ } ->
+    Metrics.incr m
+      (if case >= 1 && case <= 3 then Printf.sprintf "divergence.case%d" case
+       else "divergence.final-state")
+  | Event.Mutation _ -> Metrics.incr m "engine.mutations"
+  | Event.Barrier_wait { side; _ } -> Metrics.incr m (side_key "barriers" side)
+  | Event.Cnt_sample { side; value } ->
+    Metrics.observe m (side_key "dyn_cnt" side) value
+  | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap = _ } ->
+    let p = Event.side_to_string side in
+    Metrics.set m (p ^ ".cycles") cycles;
+    Metrics.set m (p ^ ".steps") steps;
+    Metrics.set m (p ^ ".syscalls") syscalls;
+    Metrics.set m (p ^ ".cnt_instrs") cnt_instrs;
+    let snap = Metrics.snapshot m in
+    Metrics.set m "run.wall_cycles"
+      (max (Metrics.counter snap "master.cycles")
+         (Metrics.counter snap "slave.cycles"))
+
+let sink t =
+  Sink.of_fn
+    (fun ev ->
+       t.rev_events <- ev :: t.rev_events;
+       t.count <- t.count + 1;
+       absorb t ev)
+
+let events t = List.rev t.rev_events
+let event_count t = t.count
+let metrics t = t.m
+let snapshot t = Metrics.snapshot t.m

@@ -1,0 +1,37 @@
+(** The standard recording sink: keeps every event in emission order
+    (for {!Chrome_trace}) and folds the stream into a {!Metrics.t} with
+    a stable counter schema:
+
+    - [syscalls.master] / [syscalls.slave] — dynamic syscalls serviced;
+    - [os_calls.*] — OS-simulation dispatches (excludes thread ops);
+    - [align.<decision>] — slave alignment decisions
+      ({!Event.decision_to_string});
+    - [engine.copies] — coupled outcomes the slave consumed;
+    - [engine.sink_compares] — coupled sink-argument comparisons;
+    - [engine.mutations] — source mutations that changed a value;
+    - [divergence.case1/case2/case3] — sink reports by the paper's case
+      number (these equal the run's [sink_report] tally);
+    - [divergence.final-state] — final-state extension reports;
+    - [barriers.*] — loop backedge barrier releases;
+    - [master.cycles/steps/syscalls/cnt_instrs] and [slave.*] gauges
+      from the run summaries, plus [run.wall_cycles] (max of the two
+      clocks: the virtual two-CPU wall time).
+
+    Histograms: [dyn_cnt.*] (dynamic counter value at each syscall,
+    Table 1) and [couple_lag] (slave clock minus producing master stamp
+    at each copy — how far the slave trails the master). *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Sink.t
+
+(** Events in emission order. *)
+val events : t -> Event.t list
+
+val event_count : t -> int
+
+val metrics : t -> Metrics.t
+
+val snapshot : t -> Metrics.snapshot

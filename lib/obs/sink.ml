@@ -1,0 +1,7 @@
+type t = { emit : Event.t -> unit }
+
+let noop = { emit = (fun _ -> ()) }
+let of_fn f = { emit = f }
+let tee sinks = { emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks) }
+let emit t ev = t.emit ev
+let emit_opt t ev = match t with None -> () | Some s -> s.emit ev

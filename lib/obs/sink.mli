@@ -1,0 +1,24 @@
+(** The sink interface: where observability events go.
+
+    A sink is a single [emit] function.  Emitters hold a [t option] and
+    guard every emission on it, so the disabled path costs one pointer
+    comparison — observation must never perturb the experiment (the
+    dual-execution engine's results are asserted byte-identical with and
+    without a recording sink; see [test_obs.ml]). *)
+
+type t = { emit : Event.t -> unit }
+
+(** Discards everything. *)
+val noop : t
+
+val of_fn : (Event.t -> unit) -> t
+
+(** Fan out to several sinks in order. *)
+val tee : t list -> t
+
+val emit : t -> Event.t -> unit
+
+(** [emit_opt s ev] emits into [Some] sink and is a no-op on [None].
+    Note: when building an event is itself costly, guard with a [match]
+    at the call site instead so the payload is never constructed. *)
+val emit_opt : t option -> Event.t -> unit

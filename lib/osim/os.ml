@@ -23,6 +23,10 @@ type t = {
   mutable malloc_log : int list;               (* requested sizes, reversed *)
   mutable retaddr_log : int list;              (* observed "return addrs" *)
   mutable exit_code : int option;
+  mutable on_exec : (t -> string -> Sval.t list -> Sval.t -> unit) option;
+  (* observability hook: fires after every successfully serviced
+     syscall with its result; None (the default) costs one pointer
+     comparison.  Installed per-process by the engine — never cloned. *)
 }
 
 let create ?(pid = 1000) (w : World.t) : t =
@@ -37,7 +41,8 @@ let create ?(pid = 1000) (w : World.t) : t =
     next_addr = 0x1000_0000;
     malloc_log = [];
     retaddr_log = [];
-    exit_code = None }
+    exit_code = None;
+    on_exec = None }
 
 let clone ?(pid = 1001) (t : t) : t =
   let fds = Hashtbl.create (Hashtbl.length t.fds) in
@@ -61,7 +66,8 @@ let clone ?(pid = 1001) (t : t) : t =
     next_addr = t.next_addr;
     malloc_log = t.malloc_log;
     retaddr_log = t.retaddr_log;
-    exit_code = None }
+    exit_code = None;
+    on_exec = None }
 
 exception Os_error of string
 
@@ -88,7 +94,7 @@ let handles = function
   | "retaddr" -> true
   | _ -> false
 
-let exec (t : t) (sys : string) (args : Sval.t list) : Sval.t =
+let exec_raw (t : t) (sys : string) (args : Sval.t list) : Sval.t =
   match (sys, args) with
   | "open", [ S path ] ->
     (match Vfs.lookup t.vfs path with
@@ -189,6 +195,11 @@ let exec (t : t) (sys : string) (args : Sval.t list) : Sval.t =
     t.retaddr_log <- v :: t.retaddr_log;
     I v
   | _ -> bad_args sys args
+
+let exec (t : t) (sys : string) (args : Sval.t list) : Sval.t =
+  let r = exec_raw t sys args in
+  (match t.on_exec with Some f -> f t sys args r | None -> ());
+  r
 
 let stdout_contents t = Buffer.contents t.stdout
 let exited t = t.exit_code <> None

@@ -22,6 +22,11 @@ type t = {
   mutable malloc_log : int list;  (** requested sizes, most recent first *)
   mutable retaddr_log : int list; (** observed "return addresses" *)
   mutable exit_code : int option;
+  mutable on_exec : (t -> string -> Sval.t list -> Sval.t -> unit) option;
+      (** observability hook: fires after every successfully serviced
+          syscall with its result ([None], the default, costs one
+          pointer comparison); installed per-process by the engine and
+          never propagated by {!clone} *)
 }
 
 (** Instantiate a world.  [pid] defaults to 1000 (the engine uses 1001

@@ -1,0 +1,17 @@
+(** Render an observability metrics snapshot ({!Ldx_obs.Metrics}) as
+    text tables via {!Table} — the CLI's [--metrics] output. *)
+
+(** Counters and gauges, one row per name, with the divergence-case
+    rows annotated with the paper's case semantics. *)
+val counters_table : Ldx_obs.Metrics.snapshot -> Table.t
+
+(** Histograms: count / mean / min / max per histogram. *)
+val histograms_table : Ldx_obs.Metrics.snapshot -> Table.t
+
+(** The Fig. 6-style overhead accounting derived from the snapshot's
+    run-summary gauges: counter-maintenance instruction share per side
+    and the dual-run wall-cycle figure. *)
+val overhead_table : Ldx_obs.Metrics.snapshot -> Table.t
+
+(** All of the above, rendered and concatenated. *)
+val render : Ldx_obs.Metrics.snapshot -> string

@@ -13,3 +13,16 @@ let sink_compare = 3       (* comparing sink arguments *)
 (* Baseline engines' per-instruction monitoring cost: *)
 let taint_shadow = 5       (* LIBDFT/TaintGrind-style shadow propagation *)
 let index_monitor = 1000   (* DualEx execution indexing + IPC to monitor *)
+
+(* The whole model as an association list, so metrics/trace exports are
+   self-describing (the exported cycle counts only mean something
+   relative to these constants). *)
+let to_assoc () =
+  [ ("instr", instr);
+    ("cnt_instr", cnt_instr);
+    ("barrier", barrier);
+    ("syscall", syscall);
+    ("share_copy", share_copy);
+    ("sink_compare", sink_compare);
+    ("taint_shadow", taint_shadow);
+    ("index_monitor", index_monitor) ]

@@ -102,6 +102,16 @@ type t = {
   mutable cnt_max : int;
   mutable cnt_samples : int;
   mutable max_seg_depth : int;
+  (* observability step hooks (installed by the engine, [None] = off:
+     the disabled path is one pointer comparison).  [on_obs_syscall]
+     fires at each syscall return after the cost is charged and before
+     signal handlers are pushed (so the thread's position is still the
+     syscall's); [on_obs_barrier] at each barrier release after the
+     counter reset; [on_obs_cnt_sample] at each dynamic counter
+     sample. *)
+  mutable on_obs_syscall : (t -> thread -> pending -> unit) option;
+  mutable on_obs_barrier : (t -> thread -> barrier -> unit) option;
+  mutable on_obs_cnt_sample : (t -> thread -> int -> unit) option;
 }
 
 type event =
@@ -153,7 +163,10 @@ let create ?(seed = 0) ?(max_steps = 30_000_000) (prog : Ir.program)
     cnt_sum = 0;
     cnt_max = 0;
     cnt_samples = 0;
-    max_seg_depth = 1 }
+    max_seg_depth = 1;
+    on_obs_syscall = None;
+    on_obs_barrier = None;
+    on_obs_cnt_sample = None }
 
 let main_thread t = List.hd t.threads
 
@@ -312,6 +325,7 @@ let provide_result t (th : thread) (v : Value.t) =
      | Some d -> Hashtbl.replace (cur_frame th).locals d v
      | None -> ());
     t.cycles <- t.cycles + Cost.syscall;
+    (match t.on_obs_syscall with Some f -> f t th p | None -> ());
     th.status <- Runnable;
     (* signal delivery point: syscall return *)
     !provide_result_hook t th
@@ -327,6 +341,9 @@ let release_barrier t (th : thread) =
      | (l, i) :: rest when l = loop -> seg.loops <- (l, i + 1) :: rest
      | _ -> trap "loop_back L%d: loop stack mismatch" loop);
     t.cycles <- t.cycles + Cost.barrier;
+    (match t.on_obs_barrier with
+     | Some f -> f t th { loop; dec }
+     | None -> ());
     th.status <- Runnable
   | Runnable | Awaiting _ | Finished _ ->
     invalid_arg "Machine.release_barrier: thread not at barrier"
@@ -396,7 +413,8 @@ let record_cnt_sample t (th : thread) =
   let c = (cur_seg th).cnt in
   t.cnt_sum <- t.cnt_sum + c;
   t.cnt_samples <- t.cnt_samples + 1;
-  if c > t.cnt_max then t.cnt_max <- c
+  if c > t.cnt_max then t.cnt_max <- c;
+  match t.on_obs_cnt_sample with Some f -> f t th c | None -> ()
 
 (* Execute one instruction or terminator step of [th].  Returns an event
    if the driver must intervene. *)

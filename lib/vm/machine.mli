@@ -97,6 +97,17 @@ type t = {
   mutable cnt_max : int;
   mutable cnt_samples : int;
   mutable max_seg_depth : int;
+  mutable on_obs_syscall : (t -> thread -> pending -> unit) option;
+      (** observability hook: fires at each syscall return, after the
+          syscall cost is charged and before signal handlers are pushed
+          (the thread's position is still the syscall's); [None] (the
+          default) costs one pointer comparison *)
+  mutable on_obs_barrier : (t -> thread -> barrier -> unit) option;
+      (** fires at each loop-backedge barrier release, after the
+          counter reset and cost charge *)
+  mutable on_obs_cnt_sample : (t -> thread -> int -> unit) option;
+      (** fires at each dynamic counter sample (one per syscall) with
+          the sampled counter value *)
 }
 
 type event =

@@ -19,4 +19,5 @@ let () =
       ("inputs", Test_inputs.tests);
       ("integration", Test_integration.tests);
       ("align", Test_align.tests);
+      ("obs", Test_obs.tests);
       ("properties", Test_properties.tests) ]

@@ -1,0 +1,270 @@
+(* Observability-layer tests: JSON/metrics primitives, golden outputs
+   for the Chrome-trace export and the metrics tables, and the two
+   engine-level invariants — observation never perturbs the experiment,
+   and the recorder's divergence.caseN counters tally the run's sink
+   reports. *)
+
+module Engine = Ldx_core.Engine
+module World = Ldx_osim.World
+module Obs = Ldx_obs
+module E = Obs.Event
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Recorder = Obs.Recorder
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let contains hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to hn - nn do
+    if (not !found) && String.sub hay i nn = needle then found := true
+  done;
+  !found
+
+let count_sub hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let c = ref 0 in
+  for i = 0 to hn - nn do
+    if String.sub hay i nn = needle then incr c
+  done;
+  !c
+
+(* ------------------------------------------------------------------ *)
+(* Json.                                                               *)
+
+let test_json_basics () =
+  check string "escaping"
+    {|{"s":"a\"b\\c\n\t\u0001","n":null,"t":true,"xs":[1,2.5]}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("s", Json.Str "a\"b\\c\n\t\001");
+            ("n", Json.Null);
+            ("t", Json.Bool true);
+            ("xs", Json.Arr [ Json.Int 1; Json.Float 2.5 ]) ]));
+  check string "non-finite floats are null" "[null,null]"
+    (Json.to_string (Json.Arr [ Json.Float Float.nan; Json.Float infinity ]))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  Metrics.incr m "b";
+  Metrics.incr m "b";
+  Metrics.add m "a" 5;
+  Metrics.set m "g" 9;
+  Metrics.set m "g" 7;
+  Metrics.observe m "h" 0;
+  Metrics.observe m "h" 1;
+  Metrics.observe m "h" 9;
+  let snap = Metrics.snapshot m in
+  check (Alcotest.list (Alcotest.pair string int)) "sorted counters"
+    [ ("a", 5); ("b", 2); ("g", 7) ]
+    snap.Metrics.counters;
+  check int "absent counter is 0" 0 (Metrics.counter snap "nope");
+  let h = List.assoc "h" snap.Metrics.hists in
+  check int "hist count" 3 h.Metrics.h_count;
+  check int "hist min" 0 h.Metrics.h_min;
+  check int "hist max" 9 h.Metrics.h_max;
+  (* 0 -> bucket 0, 1 -> bucket 1, 9 -> bucket 4 (1 + floor(log2 9)) *)
+  check (Alcotest.list (Alcotest.pair int int)) "log2 buckets"
+    [ (0, 1); (1, 1); (4, 1) ]
+    h.Metrics.h_buckets;
+  check (Alcotest.float 1e-9) "hist mean" (10.0 /. 3.0) (Metrics.hist_mean h)
+
+(* ------------------------------------------------------------------ *)
+(* Golden: Chrome trace export of a tiny synthetic dual run.           *)
+
+let synthetic_events =
+  [ E.Phase_begin E.Master_run;
+    E.Syscall
+      { side = E.Master; tid = 0; sys = "recv"; site = 3; pos = "<2>";
+        ts = 50; dur = 40 };
+    E.Phase_end E.Master_run;
+    E.Phase_begin E.Slave_run;
+    E.Syscall
+      { side = E.Slave; tid = 0; sys = "recv"; site = 3; pos = "<2>";
+        ts = 90; dur = 40 };
+    E.Couple
+      { tid = 0; pos = "<2>"; decision = E.D_copied; sink = false;
+        master_sys = Some "recv"; slave_sys = Some "recv"; master_ts = 50;
+        slave_ts = 90 };
+    E.Phase_end E.Slave_run ]
+
+let trace_golden =
+  {|{"displayTimeUnit":"ns","otherData":{},"traceEvents":[{"name":"process_name","ph":"M","pid":0,"args":{"name":"engine"}},{"name":"process_name","ph":"M","pid":1,"args":{"name":"master"}},{"name":"process_name","ph":"M","pid":2,"args":{"name":"slave"}},{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"thread 0"}},{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"thread 0"}},{"name":"thread_name","ph":"M","pid":2,"tid":0,"args":{"name":"thread 0"}},{"name":"master-run","cat":"phase","ph":"B","ts":0,"pid":0,"tid":0},{"name":"recv","cat":"syscall","ph":"X","ts":10,"pid":1,"tid":0,"dur":40,"args":{"site":3,"pos":"<2>"}},{"name":"master-run","cat":"phase","ph":"E","ts":50,"pid":0,"tid":0},{"name":"slave-run","cat":"phase","ph":"B","ts":50,"pid":0,"tid":0},{"name":"recv","cat":"syscall","ph":"X","ts":50,"pid":2,"tid":0,"dur":40,"args":{"site":3,"pos":"<2>"}},{"name":"recv","cat":"couple","ph":"s","ts":50,"pid":1,"tid":0,"id":1,"args":{"pos":"<2>"}},{"name":"recv","cat":"couple","ph":"f","ts":90,"pid":2,"tid":0,"id":1,"bp":"e","args":{"pos":"<2>"}},{"name":"slave-run","cat":"phase","ph":"E","ts":90,"pid":0,"tid":0}]}|}
+
+let test_trace_golden () =
+  check string "chrome trace JSON" trace_golden
+    (Obs.Chrome_trace.to_string synthetic_events)
+
+(* ------------------------------------------------------------------ *)
+(* Golden: metrics tables.                                             *)
+
+let table_golden =
+  "## Overhead accounting (Fig. 6 inputs)\n\n\
+   | side   | cycles | steps | syscalls | cnt instrs | cnt share |\n\
+   |--------|--------|-------|----------|------------|-----------|\n\
+   | master |    120 |    60 |        0 |          6 |    10.00% |\n\
+   | slave  |      0 |     0 |        0 |          0 |     0.00% |\n\n\
+   > wall cycles (two-CPU max): 130\n\
+   > cnt share = counter-maintenance instructions / executed steps; the \
+   Fig. 6 overhead ratio is dual wall cycles / native cycles (see \
+   `ldx_run --metrics` docs in README.md).\n\n\
+   ## Metrics: counters and gauges\n\n\
+   | counter           | value | meaning                                             |\n\
+   |-------------------|-------|-----------------------------------------------------|\n\
+   | divergence.case3  |     1 | aligned sink, different parameters (paper case 3)   |\n\
+   | engine.copies     |     4 | coupled outcomes the slave consumed                 |\n\
+   | master.cnt_instrs |     6 | counter-maintenance instructions (Fig. 6 numerator) |\n\
+   | master.cycles     |   120 |                                                     |\n\
+   | master.steps      |    60 |                                                     |\n\
+   | run.wall_cycles   |   130 | max of the two clocks (virtual two-CPU wall time)   |\n\n\
+   ## Metrics: histograms\n\n\
+   | histogram  | count |  mean | min | max |\n\
+   |------------|-------|-------|-----|-----|\n\
+   | couple_lag |     2 | 21.50 |   3 |  40 |\n\n\
+   > dyn_cnt.*: dynamic counter value at each syscall (Table 1); \
+   couple_lag: slave clock minus producing master stamp at each copy.\n"
+
+let test_metrics_table_golden () =
+  let m = Metrics.create () in
+  Metrics.incr m "divergence.case3";
+  Metrics.add m "engine.copies" 4;
+  Metrics.set m "master.cycles" 120;
+  Metrics.set m "master.steps" 60;
+  Metrics.set m "master.cnt_instrs" 6;
+  Metrics.set m "run.wall_cycles" 130;
+  Metrics.observe m "couple_lag" 3;
+  Metrics.observe m "couple_lag" 40;
+  check string "metrics tables" table_golden
+    (Ldx_report.Obs_report.render (Metrics.snapshot m))
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: the Fig. 2 title leak as recorded fixture.      *)
+
+let fig2_src =
+  {| fn s_raise(contract) {
+       let fd = open(contract);
+       let data = read(fd, 100);
+       return atoi(data);
+     }
+     fn m_raise(salary) {
+       let r = s_raise("/etc/contract_mgr");
+       if (salary > 5000) {
+         let fd = creat("/tmp/seniors");
+         write(fd, itoa(salary));
+       }
+       return r + 2;
+     }
+     fn main() {
+       let sock = socket("hr");
+       let name = recv(sock);
+       let title = recv(sock);
+       let raise = 0;
+       if (title == "STAFF") {
+         raise = s_raise("/etc/contract_staff");
+       } else {
+         raise = m_raise(6000);
+         let dept = recv(sock);
+         if (dept == "SALES") { raise = raise + 1; }
+       }
+       send(sock, name);
+       send(sock, itoa(raise));
+     } |}
+
+let fig2_world =
+  World.(
+    empty
+    |> with_file "/etc/contract_staff" "3"
+    |> with_file "/etc/contract_mgr" "5"
+    |> with_dir "/tmp"
+    |> with_endpoint "hr" [ "alice"; "STAFF"; "ENG" ])
+
+let fig2_config =
+  { Engine.default_config with
+    Engine.sources = [ Engine.source ~sys:"recv" ~nth:2 () ];
+    sinks = Engine.Network_outputs }
+
+let recorded_fig2 =
+  lazy
+    (let rc = Recorder.create () in
+     let r =
+       Engine.run_source ~config:fig2_config ~obs:(Recorder.sink rc) fig2_src
+         fig2_world
+     in
+     (r, rc))
+
+(* Observation must never perturb the experiment: the whole result —
+   reports, trace, summaries, every counter — is identical with no
+   sink, with the noop sink, and with a recording sink. *)
+let test_observation_is_free () =
+  let bare = Engine.run_source ~config:fig2_config fig2_src fig2_world in
+  let noop =
+    Engine.run_source ~config:fig2_config ~obs:Obs.Sink.noop fig2_src
+      fig2_world
+  in
+  let recorded, _ = Lazy.force recorded_fig2 in
+  check bool "noop sink: identical result" true (bare = noop);
+  check bool "recording sink: identical result" true (bare = recorded);
+  check string "byte-identical sink reports"
+    (String.concat "\n" (List.map Engine.report_to_string bare.Engine.reports))
+    (String.concat "\n"
+       (List.map Engine.report_to_string recorded.Engine.reports))
+
+(* The recorder's divergence.caseN counters tally the run's reports. *)
+let test_case_tally_matches_reports () =
+  let r, rc = Lazy.force recorded_fig2 in
+  let snap = Recorder.snapshot rc in
+  let tally n =
+    List.length
+      (List.filter
+         (fun (rep : Engine.sink_report) ->
+            Engine.case_of_kind rep.Engine.kind = n)
+         r.Engine.reports)
+  in
+  check int "case 1" (tally 1) (Metrics.counter snap "divergence.case1");
+  check int "case 2" (tally 2) (Metrics.counter snap "divergence.case2");
+  check int "case 3" (tally 3) (Metrics.counter snap "divergence.case3");
+  check bool "fig2 title leak is a case-3 report" true (tally 3 >= 1);
+  check int "master syscall gauge" r.Engine.master.Engine.syscalls
+    (Metrics.counter snap "master.syscalls");
+  check int "slave syscall gauge" r.Engine.slave.Engine.syscalls
+    (Metrics.counter snap "slave.syscalls");
+  check int "wall cycles = max of clocks"
+    (max r.Engine.master.Engine.cycles r.Engine.slave.Engine.cycles)
+    (Metrics.counter snap "run.wall_cycles")
+
+(* The exported trace of a real run has the two process tracks and at
+   least one flow arrow linking a coupled syscall pair. *)
+let test_trace_shape_real_run () =
+  let _, rc = Lazy.force recorded_fig2 in
+  let s = Obs.Chrome_trace.to_string (Recorder.events rc) in
+  check bool "engine track" true
+    (contains s {|"pid":0,"args":{"name":"engine"}|});
+  check bool "master track" true
+    (contains s {|"pid":1,"args":{"name":"master"}|});
+  check bool "slave track" true
+    (contains s {|"pid":2,"args":{"name":"slave"}|});
+  let starts = count_sub s {|"ph":"s"|} and fins = count_sub s {|"ph":"f"|} in
+  check bool "at least one flow arrow" true (starts >= 1);
+  check int "every flow start has its finish" starts fins;
+  check int "phase spans balance" (count_sub s {|"ph":"B"|})
+    (count_sub s {|"ph":"E"|});
+  check bool "divergence instant present" true
+    (contains s {|"cat":"divergence"|})
+
+let tests =
+  [ Alcotest.test_case "json basics" `Quick test_json_basics;
+    Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
+    Alcotest.test_case "chrome trace golden" `Quick test_trace_golden;
+    Alcotest.test_case "metrics table golden" `Quick test_metrics_table_golden;
+    Alcotest.test_case "observation is free" `Quick test_observation_is_free;
+    Alcotest.test_case "case tally matches reports" `Quick
+      test_case_tally_matches_reports;
+    Alcotest.test_case "trace shape (real run)" `Quick
+      test_trace_shape_real_run ]
