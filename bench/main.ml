@@ -94,6 +94,44 @@ let kernel_mutation () =
        dual_run (w, prog) (Workload.leak_config ~strategy w))
     Ldx_core.Mutation.all_strategies
 
+(* Campaign kernel: one recorded master, strategies x slave seeds fanned
+   out as independent slave passes — the many-mutants-per-program loop
+   the campaign layer exists to batch.  Run at jobs=1 and jobs=4 so the
+   wall-time comparison lands in both the Bechamel table and
+   BENCH_results.json. *)
+module Campaign = Ldx_core.Campaign
+
+(* 473.astar is the heaviest dual run in the registry (~tens of ms per
+   slave pass), so the fan-out dominates the fixed domain-spawn cost and
+   the sequential-vs-parallel comparison measures the campaign, not the
+   pool setup. *)
+let campaign_prepared =
+  lazy
+    (let w = Registry.find_exn "473.astar" in
+     (w, fst (Workload.instrumented w)))
+
+let campaign_params (w : Workload.t) : Campaign.slave_params list =
+  let base = Workload.leak_config w in
+  List.concat_map
+    (fun (name, strategy) ->
+       List.map
+         (fun seed ->
+            { (Campaign.params_of_config base) with
+              Campaign.label = Printf.sprintf "%s/seed=%d" name seed;
+              strategy;
+              slave_seed = seed })
+         [ 0; 1; 2 ])
+    Ldx_core.Mutation.all_strategies
+
+let run_campaign ~jobs () =
+  let w, prog = Lazy.force campaign_prepared in
+  ignore
+    (Campaign.run ~jobs ~config:(Workload.leak_config w) prog
+       w.Workload.world (campaign_params w))
+
+let kernel_campaign_sequential () = run_campaign ~jobs:1 ()
+let kernel_campaign_parallel () = run_campaign ~jobs:4 ()
+
 let kernel_ablation_align () =
   let w = Registry.find_exn "Tnftp" in
   let prog = fst (Workload.instrumented w) in
@@ -141,6 +179,10 @@ let tests =
       Test.make ~name:"case_studies" (Staged.stage kernel_case_studies);
       Test.make ~name:"fp_check" (Staged.stage kernel_fp_check);
       Test.make ~name:"mutation_strategies" (Staged.stage kernel_mutation);
+      Test.make ~name:"campaign_sequential"
+        (Staged.stage kernel_campaign_sequential);
+      Test.make ~name:"campaign_parallel"
+        (Staged.stage kernel_campaign_parallel);
       Test.make ~name:"ablation_alignment" (Staged.stage kernel_ablation_align);
       Test.make ~name:"ablation_loops" (Staged.stage kernel_ablation_loops);
       Test.make ~name:"micro_position_compare"
@@ -226,6 +268,34 @@ let recorded_counters () =
        (fun ((w : Workload.t), _) -> not w.Workload.interactive)
        (Lazy.force prepared))
 
+(* Direct sequential-vs-parallel wall-time comparison of the campaign
+   kernel (in addition to its Bechamel rows): one warm-up, then one
+   timed run each, so the JSON carries an honest end-to-end speedup. *)
+let campaign_comparison () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  run_campaign ~jobs:1 ();
+  let sequential_s = time (run_campaign ~jobs:1) in
+  let jobs = 4 in
+  let parallel_s = time (run_campaign ~jobs) in
+  let w, _ = Lazy.force campaign_prepared in
+  J.Obj
+    [ ("workload", J.Str w.Workload.name);
+      ("tasks", J.Int (List.length (campaign_params w)));
+      ("jobs", J.Int jobs);
+      (* speedup only means something relative to the host's usable
+         parallelism: on a single-core machine the parallel row measures
+         pure domain overhead *)
+      ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+      ("sequential_s", J.Float sequential_s);
+      ("parallel_s", J.Float parallel_s);
+      ( "speedup",
+        if parallel_s > 0. then J.Float (sequential_s /. parallel_s)
+        else J.Null ) ]
+
 let write_bench_json rows =
   let json =
     J.Obj
@@ -237,6 +307,7 @@ let write_bench_json rows =
                (fun (name, est) ->
                   (name, if Float.is_nan est then J.Null else J.Float est))
                rows) );
+        ("campaign", campaign_comparison ());
         ("engine_counters", J.Obj (recorded_counters ())) ]
   in
   Out_channel.with_open_text "BENCH_results.json" (fun oc ->

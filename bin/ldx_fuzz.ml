@@ -76,51 +76,109 @@ let check_concurrent (p : Ldx_lang.Ast.program) ms ss : failure option =
         f_program = src }
   else None
 
+type task =
+  | Check_seq of Ldx_lang.Ast.program
+  | Check_conc of Ldx_lang.Ast.program * int * int
+
+let check_task = function
+  | Check_seq p -> check_program p
+  | Check_conc (p, ms, ss) -> check_concurrent p ms ss
+
+(* Programs and scheduler seeds are drawn up front from the one seeded
+   generator state, so the task list — and therefore any reported
+   counterexample — is identical whatever [jobs] is. *)
+let make_tasks runs rand =
+  let sequential = QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_program in
+  let concurrent =
+    QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_conc_program
+  in
+  Array.of_list
+    (List.map (fun p -> Check_seq p) sequential
+     @ List.map
+         (fun p ->
+            Check_conc
+              (p, Random.State.int rand 1000, Random.State.int rand 1000))
+         concurrent)
+
+(* Check tasks across [jobs] domains (the calling domain participates).
+   Tasks preceding the lowest failing index are always checked, so the
+   reported counterexample is the earliest one — deterministic across
+   job counts; indexes at or past a known failure are skipped. *)
+let check_parallel ~jobs (tasks : task array) : (int * failure) option =
+  let n = Array.length tasks in
+  let next = Atomic.make 0 in
+  let first_fail = Atomic.make max_int in
+  let fails : failure option array = Array.make n None in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        if i < Atomic.get first_fail then
+          (match check_task tasks.(i) with
+           | None -> ()
+           | Some f ->
+             fails.(i) <- Some f;
+             let rec lower () =
+               let cur = Atomic.get first_fail in
+               if i < cur && not (Atomic.compare_and_set first_fail cur i)
+               then lower ()
+             in
+             lower ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  match Atomic.get first_fail with
+  | i when i < n -> Option.map (fun f -> (i, f)) fails.(i)
+  | _ -> None
+
+let check_sequential (tasks : task array) : (int * failure) option =
+  let n = Array.length tasks in
+  let rec go i =
+    if i >= n then None
+    else
+      match check_task tasks.(i) with
+      | Some f -> Some (i, f)
+      | None -> go (i + 1)
+  in
+  go 0
+
 let runs_arg =
   Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Programs per class.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
 
-let fuzz runs seed =
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Check programs over $(docv) domains.  The reported \
+               counterexample (if any) is the same for every job count.")
+
+let fuzz runs seed jobs =
   let rand = Random.State.make [| seed |] in
-  let sequential = QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_program in
-  let concurrent =
-    QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_conc_program
+  let tasks = make_tasks runs rand in
+  let outcome =
+    if jobs <= 1 then check_sequential tasks else check_parallel ~jobs tasks
   in
-  let checked = ref 0 in
-  let failed = ref None in
-  let note f = if !failed = None then failed := Some f in
-  List.iter
-    (fun p ->
-       if !failed = None then begin
-         incr checked;
-         Option.iter note (check_program p)
-       end)
-    sequential;
-  List.iter
-    (fun p ->
-       if !failed = None then begin
-         incr checked;
-         Option.iter note
-           (check_concurrent p
-              (Random.State.int rand 1000)
-              (Random.State.int rand 1000))
-       end)
-    concurrent;
-  match !failed with
+  match outcome with
   | None ->
-    Printf.printf "ok: %d programs checked, all invariants hold\n" !checked;
+    Printf.printf "ok: %d programs checked, all invariants hold\n"
+      (Array.length tasks);
     `Ok ()
-  | Some f ->
+  | Some (i, f) ->
     Printf.printf "FAILURE after %d programs\ncheck:  %s\ndetail: %s\n\n%s\n"
-      !checked f.f_check f.f_detail f.f_program;
+      i f.f_check f.f_detail f.f_program;
     `Error (false, "invariant violated")
 
 let cmd =
   let info =
     Cmd.info "ldx_fuzz" ~doc:"Fuzz the LDX alignment invariants"
   in
-  Cmd.v info Term.(ret (const fuzz $ runs_arg $ seed_arg))
+  Cmd.v info Term.(ret (const fuzz $ runs_arg $ seed_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -62,8 +62,23 @@ let dot =
 let attribute =
   Arg.(value & flag
        & info [ "attribute" ]
-         ~doc:"Run one dual execution per source and print which source \
-               each flagged sink depends on.")
+         ~doc:"Record one master pass, then run one isolated-source slave \
+               pass per source and print which source each flagged sink \
+               depends on.")
+
+let sweep_strategies =
+  Arg.(value & flag
+       & info [ "sweep-strategies" ]
+         ~doc:"Record one master pass, then run one slave pass per \
+               mutation strategy and print the comparison table \
+               (Sec. 8.3 study).")
+
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Fan campaign slave passes (attribution, strategy sweeps) \
+               out over $(docv) domains.  Results are identical to a \
+               sequential run.")
 
 let final_state =
   Arg.(value & flag
@@ -128,7 +143,8 @@ let parse_strategy = function
   | s -> Error (Printf.sprintf "unknown strategy %S" s)
 
 let run prog_file files endpoints sources sink strategy verbose trace dot
-    attribute final_state trace_out metrics metrics_json =
+    attribute sweep_strategies jobs final_state trace_out metrics metrics_json
+  =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
   let* strategy = parse_strategy strategy in
@@ -155,8 +171,21 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
     | exception Failure msg -> `Error (false, msg)
     | prog ->
       let prog, _ = Ldx_instrument.Counter.instrument prog in
-      let attrs = Ldx_core.Attribute.per_source ~config prog world in
+      let attrs = Ldx_core.Attribute.per_source ~config ~jobs prog world in
       print_string (Ldx_core.Attribute.render attrs);
+      `Ok ()
+  end
+  else if sweep_strategies then begin
+    match Ldx_cfg.Lower.lower_source src with
+    | exception Failure msg -> `Error (false, msg)
+    | prog ->
+      let prog, _ = Ldx_instrument.Counter.instrument prog in
+      let outs =
+        Ldx_core.Campaign.run ~jobs ~config prog world
+          (Ldx_core.Campaign.of_strategies config
+             Ldx_core.Mutation.all_strategies)
+      in
+      print_string (Ldx_core.Campaign.render outs);
       `Ok ()
   end
   else
@@ -237,7 +266,7 @@ let cmd =
     Term.(
       ret
         (const run $ prog_file $ files $ endpoints $ sources $ sink $ strategy
-         $ verbose $ trace $ dot $ attribute $ final_state $ trace_out
-         $ metrics $ metrics_json))
+         $ verbose $ trace $ dot $ attribute $ sweep_strategies $ jobs
+         $ final_state $ trace_out $ metrics $ metrics_json))
 
 let () = exit (Cmd.eval cmd)

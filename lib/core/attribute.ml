@@ -15,14 +15,20 @@ type attribution = {
   result : Engine.result;
 }
 
-(* One dual execution per source in [config.sources]. *)
-let per_source ?(config = Engine.default_config) (prog : Ir.program)
-    (world : World.t) : attribution list =
-  List.map
-    (fun spec ->
-       let config = { config with Engine.sources = [ spec ] } in
-       { source = spec; result = Engine.run ~config prog world })
-    config.Engine.sources
+(* One slave pass per source in [config.sources], all replaying a single
+   recorded master (a {!Campaign}): the master never reads
+   [config.sources], so K isolated-source runs cost 1 + K executions
+   instead of 2K.  [jobs > 1] fans the slave passes out over a domain
+   pool; results are identical to the sequential ones. *)
+let per_source ?(config = Engine.default_config) ?(jobs = 1) ?obs
+    (prog : Ir.program) (world : World.t) : attribution list =
+  let outs =
+    Campaign.run ~jobs ?obs ~config prog world (Campaign.of_sources config)
+  in
+  List.map2
+    (fun spec (o : Campaign.outcome) ->
+       { source = spec; result = o.Campaign.result })
+    config.Engine.sources outs
 
 let source_to_string (s : Engine.source_spec) =
   String.concat ""

@@ -10,10 +10,15 @@ type attribution = {
   result : Engine.result;
 }
 
-(** One dual execution per entry of [config.sources]. *)
+(** One isolated-source slave pass per entry of [config.sources], all
+    replaying a single recorded master pass (a {!Campaign}): 1 + K
+    executions instead of 2K.  [?jobs] (default 1) fans the slave
+    passes out over a domain pool; results are identical either way.
+    [?obs] observes the shared master pass (one [Master_run] phase) and,
+    when sequential, each slave pass. *)
 val per_source :
-  ?config:Engine.config -> Ldx_cfg.Ir.program -> Ldx_osim.World.t ->
-  attribution list
+  ?config:Engine.config -> ?jobs:int -> ?obs:Ldx_obs.Sink.t ->
+  Ldx_cfg.Ir.program -> Ldx_osim.World.t -> attribution list
 
 val source_to_string : Engine.source_spec -> string
 

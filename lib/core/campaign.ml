@@ -1,0 +1,142 @@
+(* Campaign layer: one recorded master, N independent slave passes.
+
+   The per-source attribution follow-up (Sec. 3) and the
+   mutation-strategy study (Sec. 8.3) both re-run a dual execution per
+   source/strategy, yet the master half is byte-identical across those
+   runs: [Engine.master_pass] never reads the slave-only configuration
+   fields (sources, strategy, slave_seed, record_trace), and a
+   [master_out] is a frozen, replayable outcome log.  A campaign
+   therefore pays ONE master pass and fans the K slave passes out —
+   sequentially, or across an OCaml 5 domain pool with a bounded work
+   queue.
+
+   Determinism: each slave pass builds its own machine, OS and cursors
+   from immutable inputs (the program, the world description, the frozen
+   master log) and the VM scheduler is deterministically seeded, so a
+   parallel campaign is byte-identical to a sequential one (asserted by
+   the property suite). *)
+
+module World = Ldx_osim.World
+module Ir = Ldx_cfg.Ir
+module Obs = Ldx_obs
+
+(* Slave-side parameters only, by construction: anything expressible as
+   a [slave_params] is sound to run against a shared master recording. *)
+type slave_params = {
+  label : string;
+  sources : Engine.source_spec list;
+  strategy : Mutation.strategy;
+  slave_seed : int;
+  record_trace : bool;
+  check_final_state : bool;
+}
+
+let params_of_config ?(label = "base") (c : Engine.config) : slave_params =
+  { label;
+    sources = c.Engine.sources;
+    strategy = c.Engine.strategy;
+    slave_seed = c.Engine.slave_seed;
+    record_trace = c.Engine.record_trace;
+    check_final_state = c.Engine.check_final_state }
+
+let apply (base : Engine.config) (p : slave_params) : Engine.config =
+  { base with
+    Engine.sources = p.sources;
+    strategy = p.strategy;
+    slave_seed = p.slave_seed;
+    record_trace = p.record_trace;
+    check_final_state = p.check_final_state }
+
+let of_sources (c : Engine.config) : slave_params list =
+  List.mapi
+    (fun i spec ->
+       { (params_of_config c) with
+         label = Printf.sprintf "source#%d" i;
+         sources = [ spec ] })
+    c.Engine.sources
+
+let of_strategies (c : Engine.config)
+    (strategies : (string * Mutation.strategy) list) : slave_params list =
+  List.map
+    (fun (label, strategy) -> { (params_of_config c) with label; strategy })
+    strategies
+
+let of_seeds (c : Engine.config) (seeds : int list) : slave_params list =
+  List.map
+    (fun s ->
+       { (params_of_config c) with
+         label = Printf.sprintf "seed=%d" s;
+         slave_seed = s })
+    seeds
+
+type outcome = {
+  params : slave_params;
+  result : Engine.result;
+}
+
+(* Fan tasks out over [jobs] domains (the calling domain participates).
+   The work queue is a bounded atomic index over the task array: domains
+   claim the next index until the array is exhausted; each result slot
+   is written by exactly one domain and read only after the joins, which
+   gives the necessary happens-before edges. *)
+let run_parallel ~jobs (config : Engine.config) (prog : Ir.program)
+    (world : World.t) (mo : Engine.master_out)
+    (tasks : slave_params array) : Engine.result array =
+  let n = Array.length tasks in
+  let results : Engine.result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let cfg = apply config tasks.(i) in
+        results.(i) <- Some (Engine.run_with_master cfg prog world mo);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  Array.map
+    (function Some r -> r | None -> assert false (* every index claimed *))
+    results
+
+let run ?(jobs = 1) ?obs ~(config : Engine.config) (prog : Ir.program)
+    (world : World.t) (params : slave_params list) : outcome list =
+  let mo =
+    Obs.Sink.emit_opt obs (Obs.Event.Phase_begin Obs.Event.Master_run);
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Sink.emit_opt obs (Obs.Event.Phase_end Obs.Event.Master_run))
+      (fun () -> Engine.master_pass ?obs config prog world)
+  in
+  if jobs <= 1 || List.length params <= 1 then
+    List.map
+      (fun p ->
+         { params = p;
+           result = Engine.run_with_master ?obs (apply config p) prog world mo })
+      params
+  else begin
+    (* the observability sink is not required to be domain-safe, so the
+       parallel path records the master only; results are unaffected
+       (observation never perturbs the engine) *)
+    let tasks = Array.of_list params in
+    let results = run_parallel ~jobs config prog world mo tasks in
+    List.mapi (fun i p -> { params = p; result = results.(i) }) params
+  end
+
+let render (outs : outcome list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %8s %8s %8s %6s\n" "task" "mutated" "diffs"
+       "tainted" "leak");
+  List.iter
+    (fun o ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-24s %8d %8d %8d %6b\n" o.params.label
+            o.result.Engine.mutated_inputs o.result.Engine.syscall_diffs
+            o.result.Engine.tainted_sinks o.result.Engine.leak))
+    outs;
+  Buffer.contents buf

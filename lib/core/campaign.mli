@@ -1,0 +1,72 @@
+(** Campaign layer: one recorded master pass, N independent slave
+    passes.
+
+    [Engine.master_pass] never reads the slave-only configuration
+    fields ([sources], [strategy], [slave_seed], [record_trace]), and a
+    recorded {!Engine.master_out} is immutable — slave passes read it
+    through private cursors.  A campaign exploits both facts: it pays
+    {e one} master pass and fans K slave passes out, sequentially or
+    across an OCaml 5 domain pool with a bounded work queue.
+
+    Every slave pass builds its own machine and simulated OS from
+    immutable inputs and the VM scheduler is deterministically seeded,
+    so a parallel campaign is byte-identical to a sequential one (a
+    property-suite invariant).
+
+    This is the substrate for per-source attribution
+    ({!Attribute.per_source}), mutation-strategy sweeps
+    ([ldx_run --sweep-strategies]) and slave-seed sweeps. *)
+
+(** Slave-side parameters only, by construction: anything expressible
+    as a [slave_params] is sound to run against a shared master
+    recording. *)
+type slave_params = {
+  label : string;                        (** for rendering/reporting *)
+  sources : Engine.source_spec list;
+  strategy : Mutation.strategy;
+  slave_seed : int;
+  record_trace : bool;
+  check_final_state : bool;
+}
+
+(** The slave-side projection of a config. *)
+val params_of_config : ?label:string -> Engine.config -> slave_params
+
+(** Overlay a task's slave-side parameters on a base config. *)
+val apply : Engine.config -> slave_params -> Engine.config
+
+(** One task per entry of [config.sources], each isolating that source
+    (the attribution loop of Sec. 3). *)
+val of_sources : Engine.config -> slave_params list
+
+(** One task per named mutation strategy (the Sec. 8.3 study);
+    [Mutation.all_strategies] is a ready-made argument. *)
+val of_strategies :
+  Engine.config -> (string * Mutation.strategy) list -> slave_params list
+
+(** One task per slave scheduler seed (concurrency sweeps, Table 4). *)
+val of_seeds : Engine.config -> int list -> slave_params list
+
+type outcome = {
+  params : slave_params;
+  result : Engine.result;
+}
+
+(** [run ~jobs ?obs ~config prog world params] records one master pass
+    under [config]'s master-side fields, then runs one slave pass per
+    task.  [jobs <= 1] runs sequentially in the calling domain;
+    [jobs > 1] fans tasks out over [min jobs (length params)] domains.
+    Outcomes are returned in task order either way, with identical
+    results.
+
+    [?obs] observes the master pass (bracketed in [Master_run] phase
+    events) and, in the sequential case, every slave pass too; the
+    parallel path does not thread the sink through slave passes because
+    a sink is not required to be domain-safe. *)
+val run :
+  ?jobs:int -> ?obs:Ldx_obs.Sink.t -> config:Engine.config ->
+  Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
+  outcome list
+
+(** Fixed-width summary table of a campaign's outcomes. *)
+val render : outcome list -> string

@@ -96,6 +96,47 @@ let contains hay needle =
       done;
       !found)
 
+(* Stateful source predicate over one execution's dynamic syscall stream.
+   The [src_nth] occurrence counters are keyed by each spec's INDEX in
+   [config.sources]: every configured spec counts its own matches, even
+   when two specs are structurally equal (keying by [Hashtbl.hash spec]
+   made equal specs share one counter and let distinct specs collide). *)
+let source_matcher (config : config) =
+  let specs =
+    Array.of_list config.sources in
+  let source_hits = Array.make (Array.length specs) 0 in
+  fun ~sys ~site ~(args : Sval.t list) ~(resources : string list) ->
+    (* evaluate EVERY spec (no short-circuit): the per-spec occurrence
+       counters must advance on each matching event even when an earlier
+       spec already fired *)
+    let hit = ref false in
+    Array.iteri
+      (fun i (spec : source_spec) ->
+         let base =
+           (match spec.src_sys with None -> true | Some s -> String.equal s sys)
+           && (match spec.src_site with None -> true | Some s -> s = site)
+           && (match spec.src_arg with
+               | None -> true
+               | Some sub ->
+                 List.exists (fun r -> contains r sub) resources
+                 || (match args with
+                     | Sval.S a :: _ -> contains a sub
+                     | _ -> false))
+         in
+         let this =
+           if not base then false
+           else
+             match spec.src_nth with
+             | None -> true
+             | Some n ->
+               let c = source_hits.(i) + 1 in
+               source_hits.(i) <- c;
+               c = n
+         in
+         if this then hit := true)
+      specs;
+    !hit
+
 (* ------------------------------------------------------------------ *)
 (* Reports.                                                            *)
 
@@ -279,13 +320,28 @@ type record = {
   rsink : bool;
 }
 
+(* The master's outcome log is frozen after the pass: per-thread record
+   arrays sorted by spawn index.  Consumers (slave passes, baselines)
+   keep their own integer cursors, so one recorded master can be
+   replayed by any number of slaves — sequentially or from concurrent
+   domains ({!Campaign}). *)
 type master_out = {
-  mqueues : (int, record Queue.t) Hashtbl.t;   (* per spawn_index *)
+  mlog : (int * record array) array;           (* per spawn_index, ascending *)
   mlock_trace : (string * int) list;           (* chronological *)
   msummary : exec_summary;
   mtotal_sinks : int;
   mmachine : Machine.t;
 }
+
+let records_for (mo : master_out) (tid : int) : record array =
+  let n = Array.length mo.mlog in
+  let rec go i =
+    if i >= n then [||]
+    else
+      let t, a = mo.mlog.(i) in
+      if t = tid then a else go (i + 1)
+  in
+  go 0
 
 let summary_of (m : Machine.t) =
   { cycles = m.Machine.cycles;
@@ -399,7 +455,15 @@ let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
   in
   run_side m ~on_os_syscall ~on_stuck:(fun _ -> false);
   emit_summary obs Obs.Event.Master m;
-  { mqueues = queues;
+  (* freeze the per-thread queues into an immutable, sorted log *)
+  let mlog =
+    Hashtbl.fold
+      (fun tid q acc -> (tid, Array.of_seq (Queue.to_seq q)) :: acc)
+      queues []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> Array.of_list
+  in
+  { mlog;
     mlock_trace = List.rev m.Machine.lock_trace;
     msummary = summary_of m;
     mtotal_sinks = !total_sinks;
@@ -507,38 +571,7 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
   in
   (* --- source mutation --- *)
   let mutated = ref 0 in
-  let source_hits : (int, int) Hashtbl.t = Hashtbl.create 4 in
-  let is_source ~sys ~site ~args ~resources =
-    (* evaluate EVERY spec (no short-circuit): the per-spec occurrence
-       counters must advance on each matching event even when an earlier
-       spec already fired *)
-    List.fold_left
-      (fun hit (spec : source_spec) ->
-         let base =
-           (match spec.src_sys with None -> true | Some s -> String.equal s sys)
-           && (match spec.src_site with None -> true | Some s -> s = site)
-           && (match spec.src_arg with
-               | None -> true
-               | Some sub ->
-                 List.exists (fun r -> contains r sub) resources
-                 || (match args with
-                     | Sval.S a :: _ -> contains a sub
-                     | _ -> false))
-         in
-         let this =
-           if not base then false
-           else
-             match spec.src_nth with
-             | None -> true
-             | Some n ->
-               let key = Hashtbl.hash spec in
-               let c = 1 + (try Hashtbl.find source_hits key with Not_found -> 0) in
-               Hashtbl.replace source_hits key c;
-               c = n
-         in
-         hit || this)
-      false config.sources
-  in
+  let is_source = source_matcher config in
   let maybe_mutate ~sys ~site ~pos ~args ~resources (v : Sval.t) : Sval.t =
     if is_source ~sys ~site ~args ~resources then begin
       let v' = Mutation.mutate config.strategy v in
@@ -557,6 +590,18 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
     else v
   in
   (* --- the slave syscall wrapper --- *)
+  (* Per-thread read cursors over the master's frozen record arrays: the
+     slave never mutates [mo], so one recorded master replays under any
+     number of (possibly concurrent) slave passes. *)
+  let cursors : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let cursor_for tid =
+    match Hashtbl.find_opt cursors tid with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.replace cursors tid c;
+      c
+  in
   let on_os_syscall th (p : Machine.pending) : Value.t =
     let sys = p.Machine.sys and site = p.Machine.site in
     let sargs = List.map Value.to_sval p.Machine.sysargs in
@@ -564,12 +609,12 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
     let resources = Os.resource_of_syscall os sys sargs in
     let sinkp = is_sink sys site sargs in
     let tid = th.Machine.spawn_index in
-    let q = queue_for mo.mqueues tid in
-    (* discard outcomes the slave has passed: master-only syscalls *)
-    while
-      (not (Queue.is_empty q)) && Align.compare (Queue.peek q).rpos pos < 0
-    do
-      drop_master_only ~tid (Queue.pop q)
+    let recs = records_for mo tid in
+    let cur = cursor_for tid in
+    (* skip past outcomes the slave has passed: master-only syscalls *)
+    while !cur < Array.length recs && Align.compare recs.(!cur).rpos pos < 0 do
+      drop_master_only ~tid recs.(!cur);
+      incr cur
     done;
     let private_exec () =
       taint resources;
@@ -585,13 +630,13 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
       private_exec ()
     in
     let res =
-      if Queue.is_empty q then slave_only ()
+      if !cur >= Array.length recs then slave_only ()
       else begin
-        let r = Queue.peek q in
+        let r = recs.(!cur) in
         let c = Align.compare r.rpos pos in
         if c > 0 then slave_only ()
         else if r.rsite = site then begin
-          ignore (Queue.pop q);
+          incr cur;
           let res_tainted = List.exists (Hashtbl.mem tainted_resources) resources in
           if res_tainted then begin
             (* control-flow aligned but on a diverged resource: decoupled *)
@@ -627,8 +672,11 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
           end
         end
         else begin
-          (* case 2: same counter, different PC — both run independently *)
-          ignore (Queue.pop q);
+          (* case 2: same counter, different PC — both run independently.
+             ONE path-diff syscall pair = one difference (the accounting
+             previously incremented twice here, inflating syscall_diffs
+             and Table 2's diffs_before_first_report). *)
+          incr cur;
           incr diffs;
           note ~tid ~pos ~action:T_path_diff ~sinkp ~master_ts:r.rcyc
             ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
@@ -637,7 +685,6 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
             report Different_syscall ~sys:(if sinkp then sys else r.rsys)
               ~site:(if sinkp then site else r.rsite) ~pos
               ~master_args:(Some r.rargs) ~slave_args:(Some sargs);
-          incr diffs;
           private_exec ()
         end
       end
@@ -662,10 +709,17 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
     !tainted_any
   in
   run_side m ~on_os_syscall ~on_stuck;
-  (* drain leftover master outcomes: syscalls the slave never reached *)
-  Hashtbl.iter
-    (fun tid q -> Queue.iter (drop_master_only ~tid) q)
-    mo.mqueues;
+  (* drain leftover master outcomes (syscalls the slave never reached) in
+     ascending spawn_index order — [mo.mlog] is sorted — so leftover
+     reports and trace entries are deterministic across runs *)
+  Array.iter
+    (fun (tid, recs) ->
+       let cur = cursor_for tid in
+       while !cur < Array.length recs do
+         drop_master_only ~tid recs.(!cur);
+         incr cur
+       done)
+    mo.mlog;
   emit_summary obs Obs.Event.Slave m;
   { sreports = List.rev !reports;
     sdiffs = !diffs;
@@ -724,12 +778,14 @@ let final_state_reports (mos : Os.t) (sos : Os.t) : sink_report list =
 (* ------------------------------------------------------------------ *)
 (* Top level.                                                          *)
 
-let run ?(config = default_config) ?obs (prog : Ir.program) (world : World.t) :
-  result =
-  let mo =
-    with_phase obs Obs.Event.Master_run (fun () ->
-        master_pass ?obs config prog world)
-  in
+(* Dual-execute against an already-recorded master.  [mo] is read-only
+   here (the slave keeps private cursors over its frozen log), so the
+   same recording can back any number of slave passes — the campaign
+   layer's "1 master + K slaves" depends on this, and on [master_pass]
+   never reading the slave-only config fields ([sources], [strategy],
+   [slave_seed], [record_trace]). *)
+let run_with_master ?obs (config : config) (prog : Ir.program)
+    (world : World.t) (mo : master_out) : result =
   let so =
     with_phase obs Obs.Event.Slave_run (fun () ->
         slave_pass ?obs config prog world mo)
@@ -773,6 +829,14 @@ let run ?(config = default_config) ?obs (prog : Ir.program) (world : World.t) :
     dyn_cnt_avg = Machine.dyn_cnt_avg mm;
     dyn_cnt_max = mm.Machine.cnt_max;
     max_seg_depth = mm.Machine.max_seg_depth }
+
+let run ?(config = default_config) ?obs (prog : Ir.program) (world : World.t) :
+  result =
+  let mo =
+    with_phase obs Obs.Event.Master_run (fun () ->
+        master_pass ?obs config prog world)
+  in
+  run_with_master ?obs config prog world mo
 
 (* Parse, check, lower, instrument, dual-execute. *)
 let run_source ?config ?instrument_config ?obs (src : string) (world : World.t)

@@ -141,8 +141,9 @@ type result = {
 
 (** {1 Passes}
 
-    Exposed so baselines ({!Tightlip}) and tools can reuse the master's
-    outcome queue; most callers only need {!run}. *)
+    Exposed so baselines ({!Tightlip}), the campaign layer
+    ({!Campaign}) and tools can replay the master's outcome log; most
+    callers only need {!run}. *)
 
 type record = {
   rpos : Align.t;
@@ -154,15 +155,33 @@ type record = {
   rsink : bool;
 }
 
+(** The master's outcome log, frozen after the pass.  [mlog] holds one
+    record array per thread, sorted by spawn index; consumers keep
+    their own cursors, so a recording is immutable and replayable from
+    any number of slave passes — including concurrently from several
+    domains ({!Campaign}). *)
 type master_out = {
-  mqueues : (int, record Queue.t) Hashtbl.t;  (** per spawn_index *)
-  mlock_trace : (string * int) list;          (** chronological grants *)
+  mlog : (int * record array) array;  (** per spawn_index, ascending *)
+  mlock_trace : (string * int) list;  (** chronological grants *)
   msummary : exec_summary;
   mtotal_sinks : int;
   mmachine : Machine.t;
 }
 
+(** The master's records for one spawn index ([| |] if it never made a
+    syscall). *)
+val records_for : master_out -> int -> record array
+
 val queue_for : ('a, 'b Queue.t) Hashtbl.t -> 'a -> 'b Queue.t
+
+(** [source_matcher config] is a stateful predicate over one execution's
+    dynamic syscall stream: does this event match a configured source?
+    [src_nth] occurrence counters are kept per spec {e index} in
+    [config.sources], so structurally equal specs count independently
+    and distinct specs can never collide. *)
+val source_matcher :
+  config ->
+  sys:string -> site:int -> args:Sval.t list -> resources:string list -> bool
 
 (** Drive one execution to completion, servicing thread ops internally
     and non-thread syscalls through [on_os_syscall]; [on_stuck] is asked
@@ -193,6 +212,18 @@ val master_pass :
 
 (** Dual-execute an (instrumented) program. *)
 val run : ?config:config -> ?obs:Ldx_obs.Sink.t -> Ir.program -> World.t -> result
+
+(** Run one slave pass (plus the optional final-state check) against an
+    already-recorded master and assemble the full {!result}.  Sound
+    because [master_pass] never reads the slave-only config fields
+    ([sources], [strategy], [slave_seed], [record_trace]) and
+    [run_with_master] never mutates [mo]: callers may fan out many
+    configs — even from concurrent domains — over one recording.
+    [config] must agree with the recording's config on the master-side
+    fields ([master_seed], [max_steps], [sinks]). *)
+val run_with_master :
+  ?obs:Ldx_obs.Sink.t -> config -> Ir.program -> World.t -> master_out ->
+  result
 
 (** Parse, check, lower, instrument, dual-execute. *)
 val run_source :

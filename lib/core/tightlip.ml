@@ -37,55 +37,29 @@ let run ?(config = Engine.default_config) ?(window = 0) (prog : Ir.program)
   in
   let matched = ref 0 in
   let mismatch = ref false in
-  let source_hits = Hashtbl.create 4 in
-  let is_source ~sys ~site ~args ~resources =
-    ignore site;
-    ignore args;
-    List.fold_left
-      (fun hit (spec : Engine.source_spec) ->
-         let base =
-           (match spec.Engine.src_sys with
-            | None -> true
-            | Some s -> String.equal s sys)
-           && (match spec.Engine.src_arg with
-               | None -> true
-               | Some sub ->
-                 List.exists
-                   (fun r ->
-                      let hn = String.length r and nn = String.length sub in
-                      nn = 0
-                      || (let found = ref false in
-                          for i = 0 to hn - nn do
-                            if (not !found) && String.sub r i nn = sub then
-                              found := true
-                          done;
-                          !found))
-                   resources)
-         in
-         let this =
-           if not base then false
-           else
-             match spec.Engine.src_nth with
-             | None -> true
-             | Some n ->
-               let key = Hashtbl.hash spec in
-               let c =
-                 1 + (try Hashtbl.find source_hits key with Not_found -> 0)
-               in
-               Hashtbl.replace source_hits key c;
-               c = n
-         in
-         hit || this)
-      false config.sources
+  let is_source = Engine.source_matcher config in
+  (* private cursors over the master's frozen per-thread logs: TightLip
+     consumes the recording without mutating it, like every other
+     master_out consumer *)
+  let cursors : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let cursor_for tid =
+    match Hashtbl.find_opt cursors tid with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.replace cursors tid c;
+      c
   in
   let on_os_syscall th (p : Machine.pending) : Value.t =
     let sargs = List.map Value.to_sval p.Machine.sysargs in
-    let q = Engine.queue_for mo.Engine.mqueues th.Machine.spawn_index in
+    let recs = Engine.records_for mo th.Machine.spawn_index in
+    let cur = cursor_for th.Machine.spawn_index in
     (* look for a match within the window *)
     let rec try_match k =
-      if Queue.is_empty q || k > window then raise Mismatch
+      if !cur >= Array.length recs || k > window then raise Mismatch
       else begin
-        let r = Queue.pop q in
+        let r = recs.(!cur) in
+        incr cur;
         if String.equal r.Engine.rsys p.Machine.sys
         && Sval.list_equal r.Engine.rargs sargs
         then r
@@ -106,9 +80,13 @@ let run ?(config = Engine.default_config) ?(window = 0) (prog : Ir.program)
   (try Engine.run_side m ~on_os_syscall ~on_stuck:(fun _ -> false)
    with Mismatch -> mismatch := true);
   let leftover = ref 0 in
-  Hashtbl.iter
-    (fun _ q -> leftover := !leftover + Queue.length q)
-    mo.Engine.mqueues;
+  Array.iter
+    (fun (tid, recs) ->
+       let consumed =
+         match Hashtbl.find_opt cursors tid with Some c -> !c | None -> 0
+       in
+       leftover := !leftover + (Array.length recs - consumed))
+    mo.Engine.mlog;
   (* unconsumed master syscalls also count as differences *)
   let leak = !mismatch || !leftover > 0 in
   { leak_reported = leak;

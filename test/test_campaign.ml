@@ -1,0 +1,355 @@
+(* Campaign layer + divergence-accounting regressions.
+
+   - exact [syscall_diffs] pinned per divergence case (the case-2 path
+     used to increment twice for one path-diff syscall pair);
+   - [src_nth] occurrence counters keyed per spec index (structurally
+     equal specs used to share one [Hashtbl.hash]-keyed counter);
+   - master recordings are immutable: replaying one [master_out]
+     through several slave passes yields identical results;
+   - [Attribute.per_source] performs exactly one master pass;
+   - a parallel campaign (jobs=4) is byte-identical to a sequential
+     one (qcheck, random structured programs). *)
+
+module Engine = Ldx_core.Engine
+module Campaign = Ldx_core.Campaign
+module Attribute = Ldx_core.Attribute
+module Mutation = Ldx_core.Mutation
+module Counter = Ldx_instrument.Counter
+module Lower = Ldx_cfg.Lower
+module World = Ldx_osim.World
+module Sval = Ldx_osim.Sval
+module Gen_minic = Ldx_genprog.Gen_minic
+module Obs = Ldx_obs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let net_cfg sources =
+  { Engine.default_config with
+    Engine.sources; sinks = Engine.Network_outputs }
+
+let clean (r : Engine.result) =
+  (match r.Engine.master.Engine.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "master trapped: %s" m);
+  match r.Engine.slave.Engine.trap with
+  | None -> ()
+  | Some m -> Alcotest.failf "slave trapped: %s" m
+
+let kinds (r : Engine.result) =
+  List.map (fun (rep : Engine.sink_report) -> rep.Engine.kind)
+    r.Engine.reports
+
+(* ------------------------------------------------------------------ *)
+(* Exact divergence accounting.                                        *)
+
+(* Case 3 (aligned, same PC, different parameters): the mutated recv is
+   coupled (a copy is not a difference); the dependent send is exactly
+   one difference. *)
+let test_diffs_case3 () =
+  let src =
+    {| fn main() { let s = socket("c"); let v = recv(s); send(s, v); } |}
+  in
+  let world = World.(empty |> with_endpoint "c" [ "aa" ]) in
+  let r =
+    Engine.run_source
+      ~config:(net_cfg [ Engine.source ~sys:"recv" () ])
+      src world
+  in
+  clean r;
+  check int "one syscall diff" 1 r.Engine.syscall_diffs;
+  check bool "one args-differ report" true
+    (kinds r = [ Engine.Args_differ ])
+
+(* Case 2 (same counter, different PC): ONE path-diff syscall pair is
+   ONE difference.  The old accounting incremented twice here, so this
+   program reported syscall_diffs = 2. *)
+let test_diffs_case2 () =
+  let src =
+    {| fn main() {
+         let s = socket("c");
+         let secret = atoi(recv(s));
+         if (secret == 1) { send(s, "a"); } else { print("b"); }
+       } |}
+  in
+  let world = World.(empty |> with_endpoint "c" [ "1" ]) in
+  let r =
+    Engine.run_source
+      ~config:(net_cfg [ Engine.source ~sys:"recv" () ])
+      src world
+  in
+  clean r;
+  check bool "path diff reported" true
+    (List.mem Engine.Different_syscall (kinds r));
+  check int "one syscall diff for one path-diff pair" 1
+    r.Engine.syscall_diffs
+
+(* Case 1, master-only: the slave (secret mutated to 4) exits before the
+   send, so the master's send is dropped as master-only — one
+   difference — plus the slave-only exit syscall. *)
+let test_diffs_master_only () =
+  let src =
+    {| fn main() {
+         let s = socket("c");
+         let secret = atoi(recv(s));
+         if (secret == 4) { exit(1); }
+         send(s, "alive");
+       } |}
+  in
+  let world = World.(empty |> with_endpoint "c" [ "3" ]) in
+  let r =
+    Engine.run_source
+      ~config:(net_cfg [ Engine.source ~sys:"recv" () ])
+      src world
+  in
+  (match r.Engine.master.Engine.trap with
+   | None -> ()
+   | Some m -> Alcotest.failf "master trapped: %s" m);
+  check bool "master-only sink reported" true
+    (List.mem Engine.Missing_in_slave (kinds r));
+  check int "slave-only exit + master-only send" 2 r.Engine.syscall_diffs
+
+(* Case 1, slave-only: the master (secret 3) exits before the send, the
+   slave (secret 4) survives and sends — one slave-only difference plus
+   the master-only exit. *)
+let test_diffs_slave_only () =
+  let src =
+    {| fn main() {
+         let s = socket("c");
+         let secret = atoi(recv(s));
+         if (secret == 3) { exit(1); }
+         send(s, "alive");
+       } |}
+  in
+  let world = World.(empty |> with_endpoint "c" [ "3" ]) in
+  let r =
+    Engine.run_source
+      ~config:(net_cfg [ Engine.source ~sys:"recv" () ])
+      src world
+  in
+  check bool "slave-only sink reported" true
+    (List.mem Engine.Missing_in_master (kinds r));
+  check int "master-only exit + slave-only send" 2 r.Engine.syscall_diffs
+
+(* ------------------------------------------------------------------ *)
+(* src_nth occurrence counters are per spec index.                     *)
+
+(* Two structurally equal nth=2 specs: under the old Hashtbl.hash
+   keying they shared one counter, so the SECOND spec saw count 2 on
+   the FIRST recv and the first input was mutated.  Keyed per index,
+   both specs fire on the second recv only. *)
+let test_nth_spec_collision () =
+  let src =
+    {| fn main() {
+         let s = socket("c");
+         let a = recv(s);
+         let b = recv(s);
+         send(s, a);
+         send(s, b);
+       } |}
+  in
+  let world = World.(empty |> with_endpoint "c" [ "aa"; "bb" ]) in
+  let nth2 = Engine.source ~sys:"recv" ~nth:2 () in
+  let r = Engine.run_source ~config:(net_cfg [ nth2; nth2 ]) src world in
+  clean r;
+  check int "exactly one mutated input" 1 r.Engine.mutated_inputs;
+  match r.Engine.reports with
+  | [ rep ] ->
+    check bool "the SECOND recv's sink diverges" true
+      (match rep.Engine.master_args with
+       | Some args -> List.exists (Sval.equal (Sval.S "bb")) args
+       | None -> false)
+  | reps ->
+    Alcotest.failf "expected exactly one report, got %d" (List.length reps)
+
+(* A single nth spec still selects exactly the nth dynamic match. *)
+let test_nth_single () =
+  let src =
+    {| fn main() {
+         let s = socket("c");
+         let a = recv(s);
+         let b = recv(s);
+         send(s, a);
+         send(s, b);
+       } |}
+  in
+  let world = World.(empty |> with_endpoint "c" [ "aa"; "bb" ]) in
+  let r =
+    Engine.run_source
+      ~config:(net_cfg [ Engine.source ~sys:"recv" ~nth:1 () ])
+      src world
+  in
+  clean r;
+  check int "one mutated input" 1 r.Engine.mutated_inputs;
+  match r.Engine.reports with
+  | [ rep ] ->
+    check bool "the FIRST recv's sink diverges" true
+      (match rep.Engine.master_args with
+       | Some args -> List.exists (Sval.equal (Sval.S "aa")) args
+       | None -> false)
+  | reps ->
+    Alcotest.failf "expected exactly one report, got %d" (List.length reps)
+
+(* ------------------------------------------------------------------ *)
+(* Replayable master log.                                              *)
+
+let attribution_src =
+  {| fn main() {
+       let x = socket("x");
+       let y = socket("y");
+       let vx = recv(x);
+       let vy = recv(y);
+       send(x, vx);
+       send(y, vy);
+     } |}
+
+let attribution_world =
+  World.(empty |> with_endpoint "x" [ "11" ] |> with_endpoint "y" [ "22" ])
+
+let instrumented src =
+  fst (Counter.instrument (Lower.lower_source src))
+
+let test_replay_identical () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let mo = Engine.master_pass config prog attribution_world in
+  let r1 = Engine.run_with_master config prog attribution_world mo in
+  let r2 = Engine.run_with_master config prog attribution_world mo in
+  check bool "two replays of one recording are identical" true (r1 = r2);
+  let fresh = Engine.run ~config prog attribution_world in
+  check bool "a replay equals a fresh dual execution" true (r1 = fresh)
+
+(* Replays under DIFFERENT slave configs from one recording match fresh
+   dual executions of those configs — the soundness fact the campaign
+   layer rests on. *)
+let test_replay_across_configs () =
+  let prog = instrumented attribution_src in
+  let base = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let mo = Engine.master_pass base prog attribution_world in
+  List.iter
+    (fun (_, strategy) ->
+       let config = { base with Engine.strategy } in
+       let replay = Engine.run_with_master config prog attribution_world mo in
+       let fresh = Engine.run ~config prog attribution_world in
+       check bool "replayed strategy run equals fresh run" true
+         (replay = fresh))
+    Mutation.all_strategies
+
+(* ------------------------------------------------------------------ *)
+(* Attribution on the campaign layer.                                  *)
+
+let attribution_config =
+  net_cfg
+    [ Engine.source ~sys:"recv" ~arg:"ep:x" ();
+      Engine.source ~sys:"recv" ~arg:"ep:y" ();
+      Engine.source ~sys:"recv" () ]
+
+let test_per_source_one_master () =
+  let prog = instrumented attribution_src in
+  let master_begins = ref 0 and slave_begins = ref 0 in
+  let obs =
+    Obs.Sink.of_fn (function
+      | Obs.Event.Phase_begin Obs.Event.Master_run -> incr master_begins
+      | Obs.Event.Phase_begin Obs.Event.Slave_run -> incr slave_begins
+      | _ -> ())
+  in
+  let attrs =
+    Attribute.per_source ~config:attribution_config ~obs prog
+      attribution_world
+  in
+  check int "three attributions" 3 (List.length attrs);
+  check int "exactly ONE master pass for K sources" 1 !master_begins;
+  check int "one slave pass per source" 3 !slave_begins
+
+let test_per_source_matches_isolated_runs () =
+  let prog = instrumented attribution_src in
+  let attrs =
+    Attribute.per_source ~config:attribution_config prog attribution_world
+  in
+  List.iter
+    (fun (a : Attribute.attribution) ->
+       let isolated =
+         Engine.run
+           ~config:{ attribution_config with Engine.sources = [ a.Attribute.source ] }
+           prog attribution_world
+       in
+       check bool "campaign attribution equals isolated dual execution"
+         true (a.Attribute.result = isolated))
+    attrs;
+  (* and the x/y sinks attribute to their own sources *)
+  match attrs with
+  | [ ax; ay; _all ] ->
+    check int "x-source taints one sink" 1
+      ax.Attribute.result.Engine.tainted_sinks;
+    check int "y-source taints one sink" 1
+      ay.Attribute.result.Engine.tainted_sinks
+  | _ -> Alcotest.fail "expected three attributions"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism.                                               *)
+
+let campaign_params config =
+  Campaign.of_strategies config Mutation.all_strategies
+  @ Campaign.of_seeds config [ 1; 2 ]
+
+let test_campaign_parallel_matches_sequential () =
+  let prog = instrumented attribution_src in
+  let config = attribution_config in
+  let params = campaign_params config in
+  let seq = Campaign.run ~jobs:1 ~config prog attribution_world params in
+  let par = Campaign.run ~jobs:4 ~config prog attribution_world params in
+  check int "same number of outcomes" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
+       check bool "parallel outcome byte-identical to sequential" true
+         (a.Campaign.params = b.Campaign.params
+          && a.Campaign.result = b.Campaign.result))
+    seq par
+
+let qcheck_world =
+  World.(
+    empty
+    |> with_endpoint "in" [ "3"; "14"; "15"; "9"; "2"; "6"; "5"; "35"; "8" ])
+
+(* Over random structured programs: a jobs=4 campaign across all
+   mutation strategies is byte-identical to the sequential campaign. *)
+let prop_campaign_deterministic (p : Ldx_lang.Ast.program) =
+  let prog, _ = Counter.instrument (Lower.lower_program p) in
+  let config = Engine.default_config in
+  let params = Campaign.of_strategies config Mutation.all_strategies in
+  let seq = Campaign.run ~jobs:1 ~config prog qcheck_world params in
+  let par = Campaign.run ~jobs:4 ~config prog qcheck_world params in
+  List.for_all2
+    (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
+       a.Campaign.result = b.Campaign.result)
+    seq par
+
+let qtest name count gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:Gen_minic.print_program gen prop)
+
+let tests =
+  [ Alcotest.test_case "case 3 counts one diff" `Quick test_diffs_case3;
+    Alcotest.test_case "case 2 counts one diff (regression)" `Quick
+      test_diffs_case2;
+    Alcotest.test_case "master-only diff accounting" `Quick
+      test_diffs_master_only;
+    Alcotest.test_case "slave-only diff accounting" `Quick
+      test_diffs_slave_only;
+    Alcotest.test_case "equal nth specs count independently (regression)"
+      `Quick test_nth_spec_collision;
+    Alcotest.test_case "single nth spec picks the nth match" `Quick
+      test_nth_single;
+    Alcotest.test_case "master log replays identically" `Quick
+      test_replay_identical;
+    Alcotest.test_case "replay across slave configs equals fresh runs"
+      `Quick test_replay_across_configs;
+    Alcotest.test_case "per_source records one master" `Quick
+      test_per_source_one_master;
+    Alcotest.test_case "per_source equals isolated runs" `Quick
+      test_per_source_matches_isolated_runs;
+    Alcotest.test_case "parallel campaign equals sequential" `Quick
+      test_campaign_parallel_matches_sequential;
+    qtest "P14 campaign jobs=4 deterministic" 40 Gen_minic.gen_program
+      prop_campaign_deterministic ]

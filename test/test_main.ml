@@ -20,4 +20,5 @@ let () =
       ("integration", Test_integration.tests);
       ("align", Test_align.tests);
       ("obs", Test_obs.tests);
+      ("campaign", Test_campaign.tests);
       ("properties", Test_properties.tests) ]
