@@ -132,6 +132,41 @@ let run_campaign ~jobs () =
 let kernel_campaign_sequential () = run_campaign ~jobs:1 ()
 let kernel_campaign_parallel () = run_campaign ~jobs:4 ()
 
+(* Chaos kernel: generated programs dual-run under random deterministic
+   fault plans with ZERO sources — the robustness soak (every run must
+   report no causality; the timed kernel doubles as an invariant
+   check via the JSON entry below). *)
+module Fault = Ldx_osim.Fault
+module Gen_minic = Ldx_genprog.Gen_minic
+
+let chaos_world =
+  Ldx_osim.World.(
+    empty
+    |> with_endpoint "in" [ "3"; "14"; "15"; "9"; "2"; "6"; "5"; "35"; "8" ])
+
+let chaos_prepared =
+  lazy
+    (let rand = Random.State.make [| 0xC0FFEE |] in
+     let programs =
+       QCheck2.Gen.generate ~n:40 ~rand Gen_minic.gen_program
+     in
+     List.map
+       (fun p ->
+          let prog, _ =
+            Counter.instrument (Ldx_cfg.Lower.lower_program p)
+          in
+          (prog, Fault.random ~rand ()))
+       programs)
+
+let chaos_config plan =
+  { Engine.default_config with Engine.sources = []; faults = plan }
+
+let kernel_chaos () =
+  List.iter
+    (fun (prog, plan) ->
+       ignore (Engine.run ~config:(chaos_config (Some plan)) prog chaos_world))
+    (Lazy.force chaos_prepared)
+
 let kernel_ablation_align () =
   let w = Registry.find_exn "Tnftp" in
   let prog = fst (Workload.instrumented w) in
@@ -183,6 +218,7 @@ let tests =
         (Staged.stage kernel_campaign_sequential);
       Test.make ~name:"campaign_parallel"
         (Staged.stage kernel_campaign_parallel);
+      Test.make ~name:"chaos_faults" (Staged.stage kernel_chaos);
       Test.make ~name:"ablation_alignment" (Staged.stage kernel_ablation_align);
       Test.make ~name:"ablation_loops" (Staged.stage kernel_ablation_loops);
       Test.make ~name:"micro_position_compare"
@@ -296,6 +332,46 @@ let campaign_comparison () =
         if parallel_s > 0. then J.Float (sequential_s /. parallel_s)
         else J.Null ) ]
 
+(* Chaos entry: the same (program, plan) sweep as the Bechamel kernel,
+   but counting false positives (any leak/report/diff under zero
+   sources) and comparing faulted against fault-free wall time — the
+   injection machinery's overhead on the dual-execution hot path. *)
+let chaos_summary () =
+  let pairs = Lazy.force chaos_prepared in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let sweep plan_of () =
+    List.iter
+      (fun (prog, plan) ->
+         ignore
+           (Engine.run ~config:(chaos_config (plan_of plan)) prog chaos_world))
+      pairs
+  in
+  sweep (fun p -> Some p) ();
+  let baseline_s = time (sweep (fun _ -> None)) in
+  let chaos_s = time (sweep (fun p -> Some p)) in
+  let false_positives =
+    List.fold_left
+      (fun acc (prog, plan) ->
+         let r = Engine.run ~config:(chaos_config (Some plan)) prog chaos_world in
+         if r.Engine.leak || r.Engine.reports <> [] || r.Engine.syscall_diffs <> 0
+         then acc + 1
+         else acc)
+      0 pairs
+  in
+  let plans = List.length pairs in
+  J.Obj
+    [ ("plans", J.Int plans);
+      ("false_positives", J.Int false_positives);
+      ("fp_rate", J.Float (float_of_int false_positives /. float_of_int plans));
+      ("baseline_s", J.Float baseline_s);
+      ("chaos_s", J.Float chaos_s);
+      ( "chaos_overhead",
+        if baseline_s > 0. then J.Float (chaos_s /. baseline_s) else J.Null ) ]
+
 let write_bench_json rows =
   let json =
     J.Obj
@@ -308,6 +384,7 @@ let write_bench_json rows =
                   (name, if Float.is_nan est then J.Null else J.Float est))
                rows) );
         ("campaign", campaign_comparison ());
+        ("chaos", chaos_summary ());
         ("engine_counters", J.Obj (recorded_counters ())) ]
   in
   Out_channel.with_open_text "BENCH_results.json" (fun oc ->

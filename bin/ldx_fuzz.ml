@@ -19,6 +19,7 @@ module Counter = Ldx_instrument.Counter
 module Lower = Ldx_cfg.Lower
 module Driver = Ldx_vm.Driver
 module World = Ldx_osim.World
+module Fault = Ldx_osim.Fault
 
 let test_world =
   World.(
@@ -76,13 +77,50 @@ let check_concurrent (p : Ldx_lang.Ast.program) ms ss : failure option =
         f_program = src }
   else None
 
+(* Chaos check: with ZERO sources every syscall couples, so the slave
+   replays the master's faulted outcome log verbatim — any report, diff
+   or leak under an arbitrary fault plan is a FALSE POSITIVE in the
+   causality inference (Sec. 4 soundness).  Hunting these is the point
+   of chaos mode. *)
+let check_chaos (p : Ldx_lang.Ast.program) (plan : Fault.t) : failure option =
+  let src = Gen_minic.print_program p in
+  let instp, _ = Counter.instrument (Lower.lower_program p) in
+  let config =
+    { Engine.default_config with
+      Engine.sources = []; Engine.faults = Some plan }
+  in
+  let r = Engine.run ~config instp test_world in
+  if r.Engine.leak || r.Engine.reports <> [] || r.Engine.syscall_diffs <> 0
+  then
+    Some
+      { f_check = "chaos false positive";
+        f_detail =
+          Printf.sprintf "plan=[%s] leak=%b reports=%d diffs=%d"
+            (Fault.to_string plan) r.Engine.leak
+            (List.length r.Engine.reports) r.Engine.syscall_diffs;
+        f_program = src }
+  else if
+    r.Engine.master.Engine.faults_injected
+    <> r.Engine.slave.Engine.faults_injected
+  then
+    Some
+      { f_check = "chaos fault-schedule divergence";
+        f_detail =
+          Printf.sprintf "plan=[%s] master injected %d, slave injected %d"
+            (Fault.to_string plan) r.Engine.master.Engine.faults_injected
+            r.Engine.slave.Engine.faults_injected;
+        f_program = src }
+  else None
+
 type task =
   | Check_seq of Ldx_lang.Ast.program
   | Check_conc of Ldx_lang.Ast.program * int * int
+  | Check_chaos of Ldx_lang.Ast.program * Fault.t
 
 let check_task = function
   | Check_seq p -> check_program p
   | Check_conc (p, ms, ss) -> check_concurrent p ms ss
+  | Check_chaos (p, plan) -> check_chaos p plan
 
 (* Programs and scheduler seeds are drawn up front from the one seeded
    generator state, so the task list — and therefore any reported
@@ -99,6 +137,14 @@ let make_tasks runs rand =
             Check_conc
               (p, Random.State.int rand 1000, Random.State.int rand 1000))
          concurrent)
+
+(* Chaos tasks: each program is paired with a fresh random fault plan
+   drawn from the same generator state — sweeping the (program, plan)
+   product space hunting false positives. *)
+let make_chaos_tasks runs rand =
+  let programs = QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_program in
+  Array.of_list
+    (List.map (fun p -> Check_chaos (p, Fault.random ~rand ())) programs)
 
 (* Check tasks across [jobs] domains (the calling domain participates).
    Tasks preceding the lowest failing index are always checked, so the
@@ -159,16 +205,28 @@ let jobs_arg =
          ~doc:"Check programs over $(docv) domains.  The reported \
                counterexample (if any) is the same for every job count.")
 
-let fuzz runs seed jobs =
+let chaos_arg =
+  Arg.(value & flag
+       & info [ "chaos" ]
+         ~doc:"Chaos mode: pair each generated program with a random \
+               deterministic fault plan (error returns, short reads, \
+               drops, clock skew) and check that zero sources still \
+               yields zero reports — any leak is a false positive in \
+               the causality inference.")
+
+let fuzz runs seed jobs chaos =
   let rand = Random.State.make [| seed |] in
-  let tasks = make_tasks runs rand in
+  let tasks =
+    if chaos then make_chaos_tasks runs rand else make_tasks runs rand
+  in
   let outcome =
     if jobs <= 1 then check_sequential tasks else check_parallel ~jobs tasks
   in
   match outcome with
   | None ->
-    Printf.printf "ok: %d programs checked, all invariants hold\n"
-      (Array.length tasks);
+    Printf.printf "ok: %d %s checked, all invariants hold\n"
+      (Array.length tasks)
+      (if chaos then "(program, fault plan) pairs" else "programs");
     `Ok ()
   | Some (i, f) ->
     Printf.printf "FAILURE after %d programs\ncheck:  %s\ndetail: %s\n\n%s\n"
@@ -179,6 +237,7 @@ let cmd =
   let info =
     Cmd.info "ldx_fuzz" ~doc:"Fuzz the LDX alignment invariants"
   in
-  Cmd.v info Term.(ret (const fuzz $ runs_arg $ seed_arg $ jobs_arg))
+  Cmd.v info
+    Term.(ret (const fuzz $ runs_arg $ seed_arg $ jobs_arg $ chaos_arg))
 
 let () = exit (Cmd.eval cmd)

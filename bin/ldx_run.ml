@@ -106,6 +106,22 @@ let metrics_json =
          ~doc:"Record the run and write the metrics snapshot (plus the \
                cycle-cost model) as JSON to $(docv).")
 
+let faults =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Inject deterministic environment faults in BOTH executions: \
+               comma-separated rules ACTION:SYSCALL[@NTH][#SITE][%PROB] \
+               where ACTION is error[=INT] | eof | short=K | transient | \
+               drop | skew=D, e.g. 'short=2:read@1,drop:recv%50'.  The \
+               same seeded plan drives master and slave, so coupling is \
+               preserved and zero sources still means zero reports.")
+
+let fault_seed =
+  Arg.(value & opt int 0
+       & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed for probabilistic (%-rules) fault coins; the plan is \
+               fully deterministic given the seed.")
+
 let build_world files endpoints =
   let w = ref World.empty in
   List.iter
@@ -144,10 +160,19 @@ let parse_strategy = function
 
 let run prog_file files endpoints sources sink strategy verbose trace dot
     attribute sweep_strategies jobs final_state trace_out metrics metrics_json
+    faults fault_seed
   =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
   let* strategy = parse_strategy strategy in
+  let* fault_plan =
+    match faults with
+    | None -> Ok None
+    | Some spec ->
+      (match Ldx_osim.Fault.parse ~seed:fault_seed spec with
+       | Ok plan -> Ok (Some plan)
+       | Error e -> Error ("bad --faults spec: " ^ e))
+  in
   let src = In_channel.with_open_text prog_file In_channel.input_all in
   let world = build_world files endpoints in
   let config =
@@ -156,7 +181,8 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       sinks;
       strategy;
       record_trace = trace;
-      check_final_state = final_state }
+      check_final_state = final_state;
+      faults = fault_plan }
   in
   if dot then begin
     match Ldx_cfg.Lower.lower_source src with
@@ -198,16 +224,24 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
   match Engine.run_source ~config ?obs src world with
   | exception Failure msg -> `Error (false, msg)
   | r ->
+    let trap_suffix (s : Engine.exec_summary) =
+      match s.Engine.trap with
+      | None -> ""
+      | Some m ->
+        Printf.sprintf ", TRAP(%s): %s"
+          (Engine.failure_class_to_string (Engine.classify_trap (Some m)))
+          m
+    in
     Printf.printf "master: %d syscalls, %d cycles%s\n"
       r.Engine.master.Engine.syscalls r.Engine.master.Engine.cycles
-      (match r.Engine.master.Engine.trap with
-       | None -> ""
-       | Some m -> ", TRAP: " ^ m);
+      (trap_suffix r.Engine.master);
     Printf.printf "slave:  %d syscalls, %d cycles%s\n"
       r.Engine.slave.Engine.syscalls r.Engine.slave.Engine.cycles
-      (match r.Engine.slave.Engine.trap with
-       | None -> ""
-       | Some m -> ", TRAP: " ^ m);
+      (trap_suffix r.Engine.slave);
+    if fault_plan <> None then
+      Printf.printf "faults injected: master %d, slave %d\n"
+        r.Engine.master.Engine.faults_injected
+        r.Engine.slave.Engine.faults_injected;
     Printf.printf "mutated inputs: %d, syscall differences: %d/%d\n"
       r.Engine.mutated_inputs r.Engine.syscall_diffs r.Engine.total_syscalls;
     if r.Engine.leak then begin
@@ -267,6 +301,7 @@ let cmd =
       ret
         (const run $ prog_file $ files $ endpoints $ sources $ sink $ strategy
          $ verbose $ trace $ dot $ attribute $ sweep_strategies $ jobs
-         $ final_state $ trace_out $ metrics $ metrics_json))
+         $ final_state $ trace_out $ metrics $ metrics_json $ faults
+         $ fault_seed))
 
 let () = exit (Cmd.eval cmd)

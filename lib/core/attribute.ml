@@ -27,7 +27,10 @@ let per_source ?(config = Engine.default_config) ?(jobs = 1) ?obs
   in
   List.map2
     (fun spec (o : Campaign.outcome) ->
-       { source = spec; result = o.Campaign.result })
+       (* attribution wants every per-source verdict: a crashed or
+          fuel-exhausted task would make the list incomplete, so it
+          surfaces as an error rather than a silent hole *)
+       { source = spec; result = Campaign.result_exn o })
     config.Engine.sources outs
 
 let source_to_string (s : Engine.source_spec) =

@@ -69,42 +69,145 @@ let of_seeds (c : Engine.config) (seeds : int list) : slave_params list =
          slave_seed = s })
     seeds
 
+(* A task's fate.  A raising slave pass is RECORDED, never fatal: one
+   bad task must not take down the fleet (nor, in the parallel path,
+   lose every sibling's result).  Fuel exhaustion gets its own arm —
+   the result is still meaningful (both sides' partial summaries are
+   there) but its verdict must not be trusted like a completed run's. *)
+type status =
+  | Ok of Engine.result
+  | Crashed of { exn : string; backtrace : string }
+  | Fuel_exhausted of Engine.result
+
 type outcome = {
   params : slave_params;
-  result : Engine.result;
+  status : status;
 }
+
+let status_class = function
+  | Ok _ -> "ok"
+  | Crashed _ -> "crashed"
+  | Fuel_exhausted _ -> "fuel-exhausted"
+
+let result_of = function
+  | Ok r | Fuel_exhausted r -> Some r
+  | Crashed _ -> None
+
+let result_exn (o : outcome) : Engine.result =
+  match o.status with
+  | Ok r | Fuel_exhausted r -> r
+  | Crashed { exn; _ } ->
+    invalid_arg (Printf.sprintf "campaign task %s crashed: %s" o.params.label exn)
+
+(* Bounded retries for crashed/fuel-exhausted tasks.  Each retry re-runs
+   the task with [slave_seed + attempt * seed_jitter]: a transient
+   failure (schedule-dependent deadlock, fuel blow-up under an unlucky
+   interleaving) clears under a perturbed schedule, a deterministic one
+   reproduces — which is exactly the signal the retry count carries. *)
+type retry_policy = {
+  max_retries : int;
+  seed_jitter : int;
+}
+
+let no_retries = { max_retries = 0; seed_jitter = 1 }
+
+type runner =
+  Engine.config -> Ir.program -> World.t -> Engine.master_out -> Engine.result
+
+(* Run one task under containment: exceptions become [Crashed], fuel
+   traps on either side become [Fuel_exhausted], retries (if any) are
+   attempted with jittered slave seeds.  This is the only place a slave
+   pass is invoked, so sequential and parallel campaigns contain
+   failures identically. *)
+let run_task ?(retry = no_retries) ~(runner : runner) (config : Engine.config)
+    (prog : Ir.program) (world : World.t) (mo : Engine.master_out)
+    (p : slave_params) : status =
+  let attempt_once (p : slave_params) : status =
+    match runner (apply config p) prog world mo with
+    | r ->
+      let fuel s = Engine.classify_trap s.Engine.trap = Engine.Fuel in
+      if fuel r.Engine.master || fuel r.Engine.slave then Fuel_exhausted r
+      else Ok r
+    | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Crashed { exn = Printexc.to_string e; backtrace }
+  in
+  let rec go attempt =
+    let p' =
+      if attempt = 0 then p
+      else { p with slave_seed = p.slave_seed + (attempt * retry.seed_jitter) }
+    in
+    match attempt_once p' with
+    | Ok _ as s -> s
+    | (Crashed _ | Fuel_exhausted _) as s ->
+      if attempt < retry.max_retries then go (attempt + 1) else s
+  in
+  go 0
 
 (* Fan tasks out over [jobs] domains (the calling domain participates).
    The work queue is a bounded atomic index over the task array: domains
    claim the next index until the array is exhausted; each result slot
    is written by exactly one domain and read only after the joins, which
-   gives the necessary happens-before edges. *)
-let run_parallel ~jobs (config : Engine.config) (prog : Ir.program)
-    (world : World.t) (mo : Engine.master_out)
-    (tasks : slave_params array) : Engine.result array =
+   gives the necessary happens-before edges.  [run_task] never raises,
+   and the joins are under [Fun.protect], so no domain can be leaked
+   even if a worker or the calling domain dies unexpectedly. *)
+let run_parallel ?retry ?(runner = (Engine.run_with_master ?obs:None : runner))
+    ~jobs (config : Engine.config) (prog : Ir.program) (world : World.t)
+    (mo : Engine.master_out) (tasks : slave_params array) : status array =
   let n = Array.length tasks in
-  let results : Engine.result option array = Array.make n None in
+  let results : status option array = Array.make n None in
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let cfg = apply config tasks.(i) in
-        results.(i) <- Some (Engine.run_with_master cfg prog world mo);
+        results.(i) <- Some (run_task ?retry ~runner config prog world mo tasks.(i));
         loop ()
       end
     in
     loop ()
   in
-  let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  Array.iter Domain.join spawned;
+  (* backtrace recording is per-domain: without propagating the calling
+     domain's setting, a [Crashed] outcome would carry a backtrace or
+     not depending on which domain happened to claim the task — a
+     run-to-run nondeterminism in campaign output *)
+  let record_bt = Printexc.backtrace_status () in
+  let spawned =
+    Array.init (min jobs n - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Printexc.record_backtrace record_bt;
+            worker ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* always join every spawned domain; a join that re-raises (its
+         worker died outside the containment, e.g. on out-of-memory)
+         must not prevent joining the rest *)
+      let first_exn = ref None in
+      Array.iter
+        (fun d ->
+           try Domain.join d
+           with e -> if !first_exn = None then first_exn := Some e)
+        spawned;
+      match !first_exn with Some e -> raise e | None -> ())
+    worker;
   Array.map
-    (function Some r -> r | None -> assert false (* every index claimed *))
+    (function
+      | Some s -> s
+      | None ->
+        (* unreachable when the claims above completed; defensive so a
+           future bug degrades to a recorded failure, not an abort *)
+        Crashed { exn = "task slot never claimed"; backtrace = "" })
     results
 
-let run ?(jobs = 1) ?obs ~(config : Engine.config) (prog : Ir.program)
-    (world : World.t) (params : slave_params list) : outcome list =
+let run ?(jobs = 1) ?obs ?retry ?runner ~(config : Engine.config)
+    (prog : Ir.program) (world : World.t) (params : slave_params list) :
+  outcome list =
+  let runner : runner =
+    match runner with
+    | Some r -> r
+    | None -> fun cfg prog world mo -> Engine.run_with_master ?obs cfg prog world mo
+  in
   let mo =
     Obs.Sink.emit_opt obs (Obs.Event.Phase_begin Obs.Event.Master_run);
     Fun.protect
@@ -112,31 +215,67 @@ let run ?(jobs = 1) ?obs ~(config : Engine.config) (prog : Ir.program)
         Obs.Sink.emit_opt obs (Obs.Event.Phase_end Obs.Event.Master_run))
       (fun () -> Engine.master_pass ?obs config prog world)
   in
-  if jobs <= 1 || List.length params <= 1 then
-    List.map
-      (fun p ->
-         { params = p;
-           result = Engine.run_with_master ?obs (apply config p) prog world mo })
-      params
-  else begin
-    (* the observability sink is not required to be domain-safe, so the
-       parallel path records the master only; results are unaffected
-       (observation never perturbs the engine) *)
-    let tasks = Array.of_list params in
-    let results = run_parallel ~jobs config prog world mo tasks in
-    List.mapi (fun i p -> { params = p; result = results.(i) }) params
-  end
+  let outs =
+    if jobs <= 1 || List.length params <= 1 then
+      List.map
+        (fun p ->
+           { params = p;
+             status = run_task ?retry ~runner config prog world mo p })
+        params
+    else begin
+      (* the observability sink is not required to be domain-safe, so the
+         parallel path records the master only; results are unaffected
+         (observation never perturbs the engine).  The parallel runner
+         drops the sink for the same reason. *)
+      let runner : runner =
+        match obs with
+        | None -> runner
+        | Some _ -> fun cfg prog world mo ->
+          Engine.run_with_master ?obs:None cfg prog world mo
+      in
+      let tasks = Array.of_list params in
+      let statuses = run_parallel ?retry ~runner ~jobs config prog world mo tasks in
+      List.mapi (fun i p -> { params = p; status = statuses.(i) }) params
+    end
+  in
+  (* task fates are emitted from the calling domain, after collection,
+     so the sink never sees concurrent emissions *)
+  List.iter
+    (fun o ->
+       Obs.Sink.emit_opt obs
+         (Obs.Event.Task_done
+            { label = o.params.label;
+              status = status_class o.status;
+              exn =
+                (match o.status with
+                 | Crashed { exn; _ } -> Some exn
+                 | Ok _ | Fuel_exhausted _ -> None) }))
+    outs;
+  outs
 
 let render (outs : outcome list) : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "%-24s %8s %8s %8s %6s\n" "task" "mutated" "diffs"
-       "tainted" "leak");
+    (Printf.sprintf "%-24s %-14s %-18s %8s %8s %8s %6s\n" "task" "status"
+       "failure" "mutated" "diffs" "tainted" "leak");
   List.iter
     (fun o ->
-       Buffer.add_string buf
-         (Printf.sprintf "%-24s %8d %8d %8d %6b\n" o.params.label
-            o.result.Engine.mutated_inputs o.result.Engine.syscall_diffs
-            o.result.Engine.tainted_sinks o.result.Engine.leak))
+       match o.status with
+       | Crashed { exn; _ } ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-24s %-14s %-18s %8s %8s %8s %6s  %s\n"
+              o.params.label "crashed" "-" "-" "-" "-" "-" exn)
+       | Ok r | Fuel_exhausted r ->
+         (* per-side failure classes, e.g. "ok/fuel" for a healthy
+            master whose slave ran out of budget *)
+         let cls s = Engine.(failure_class_to_string (classify_trap s.Engine.trap)) in
+         let failure =
+           Printf.sprintf "%s/%s" (cls r.Engine.master) (cls r.Engine.slave)
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "%-24s %-14s %-18s %8d %8d %8d %6b\n"
+              o.params.label (status_class o.status) failure
+              r.Engine.mutated_inputs r.Engine.syscall_diffs
+              r.Engine.tainted_sinks r.Engine.leak))
     outs;
   Buffer.contents buf

@@ -47,26 +47,71 @@ val of_strategies :
 (** One task per slave scheduler seed (concurrency sweeps, Table 4). *)
 val of_seeds : Engine.config -> int list -> slave_params list
 
+(** A task's fate.  A raising slave pass is recorded as [Crashed] — one
+    bad task never takes down the fleet or loses sibling results.
+    [Fuel_exhausted] carries the (partial) result of a run whose master
+    or slave trapped on the step budget: the numbers are real, the
+    leak verdict is not trustworthy. *)
+type status =
+  | Ok of Engine.result
+  | Crashed of { exn : string; backtrace : string }
+  | Fuel_exhausted of Engine.result
+
 type outcome = {
   params : slave_params;
-  result : Engine.result;
+  status : status;
 }
 
-(** [run ~jobs ?obs ~config prog world params] records one master pass
-    under [config]'s master-side fields, then runs one slave pass per
-    task.  [jobs <= 1] runs sequentially in the calling domain;
-    [jobs > 1] fans tasks out over [min jobs (length params)] domains.
-    Outcomes are returned in task order either way, with identical
-    results.
+(** ["ok"], ["crashed"] or ["fuel-exhausted"] — the [Task_done] event
+    vocabulary. *)
+val status_class : status -> string
+
+(** The result, if the task produced one ([Ok] or [Fuel_exhausted]). *)
+val result_of : status -> Engine.result option
+
+(** The result of a completed task.
+    @raise Invalid_argument on [Crashed] outcomes. *)
+val result_exn : outcome -> Engine.result
+
+(** Bounded retries for crashed/fuel-exhausted tasks: attempt [k]
+    (1-based) re-runs with [slave_seed + k * seed_jitter], so transient
+    (schedule-dependent) failures clear under a perturbed schedule while
+    deterministic ones reproduce. *)
+type retry_policy = {
+  max_retries : int;   (** 0 = fail fast (the default) *)
+  seed_jitter : int;
+}
+
+val no_retries : retry_policy
+
+(** How a task turns a config into a result; defaults to
+    {!Engine.run_with_master}.  Overridable for fault-tolerance tests
+    (inject a raising runner) and custom replay pipelines. *)
+type runner =
+  Engine.config -> Ldx_cfg.Ir.program -> Ldx_osim.World.t ->
+  Engine.master_out -> Engine.result
+
+(** [run ~jobs ?obs ?retry ?runner ~config prog world params] records
+    one master pass under [config]'s master-side fields, then runs one
+    slave pass per task under per-task exception containment.
+    [jobs <= 1] runs sequentially in the calling domain; [jobs > 1]
+    fans tasks out over [min jobs (length params)] domains, every one
+    of which is always joined ([Fun.protect]) even on unexpected
+    worker death.  Outcomes are returned in task order either way,
+    with identical statuses.
 
     [?obs] observes the master pass (bracketed in [Master_run] phase
     events) and, in the sequential case, every slave pass too; the
     parallel path does not thread the sink through slave passes because
-    a sink is not required to be domain-safe. *)
+    a sink is not required to be domain-safe.  Task fates are emitted
+    as [Task_done] events from the calling domain after collection. *)
 val run :
-  ?jobs:int -> ?obs:Ldx_obs.Sink.t -> config:Engine.config ->
+  ?jobs:int -> ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?runner:runner ->
+  config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   outcome list
 
-(** Fixed-width summary table of a campaign's outcomes. *)
+(** Fixed-width summary table of a campaign's outcomes, including each
+    task's status and per-side failure classes
+    ({!Engine.failure_class}). *)
 val render : outcome list -> string

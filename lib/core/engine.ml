@@ -67,6 +67,13 @@ type config = {
      compare the two filesystems — contents AND mtimes — and report
      files that diverged.  Catches leaks routed through file state or
      metadata that never pass a configured sink syscall. *)
+  faults : Ldx_osim.Fault.t option;
+  (* Environment fault plan, shared by BOTH sides (like sinks and
+     max_steps, a master-side field): the master's OS and the slave's
+     each instantiate the same immutable plan with fresh occurrence
+     counters.  Coupled slaves copy the master's faulted results; a
+     decoupled slave replays the identical schedule from its own
+     counters — DESIGN.md "Fault model" for the soundness argument. *)
 }
 
 let default_config =
@@ -77,7 +84,8 @@ let default_config =
     slave_seed = 0;
     max_steps = 30_000_000;
     record_trace = false;
-    check_final_state = false }
+    check_final_state = false;
+    faults = None }
 
 let sink_pred = function
   | Output_syscalls ->
@@ -182,7 +190,29 @@ type exec_summary = {
   stdout : string;
   trap : string option;
   exit_code : int option;
+  faults_injected : int;        (* environment faults fired in this side *)
 }
+
+(* Structured failure taxonomy over [trap].  The string classification
+   lives in [Obs.Event.trap_class] (the single source of truth shared
+   with the metrics counters); this wraps it into a variant for
+   pattern-matching consumers. *)
+type failure_class = Healthy | Fuel | Deadlock | Os_failure | Vm_trap
+
+let classify_trap (trap : string option) : failure_class =
+  match Obs.Event.trap_class trap with
+  | "ok" -> Healthy
+  | "fuel" -> Fuel
+  | "deadlock" -> Deadlock
+  | "os-error" -> Os_failure
+  | _ -> Vm_trap
+
+let failure_class_to_string = function
+  | Healthy -> "ok"
+  | Fuel -> "fuel"
+  | Deadlock -> "deadlock"
+  | Os_failure -> "os-error"
+  | Vm_trap -> "vm-trap"
 
 (* One alignment decision of the slave-side syscall wrapper, in slave
    order (master-only drops appear where the slave passed them).  Only
@@ -262,7 +292,14 @@ let install_obs (s : Obs.Sink.t) (side : Obs.Event.side) (m : Machine.t)
       (fun o sys _args _r ->
          emit
            (Obs.Event.Os_call
-              { side; pid = o.Os.pid; sys; clock = o.Os.clock }))
+              { side; pid = o.Os.pid; sys; clock = o.Os.clock }));
+  os.Os.on_fault <-
+    Some
+      (fun _ sys site a ->
+         emit
+           (Obs.Event.Fault_injected
+              { side; sys; site;
+                action = Ldx_osim.Fault.action_to_string a }))
 
 let emit_summary obs (side : Obs.Event.side) (m : Machine.t) : unit =
   match obs with
@@ -349,7 +386,8 @@ let summary_of (m : Machine.t) =
     syscalls = m.Machine.syscalls;
     stdout = Os.stdout_contents m.Machine.os;
     trap = m.Machine.trap;
-    exit_code = m.Machine.os.Os.exit_code }
+    exit_code = m.Machine.os.Os.exit_code;
+    faults_injected = Os.faults_injected m.Machine.os }
 
 let queue_for queues idx =
   match Hashtbl.find_opt queues idx with
@@ -427,6 +465,7 @@ let run_side (m : Machine.t)
 let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
   master_out =
   let os = Os.create ~pid:1000 world in
+  Os.set_faults os config.faults;
   let m = Machine.create ~seed:config.master_seed ~max_steps:config.max_steps prog os in
   (match obs with
    | Some s -> install_obs s Obs.Event.Master m os
@@ -437,8 +476,8 @@ let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
   let on_os_syscall th (p : Machine.pending) =
     let sargs = List.map Value.to_sval p.Machine.sysargs in
     let r =
-      try Os.exec os p.Machine.sys sargs
-      with Os.Os_error msg -> raise (Value.Trap msg)
+      try Os.exec ~site:p.Machine.site os p.Machine.sys sargs
+      with Os.Os_error msg -> raise (Value.Trap ("os-error: " ^ msg))
     in
     let sink = is_sink p.Machine.sys p.Machine.site sargs in
     if sink then incr total_sinks;
@@ -485,6 +524,11 @@ type slave_out = {
 let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
     (mo : master_out) : slave_out =
   let os = Os.create ~pid:1001 world in
+  (* the slave's OS instantiates the SAME immutable plan with fresh
+     occurrence counters: replaying from scratch, its fault schedule
+     tracks the master's while coupled, and stays deterministic after
+     decoupling (DESIGN.md "Fault model") *)
+  Os.set_faults os config.faults;
   let m = Machine.create ~seed:config.slave_seed ~max_steps:config.max_steps prog os in
   (match obs with
    | Some s -> install_obs s Obs.Event.Slave m os
@@ -618,7 +662,7 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
     done;
     let private_exec () =
       taint resources;
-      try Os.exec os sys sargs with Os.Os_error _ -> Sval.I (-1)
+      try Os.exec ~site os sys sargs with Os.Os_error _ -> Sval.I (-1)
     in
     let slave_only () =
       incr diffs;
@@ -649,8 +693,12 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
             private_exec ()
           end
           else if Sval.list_equal r.rargs sargs then begin
-            (* fully aligned: copy the master's outcome *)
-            (try ignore (Os.exec os sys sargs) with Os.Os_error _ -> ());
+            (* fully aligned: copy the master's outcome.  The private
+               execution (discarded) still consults the fault plan, so
+               the slave's occurrence counters advance in lockstep with
+               the master's while coupled — which is what makes a later
+               decoupling replay the remaining schedule identically. *)
+            (try ignore (Os.exec ~site os sys sargs) with Os.Os_error _ -> ());
             m.Machine.cycles <- max m.Machine.cycles r.rcyc + Cost.share_copy;
             if sinkp then m.Machine.cycles <- m.Machine.cycles + Cost.sink_compare;
             note ~tid ~pos

@@ -54,9 +54,16 @@ type config = {
           filesystems (contents and mtimes) and report divergent files
           — leaks through file state/metadata that never cross a
           configured sink syscall *)
+  faults : Ldx_osim.Fault.t option;
+      (** environment fault plan, shared by both sides (a master-side
+          field like [sinks]): each OS instantiates the same immutable
+          plan with fresh occurrence counters, so a decoupled slave
+          replays faults identically while coupled slaves copy faulted
+          results — DESIGN.md "Fault model" *)
 }
 
-(** recv sources, output sinks, off-by-one, seeds 0, tracing off. *)
+(** recv sources, output sinks, off-by-one, seeds 0, tracing off,
+    no faults. *)
 val default_config : config
 
 (** The sink predicate of a configuration (sys, site, args). *)
@@ -99,7 +106,16 @@ type exec_summary = {
   stdout : string;
   trap : string option;
   exit_code : int option;
+  faults_injected : int;   (** environment faults fired in this side *)
 }
+
+(** Structured failure taxonomy over [exec_summary.trap] — the variant
+    form of {!Ldx_obs.Event.trap_class} (the single string-level source
+    of truth shared with the metrics counters). *)
+type failure_class = Healthy | Fuel | Deadlock | Os_failure | Vm_trap
+
+val classify_trap : string option -> failure_class
+val failure_class_to_string : failure_class -> string
 
 (** One alignment decision of the slave-side wrapper (in slave order);
     recorded only under [config.record_trace]. *)
@@ -172,8 +188,6 @@ type master_out = {
     syscall). *)
 val records_for : master_out -> int -> record array
 
-val queue_for : ('a, 'b Queue.t) Hashtbl.t -> 'a -> 'b Queue.t
-
 (** [source_matcher config] is a stateful predicate over one execution's
     dynamic syscall stream: does this event match a configured source?
     [src_nth] occurrence counters are kept per spec {e index} in
@@ -220,7 +234,7 @@ val run : ?config:config -> ?obs:Ldx_obs.Sink.t -> Ir.program -> World.t -> resu
     [run_with_master] never mutates [mo]: callers may fan out many
     configs — even from concurrent domains — over one recording.
     [config] must agree with the recording's config on the master-side
-    fields ([master_seed], [max_steps], [sinks]). *)
+    fields ([master_seed], [max_steps], [sinks], [faults]). *)
 val run_with_master :
   ?obs:Ldx_obs.Sink.t -> config -> Ir.program -> World.t -> master_out ->
   result

@@ -32,6 +32,7 @@ let run ?(config = Engine.default_config) ?(window = 0) (prog : Ir.program)
      For multi-threaded programs TightLip's FIFO model is per-process; we
      approximate with per-thread FIFOs as well (favourable to TightLip). *)
   let os = Os.create ~pid:1001 world in
+  Os.set_faults os config.faults;
   let m =
     Machine.create ~seed:config.slave_seed ~max_steps:config.max_steps prog os
   in

@@ -116,6 +116,25 @@ let of_events (events : Event.t list) : Json.t =
                       ("pos", Json.Str pos);
                       ("before", Json.Str before);
                       ("after", Json.Str after) ]))
+       | Event.Fault_injected { side; sys; site; action } ->
+         emit
+           (obj ~name:("fault " ^ sys) ~cat:"fault" ~ph:"i" ~ts:!now
+              ~pid:(pid_of_side side) ~tid:0
+              (("s", Json.Str "p")
+               :: args
+                    [ ("site", Json.Int site);
+                      ("action", Json.Str action) ]))
+       | Event.Task_done { label; status; exn } ->
+         emit
+           (obj ~name:("task " ^ label) ~cat:"campaign" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:0
+              (("s", Json.Str "p")
+               :: args
+                    [ ("status", Json.Str status);
+                      ( "exn",
+                        match exn with
+                        | Some e -> Json.Str e
+                        | None -> Json.Null ) ]))
        | Event.Os_call _ | Event.Cnt_sample _ -> ()
        | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
          ->

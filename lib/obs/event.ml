@@ -38,6 +38,22 @@ let decision_coupled = function
   | D_args_differ | D_path_diff | D_slave_only | D_master_only | D_decoupled ->
     false
 
+(* Structured failure taxonomy over an execution's trap message.  The
+   trap field is a free-form string owned by the VM/engine; this is the
+   single place that maps it onto a closed set of classes, so every
+   consumer (campaign render, CLIs, metrics counters) agrees. *)
+let trap_class = function
+  | None -> "ok"
+  | Some msg ->
+    let has_prefix p =
+      String.length msg >= String.length p
+      && String.sub msg 0 (String.length p) = p
+    in
+    if has_prefix "fuel exhausted" then "fuel"
+    else if has_prefix "deadlock" then "deadlock"
+    else if has_prefix "os-error" then "os-error"
+    else "vm-trap"
+
 type t =
   | Phase_begin of phase
   | Phase_end of phase
@@ -73,6 +89,8 @@ type t =
       cnt_instrs : int;
       trap : string option;
     }
+  | Fault_injected of { side : side; sys : string; site : int; action : string }
+  | Task_done of { label : string; status : string; exn : string option }
 
 let to_string = function
   | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
@@ -102,3 +120,8 @@ let to_string = function
     Printf.sprintf "run-summary %s cycles=%d steps=%d syscalls=%d cnt=%d%s"
       (side_to_string side) cycles steps syscalls cnt_instrs
       (match trap with None -> "" | Some m -> " trap=" ^ m)
+  | Fault_injected { side; sys; site; action } ->
+    Printf.sprintf "fault %s %s@%d %s" (side_to_string side) sys site action
+  | Task_done { label; status; exn } ->
+    Printf.sprintf "task-done %s %s%s" label status
+      (match exn with None -> "" | Some e -> " exn=" ^ e)

@@ -46,6 +46,14 @@ val decision_to_string : decision -> string
     master's outcome): exactly [D_copied] and [D_sink_match]. *)
 val decision_coupled : decision -> bool
 
+(** Structured failure taxonomy over an execution's trap message: one of
+    ["ok"] (no trap), ["fuel"] (step budget exhausted), ["deadlock"],
+    ["os-error"] (malformed syscall surfaced by the OS layer), or
+    ["vm-trap"] (any other VM trap).  The single source of truth for
+    classifying the free-form trap string — campaign render, the CLIs
+    and the metrics counters all go through here. *)
+val trap_class : string option -> string
+
 (** In [Divergence], [case] is the paper's divergence-case number of the
     sink report kind: 1 for missing-in-either-execution, 2 for
     different-syscall, 3 for args-differ, 0 for the final-state
@@ -110,6 +118,17 @@ type t =
       syscalls : int;
       cnt_instrs : int;        (** counter-maintenance instructions (Fig. 6) *)
       trap : string option;
+    }
+  | Fault_injected of {
+      side : side;
+      sys : string;
+      site : int;
+      action : string;         (** [Ldx_osim.Fault.action_to_string] *)
+    }
+  | Task_done of {
+      label : string;          (** campaign task label *)
+      status : string;         (** ["ok"], ["crashed"] or ["fuel-exhausted"] *)
+      exn : string option;     (** the exception, for crashed tasks *)
     }
 
 (** Short human-readable rendering (debug sinks, logs). *)

@@ -33,16 +33,29 @@ let absorb t (ev : Event.t) =
   | Event.Barrier_wait { side; _ } -> Metrics.incr m (side_key "barriers" side)
   | Event.Cnt_sample { side; value } ->
     Metrics.observe m (side_key "dyn_cnt" side) value
-  | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap = _ } ->
+  | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap } ->
     let p = Event.side_to_string side in
     Metrics.set m (p ^ ".cycles") cycles;
     Metrics.set m (p ^ ".steps") steps;
     Metrics.set m (p ^ ".syscalls") syscalls;
     Metrics.set m (p ^ ".cnt_instrs") cnt_instrs;
+    (let cls = Event.trap_class trap in
+     if cls <> "ok" then Metrics.incr m ("failures." ^ p ^ "." ^ cls));
     let snap = Metrics.snapshot m in
     Metrics.set m "run.wall_cycles"
       (max (Metrics.counter snap "master.cycles")
          (Metrics.counter snap "slave.cycles"))
+  | Event.Fault_injected { side; action; _ } ->
+    Metrics.incr m (side_key "faults" side);
+    (* counter per action kind: "faults.drop", "faults.short=2", ... keep
+       just the action name before any '=' argument *)
+    let kind =
+      match String.index_opt action '=' with
+      | Some i -> String.sub action 0 i
+      | None -> action
+    in
+    Metrics.incr m ("faults." ^ kind)
+  | Event.Task_done { status; _ } -> Metrics.incr m ("campaign." ^ status)
 
 let sink t =
   Sink.of_fn

@@ -13,6 +13,13 @@
       number (these equal the run's [sink_report] tally);
     - [divergence.final-state] — final-state extension reports;
     - [barriers.*] — loop backedge barrier releases;
+    - [faults.master] / [faults.slave] — injected environment faults per
+      side, and [faults.<action>] per action kind (drop, short,
+      transient, error, skew);
+    - [failures.<side>.<class>] — trap taxonomy per side
+      ({!Event.trap_class}: fuel, deadlock, os-error, vm-trap);
+    - [campaign.<status>] — campaign task outcomes (ok, crashed,
+      fuel-exhausted);
     - [master.cycles/steps/syscalls/cnt_instrs] and [slave.*] gauges
       from the run summaries, plus [run.wall_cycles] (max of the two
       clocks: the virtual two-CPU wall time).

@@ -23,10 +23,18 @@ type t = {
   mutable malloc_log : int list;               (* requested sizes, reversed *)
   mutable retaddr_log : int list;              (* observed "return addrs" *)
   mutable exit_code : int option;
+  mutable faults : Fault.state option;
+  (* fault-injection state: the plan's per-execution occurrence
+     counters.  None (the default) costs one pointer comparison at
+     dispatch.  Cloned (counters preserved) so a forked process
+     continues the fault schedule where the original was. *)
   mutable on_exec : (t -> string -> Sval.t list -> Sval.t -> unit) option;
   (* observability hook: fires after every successfully serviced
      syscall with its result; None (the default) costs one pointer
      comparison.  Installed per-process by the engine — never cloned. *)
+  mutable on_fault : (t -> string -> int -> Fault.action -> unit) option;
+  (* fires when a fault is injected: process, syscall, site, action.
+     Like on_exec, installed by the engine and never cloned. *)
 }
 
 let create ?(pid = 1000) (w : World.t) : t =
@@ -42,7 +50,9 @@ let create ?(pid = 1000) (w : World.t) : t =
     malloc_log = [];
     retaddr_log = [];
     exit_code = None;
-    on_exec = None }
+    faults = None;
+    on_exec = None;
+    on_fault = None }
 
 let clone ?(pid = 1001) (t : t) : t =
   let fds = Hashtbl.create (Hashtbl.length t.fds) in
@@ -67,7 +77,9 @@ let clone ?(pid = 1001) (t : t) : t =
     malloc_log = t.malloc_log;
     retaddr_log = t.retaddr_log;
     exit_code = None;
-    on_exec = None }
+    faults = Option.map Fault.copy_state t.faults;
+    on_exec = None;
+    on_fault = None }
 
 exception Os_error of string
 
@@ -196,10 +208,63 @@ let exec_raw (t : t) (sys : string) (args : Sval.t list) : Sval.t =
     I v
   | _ -> bad_args sys args
 
-let exec (t : t) (sys : string) (args : Sval.t list) : Sval.t =
-  let r = exec_raw t sys args in
+(* Canonical error value for a transient failure: string-returning
+   syscalls report "no data", the rest report -1. *)
+let transient_result = function
+  | "read" | "recv" | "readdir" -> Sval.S ""
+  | _ -> Sval.I (-1)
+
+(* Apply a fault decision.  Actions that make no sense for the syscall
+   (Short_read on "time", Drop_message on "open", ...) fall back to
+   honest execution — the plan still counted the occurrence, keeping
+   schedules aligned across executions regardless of rule sanity. *)
+let apply_fault (t : t) (sys : string) (args : Sval.t list)
+    (a : Fault.action) : Sval.t =
+  match (a, sys, args) with
+  | Fault.Error_return v, _, _ -> v
+  | Fault.Transient, _, _ -> transient_result sys
+  | Fault.Clock_skew d, _, _ ->
+    t.clock <- t.clock + d;
+    exec_raw t sys args
+  | Fault.Short_read k, "read", [ I fd; I n ] ->
+    exec_raw t "read" [ I fd; I (min (max k 0) (max n 0)) ]
+  | Fault.Short_read k, "recv", _ ->
+    (* the full message is consumed; the tail is lost on the wire *)
+    (match exec_raw t sys args with
+     | S s -> S (String.sub s 0 (min (max k 0) (String.length s)))
+     | r -> r)
+  | Fault.Drop_message, "recv", _ ->
+    (* consume the message so the stream position advances, lose the data *)
+    ignore (exec_raw t sys args);
+    S ""
+  | Fault.Drop_message, "send", [ _; S data ] ->
+    (* claimed successful, never delivered *)
+    I (String.length data)
+  | (Fault.Short_read _ | Fault.Drop_message), _, _ -> exec_raw t sys args
+
+let exec ?(site = -1) (t : t) (sys : string) (args : Sval.t list) : Sval.t =
+  let r =
+    match t.faults with
+    | None -> exec_raw t sys args
+    | Some st ->
+      (match Fault.decide st ~sys ~site with
+       | None -> exec_raw t sys args
+       | Some a ->
+         (match t.on_fault with Some f -> f t sys site a | None -> ());
+         apply_fault t sys args a)
+  in
   (match t.on_exec with Some f -> f t sys args r | None -> ());
   r
+
+let set_faults (t : t) (p : Fault.t option) : unit =
+  t.faults <-
+    (match p with
+     | None -> None
+     | Some p when Fault.is_empty p -> None
+     | Some p -> Some (Fault.instantiate p))
+
+let faults_injected (t : t) : int =
+  match t.faults with None -> 0 | Some st -> Fault.injected st
 
 let stdout_contents t = Buffer.contents t.stdout
 let exited t = t.exit_code <> None

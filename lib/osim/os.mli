@@ -22,11 +22,19 @@ type t = {
   mutable malloc_log : int list;  (** requested sizes, most recent first *)
   mutable retaddr_log : int list; (** observed "return addresses" *)
   mutable exit_code : int option;
+  mutable faults : Fault.state option;
+      (** fault-injection state (per-execution occurrence counters);
+          [None], the default, costs one pointer comparison at dispatch.
+          Propagated by {!clone} with counters preserved. *)
   mutable on_exec : (t -> string -> Sval.t list -> Sval.t -> unit) option;
       (** observability hook: fires after every successfully serviced
           syscall with its result ([None], the default, costs one
           pointer comparison); installed per-process by the engine and
           never propagated by {!clone} *)
+  mutable on_fault : (t -> string -> int -> Fault.action -> unit) option;
+      (** fires when a fault is injected (process, syscall, site,
+          action); installed by the engine, never propagated by
+          {!clone} *)
 }
 
 (** Instantiate a world.  [pid] defaults to 1000 (the engine uses 1001
@@ -44,9 +52,23 @@ exception Os_error of string
     unlock, spawn, join, yield, setjmp, longjmp) are the VM's business. *)
 val handles : string -> bool
 
-(** Execute a syscall against this process's state.
+(** Execute a syscall against this process's state.  [site] is the
+    static call-site id used by fault rules with a [#SITE] key
+    (default [-1]: no site information).  If a fault plan is installed
+    ({!set_faults}) it is consulted first; a firing rule replaces or
+    perturbs the honest result.
     @raise Os_error on malformed invocations. *)
-val exec : t -> string -> Sval.t list -> Sval.t
+val exec : ?site:int -> t -> string -> Sval.t list -> Sval.t
+
+(** Install (or clear) a fault plan; instantiates fresh per-execution
+    occurrence counters.  An empty plan clears.  Both the master's and a
+    from-scratch slave's OS instantiate the SAME immutable plan, so
+    their fault schedules agree — the decoupled-replay half of the
+    soundness argument (DESIGN.md, "Fault model"). *)
+val set_faults : t -> Fault.t option -> unit
+
+(** Number of faults injected so far in this process. *)
+val faults_injected : t -> int
 
 val stdout_contents : t -> string
 val exited : t -> bool

@@ -14,7 +14,24 @@ let describe name =
   | "run.wall_cycles" -> "max of the two clocks (virtual two-CPU wall time)"
   | "master.cnt_instrs" | "slave.cnt_instrs" ->
     "counter-maintenance instructions (Fig. 6 numerator)"
-  | _ -> ""
+  | "faults.master" -> "environment faults injected in the master"
+  | "faults.slave" -> "environment faults injected in the slave"
+  | "faults.drop" -> "dropped network messages"
+  | "faults.short" -> "short reads/recvs"
+  | "faults.transient" -> "transient (EINTR-style) failures"
+  | "faults.error" -> "injected error returns"
+  | "faults.skew" -> "clock-skew injections"
+  | "campaign.ok" -> "campaign tasks that completed"
+  | "campaign.crashed" -> "campaign tasks whose slave pass raised"
+  | "campaign.fuel-exhausted" -> "campaign tasks that ran out of fuel"
+  | _ ->
+    let prefixed p =
+      String.length name > String.length p
+      && String.sub name 0 (String.length p) = p
+    in
+    if prefixed "failures." then
+      "executions trapped with this failure class"
+    else ""
 
 let counters_table (snap : Metrics.snapshot) : Table.t =
   Table.make ~title:"Metrics: counters and gauges"

@@ -108,8 +108,8 @@ let run ?(seed = 0) ?(max_steps = 30_000_000) ?(record_trace = false)
     else begin
       let sargs = List.map Value.to_sval p.Machine.sysargs in
       let r =
-        try Os.exec os p.Machine.sys sargs
-        with Os.Os_error msg -> raise (Value.Trap msg)
+        try Os.exec ~site:p.Machine.site os p.Machine.sys sargs
+        with Os.Os_error msg -> raise (Value.Trap ("os-error: " ^ msg))
       in
       if record_trace then
         trace :=

@@ -576,6 +576,11 @@ let run_until_event (t : t) : event =
                (try
                   let i = ref 0 in
                   while !i < q && !ev = None && th.status = Runnable do
+                    (* in-quantum fuel check: without it an execution
+                       could overshoot max_steps by a full quantum
+                       before the outer check fires *)
+                    if t.steps > t.max_steps then
+                      raise (Trapped "fuel exhausted");
                     incr i;
                     ev := step_thread t th
                   done

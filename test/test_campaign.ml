@@ -304,8 +304,125 @@ let test_campaign_parallel_matches_sequential () =
     (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
        check bool "parallel outcome byte-identical to sequential" true
          (a.Campaign.params = b.Campaign.params
-          && a.Campaign.result = b.Campaign.result))
+          && a.Campaign.status = b.Campaign.status))
     seq par
+
+(* ------------------------------------------------------------------ *)
+(* Crash containment and retries.                                      *)
+
+exception Deliberate of string
+
+(* A runner that raises for task labels carrying "crash" and delegates
+   to the real engine otherwise — the fault-tolerance probe from the
+   Campaign interface. *)
+let crashing_runner cfg prog world mo =
+  List.iter
+    (fun (s : Engine.source_spec) ->
+       match s.Engine.src_arg with
+       | Some "crash-marker" -> raise (Deliberate "boom")
+       | _ -> ())
+    cfg.Engine.sources;
+  Engine.run_with_master cfg prog world mo
+
+let crash_params config =
+  let base = Campaign.params_of_config config in
+  [ { base with Campaign.label = "ok-1" };
+    { base with
+      Campaign.label = "crash";
+      sources = [ Engine.source ~sys:"recv" ~arg:"crash-marker" () ] };
+    { base with Campaign.label = "ok-2"; slave_seed = 7 } ]
+
+(* One deliberately crashing task: Crashed for it, Ok (with the same
+   results a clean campaign produces) for every sibling — under both
+   jobs=1 and jobs=4, byte-identical across repeated runs. *)
+let test_campaign_crash_contained () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let params = crash_params config in
+  let run jobs =
+    Campaign.run ~jobs ~runner:crashing_runner ~config prog
+      attribution_world params
+  in
+  let statuses outs = List.map (fun o -> o.Campaign.status) outs in
+  List.iter
+    (fun jobs ->
+       let outs = run jobs in
+       (match statuses outs with
+        | [ Campaign.Ok _; Campaign.Crashed { exn; _ }; Campaign.Ok _ ] ->
+          check bool "exception recorded" true (String.length exn > 0)
+        | _ -> Alcotest.failf "jobs=%d: unexpected status shape" jobs);
+       (* siblings match an uncontained clean run *)
+       let clean_outs =
+         Campaign.run ~jobs:1 ~config prog attribution_world
+           [ List.nth params 0; List.nth params 2 ]
+       in
+       (match (statuses outs, statuses clean_outs) with
+        | ( [ s0; _; s2 ], [ c0; c2 ] ) ->
+          check bool "sibling 0 unaffected by the crash" true (s0 = c0);
+          check bool "sibling 2 unaffected by the crash" true (s2 = c2)
+        | _ -> Alcotest.fail "unexpected clean-run shape");
+       (* byte-identical across repeated runs *)
+       check bool "campaign with crash is deterministic" true
+         (statuses (run jobs) = statuses outs))
+    [ 1; 4 ];
+  (* and jobs=1 / jobs=4 agree with each other *)
+  check bool "jobs=1 equals jobs=4 under a crash" true
+    (statuses (run 1) = statuses (run 4))
+
+(* Retry policy: a failure that clears under a jittered slave seed is
+   transient — one retry turns Crashed into Ok; without retries it
+   stays Crashed. *)
+let test_campaign_retry_transient () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let transient_runner cfg prog world mo =
+    if cfg.Engine.slave_seed = 0 then raise (Deliberate "transient")
+    else Engine.run_with_master cfg prog world mo
+  in
+  let params = [ Campaign.params_of_config config ] in
+  let without =
+    Campaign.run ~runner:transient_runner ~config prog attribution_world
+      params
+  in
+  (match (List.hd without).Campaign.status with
+   | Campaign.Crashed _ -> ()
+   | _ -> Alcotest.fail "expected Crashed without retries");
+  let with_retry =
+    Campaign.run ~runner:transient_runner
+      ~retry:{ Campaign.max_retries = 1; seed_jitter = 3 }
+      ~config prog attribution_world params
+  in
+  match (List.hd with_retry).Campaign.status with
+  | Campaign.Ok r ->
+    check bool "retried task completed" true (r.Engine.total_syscalls > 0)
+  | _ -> Alcotest.fail "expected Ok after one retry"
+
+(* Fuel exhaustion is a distinct status (not a crash, not Ok) and the
+   summary's trap classifies as Fuel. *)
+let test_campaign_fuel_status () =
+  let prog = instrumented attribution_src in
+  let config =
+    { (net_cfg [ Engine.source ~sys:"recv" () ]) with Engine.max_steps = 5 }
+  in
+  let outs =
+    Campaign.run ~config prog attribution_world
+      [ Campaign.params_of_config config ]
+  in
+  match (List.hd outs).Campaign.status with
+  | Campaign.Fuel_exhausted r ->
+    check bool "master or slave classified as fuel" true
+      (Engine.classify_trap r.Engine.master.Engine.trap = Engine.Fuel
+       || Engine.classify_trap r.Engine.slave.Engine.trap = Engine.Fuel);
+    check bool "render marks the task fuel-exhausted" true
+      (let s = Campaign.render outs in
+       let sub = "fuel-exhausted" in
+       let found = ref false in
+       for i = 0 to String.length s - String.length sub do
+         if (not !found) && String.sub s i (String.length sub) = sub then
+           found := true
+       done;
+       !found)
+  | _ -> Alcotest.fail "expected Fuel_exhausted"
 
 let qcheck_world =
   World.(
@@ -322,7 +439,7 @@ let prop_campaign_deterministic (p : Ldx_lang.Ast.program) =
   let par = Campaign.run ~jobs:4 ~config prog qcheck_world params in
   List.for_all2
     (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
-       a.Campaign.result = b.Campaign.result)
+       a.Campaign.status = b.Campaign.status)
     seq par
 
 let qtest name count gen prop =
@@ -351,5 +468,11 @@ let tests =
       test_per_source_matches_isolated_runs;
     Alcotest.test_case "parallel campaign equals sequential" `Quick
       test_campaign_parallel_matches_sequential;
+    Alcotest.test_case "crashing task contained (jobs=1 and jobs=4)" `Quick
+      test_campaign_crash_contained;
+    Alcotest.test_case "retry policy clears transient failures" `Quick
+      test_campaign_retry_transient;
+    Alcotest.test_case "fuel exhaustion is a distinct status" `Quick
+      test_campaign_fuel_status;
     qtest "P14 campaign jobs=4 deterministic" 40 Gen_minic.gen_program
       prop_campaign_deterministic ]

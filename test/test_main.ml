@@ -21,4 +21,5 @@ let () =
       ("align", Test_align.tests);
       ("obs", Test_obs.tests);
       ("campaign", Test_campaign.tests);
+      ("fault", Test_fault.tests);
       ("properties", Test_properties.tests) ]
