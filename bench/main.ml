@@ -11,11 +11,18 @@
 open Bechamel
 open Toolkit
 module Engine = Ldx_core.Engine
+module Sched_sweep = Ldx_core.Sched_sweep
 module Workload = Ldx_workloads.Workload
 module Registry = Ldx_workloads.Registry
 module Experiments = Ldx_report.Experiments
 module Counter = Ldx_instrument.Counter
 module Align = Ldx_core.Align
+
+(* LDX_BENCH_SMOKE=1 shrinks every iteration count to a CI-sized smoke
+   run: same kernels, same BENCH_results.json schema, seconds instead of
+   minutes — schema breakage shows up in CI, wall times are only
+   meaningful in full runs. *)
+let smoke = Sys.getenv_opt "LDX_BENCH_SMOKE" <> None
 
 (* ------------------------------------------------------------------ *)
 (* Kernels.                                                            *)
@@ -132,6 +139,29 @@ let run_campaign ~jobs () =
 let kernel_campaign_sequential () = run_campaign ~jobs:1 ()
 let kernel_campaign_parallel () = run_campaign ~jobs:4 ()
 
+(* Schedule-sweep kernel: the Table 4 concurrency rows re-verified
+   across bounded-exploration interleavings (>= 20 distinct schedules
+   per workload at full size) — each explored schedule is one complete
+   dual execution with the same Forced spec on both sides. *)
+let sched_sweep_schedules = if smoke then 4 else 20
+
+let sched_sweeps =
+  lazy
+    (List.map
+       (fun ((w : Workload.t), prog) ->
+          ( w,
+            Sched_sweep.explore ~bound:2 ~max_schedules:sched_sweep_schedules
+              ~config:(Workload.leak_config w) prog w.Workload.world ))
+       (prepared_for Workload.Concurrency))
+
+let kernel_sched_sweep () =
+  List.iter
+    (fun ((w : Workload.t), prog) ->
+       ignore
+         (Sched_sweep.explore ~bound:2 ~max_schedules:sched_sweep_schedules
+            ~config:(Workload.leak_config w) prog w.Workload.world))
+    (prepared_for Workload.Concurrency)
+
 (* Chaos kernel: generated programs dual-run under random deterministic
    fault plans with ZERO sources — the robustness soak (every run must
    report no causality; the timed kernel doubles as an invariant
@@ -148,7 +178,8 @@ let chaos_prepared =
   lazy
     (let rand = Random.State.make [| 0xC0FFEE |] in
      let programs =
-       QCheck2.Gen.generate ~n:40 ~rand Gen_minic.gen_program
+       QCheck2.Gen.generate ~n:(if smoke then 5 else 40) ~rand
+         Gen_minic.gen_program
      in
      List.map
        (fun p ->
@@ -218,6 +249,7 @@ let tests =
         (Staged.stage kernel_campaign_sequential);
       Test.make ~name:"campaign_parallel"
         (Staged.stage kernel_campaign_parallel);
+      Test.make ~name:"sched_sweep" (Staged.stage kernel_sched_sweep);
       Test.make ~name:"chaos_faults" (Staged.stage kernel_chaos);
       Test.make ~name:"ablation_alignment" (Staged.stage kernel_ablation_align);
       Test.make ~name:"ablation_loops" (Staged.stage kernel_ablation_loops);
@@ -232,7 +264,8 @@ let benchmark () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.01) ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
@@ -317,11 +350,25 @@ let campaign_comparison () =
   let sequential_s = time (run_campaign ~jobs:1) in
   let jobs = 4 in
   let parallel_s = time (run_campaign ~jobs) in
-  let w, _ = Lazy.force campaign_prepared in
+  let w, prog = Lazy.force campaign_prepared in
+  (* which path [`Auto] actually chose at this job count on this host
+     (an untimed probe run with a recording sink) *)
+  let mode =
+    let rc = Ldx_obs.Recorder.create () in
+    ignore
+      (Campaign.run ~jobs ~obs:(Ldx_obs.Recorder.sink rc)
+         ~config:(Workload.leak_config w) prog w.Workload.world
+         (campaign_params w));
+    let snap = Ldx_obs.Recorder.snapshot rc in
+    if Ldx_obs.Metrics.counter snap "campaign.mode.parallel" > 0 then
+      "parallel"
+    else "sequential"
+  in
   J.Obj
     [ ("workload", J.Str w.Workload.name);
       ("tasks", J.Int (List.length (campaign_params w)));
       ("jobs", J.Int jobs);
+      ("mode", J.Str mode);
       (* speedup only means something relative to the host's usable
          parallelism: on a single-core machine the parallel row measures
          pure domain overhead *)
@@ -372,6 +419,26 @@ let chaos_summary () =
       ( "chaos_overhead",
         if baseline_s > 0. then J.Float (chaos_s /. baseline_s) else J.Null ) ]
 
+(* Schedule-sweep entry: per concurrency workload, how many distinct
+   interleavings were explored and whether the leak verdict is stable
+   across all of them (the Table 4 claim, lifted over schedules). *)
+let sched_sweep_summary () =
+  J.Obj
+    [ ("bound", J.Int 2);
+      ("max_schedules", J.Int sched_sweep_schedules);
+      ( "workloads",
+        J.Obj
+          (List.map
+             (fun ((w : Workload.t), (t : Sched_sweep.t)) ->
+                ( w.Workload.name,
+                  J.Obj
+                    [ ("schedules", J.Int t.Sched_sweep.schedules);
+                      ("leaks", J.Int t.Sched_sweep.leaks);
+                      ("stable", J.Bool t.Sched_sweep.stable);
+                      ( "classification",
+                        J.Str (Sched_sweep.classification t) ) ] ))
+             (Lazy.force sched_sweeps)) ) ]
+
 let write_bench_json rows =
   let json =
     J.Obj
@@ -384,6 +451,7 @@ let write_bench_json rows =
                   (name, if Float.is_nan est then J.Null else J.Float est))
                rows) );
         ("campaign", campaign_comparison ());
+        ("sched_sweep", sched_sweep_summary ());
         ("chaos", chaos_summary ());
         ("engine_counters", J.Obj (recorded_counters ())) ]
   in
@@ -401,4 +469,4 @@ let () =
   Printf.printf
     "\n=== Regenerated evaluation (simulated metrics, cf. EXPERIMENTS.md) \
      ===\n\n%!";
-  print_string (Experiments.all ~runs:50 ())
+  print_string (Experiments.all ~runs:(if smoke then 2 else 50) ())

@@ -15,11 +15,14 @@
 open Cmdliner
 module Gen_minic = Ldx_genprog.Gen_minic
 module Engine = Ldx_core.Engine
+module Sched_sweep = Ldx_core.Sched_sweep
 module Counter = Ldx_instrument.Counter
 module Lower = Ldx_cfg.Lower
 module Driver = Ldx_vm.Driver
 module World = Ldx_osim.World
 module Fault = Ldx_osim.Fault
+module Workload = Ldx_workloads.Workload
+module Registry = Ldx_workloads.Registry
 
 let test_world =
   World.(
@@ -214,7 +217,66 @@ let chaos_arg =
                yields zero reports — any leak is a false positive in \
                the causality inference.")
 
-let fuzz runs seed jobs chaos =
+let sched_explore_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sched-explore" ] ~docv:"BOUND"
+         ~doc:"Schedule-exploration mode: for every Table 4 concurrency \
+               workload, enumerate interleavings with up to $(docv) \
+               forced preemptions (iterative context bounding) and \
+               check that zero-source runs report nothing under EVERY \
+               explored schedule while the injected leak is detected \
+               under every one.  Deterministic output; exits non-zero \
+               on the first violation.")
+
+(* Schedule-exploration mode: the schedule-lifted soundness sweep over
+   the concurrency corpus.  Fully deterministic (the enumerator is
+   breadth-first and seedless), so its output doubles as a regression
+   fixture. *)
+let explore_schedules bound =
+  let violations = ref 0 in
+  let total = ref 0 in
+  Printf.printf "sched-explore: bound=%d, max-schedules=32\n" bound;
+  List.iter
+    (fun (w : Workload.t) ->
+       let prog, _ = Workload.instrumented w in
+       let clean =
+         Sched_sweep.explore ~bound ~config:(Workload.no_mutation_config w)
+           prog w.Workload.world
+       in
+       let leaky =
+         Sched_sweep.explore ~bound ~config:(Workload.leak_config w) prog
+           w.Workload.world
+       in
+       total := !total + clean.Sched_sweep.schedules + leaky.Sched_sweep.schedules;
+       let clean_ok =
+         clean.Sched_sweep.schedules > 1 && clean.Sched_sweep.leaks = 0
+       in
+       let leak_ok =
+         leaky.Sched_sweep.schedules > 1
+         && leaky.Sched_sweep.leaks = leaky.Sched_sweep.schedules
+       in
+       if not (clean_ok && leak_ok) then incr violations;
+       Printf.printf
+         "%-8s: zero-source %s on %d schedules; leak under %d/%d schedules%s\n"
+         w.Workload.name
+         (if clean.Sched_sweep.leaks = 0 then "clean" else "LEAKED")
+         clean.Sched_sweep.schedules leaky.Sched_sweep.leaks
+         leaky.Sched_sweep.schedules
+         (if clean_ok && leak_ok then "" else "  <- VIOLATION"))
+    Registry.concurrency;
+  if !violations = 0 then begin
+    Printf.printf
+      "ok: %d workloads, %d schedules explored, schedule invariants hold\n"
+      (List.length Registry.concurrency)
+      !total;
+    `Ok ()
+  end
+  else `Error (false, "schedule invariant violated")
+
+let fuzz runs seed jobs chaos sched_explore =
+  match sched_explore with
+  | Some bound -> explore_schedules bound
+  | None ->
   let rand = Random.State.make [| seed |] in
   let tasks =
     if chaos then make_chaos_tasks runs rand else make_tasks runs rand
@@ -238,6 +300,9 @@ let cmd =
     Cmd.info "ldx_fuzz" ~doc:"Fuzz the LDX alignment invariants"
   in
   Cmd.v info
-    Term.(ret (const fuzz $ runs_arg $ seed_arg $ jobs_arg $ chaos_arg))
+    Term.(
+      ret
+        (const fuzz $ runs_arg $ seed_arg $ jobs_arg $ chaos_arg
+         $ sched_explore_arg))
 
 let () = exit (Cmd.eval cmd)

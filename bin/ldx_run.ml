@@ -11,6 +11,8 @@ open Cmdliner
 module Engine = Ldx_core.Engine
 module Mutation = Ldx_core.Mutation
 module World = Ldx_osim.World
+module Sched = Ldx_sched.Scheduler
+module Schedule = Ldx_sched.Schedule
 
 let split_once ch s =
   match String.index_opt s ch with
@@ -122,6 +124,31 @@ let fault_seed =
          ~doc:"Seed for probabilistic (%-rules) fault coins; the plan is \
                fully deterministic given the seed.")
 
+let sched_policy =
+  Arg.(value & opt (some string) None
+       & info [ "sched" ] ~docv:"POLICY"
+         ~doc:"Thread scheduling policy for BOTH executions: rr \
+               (round-robin, the default) | random | prio:T=P,... \
+               (spawn-index priorities).  Every policy is \
+               bit-reproducible from --sched-seed.")
+
+let sched_seed =
+  Arg.(value & opt int 0
+       & info [ "sched-seed" ] ~docv:"N"
+         ~doc:"Seed for the --sched policy (pick/quantum hashes).")
+
+let sched_replay =
+  Arg.(value & opt (some file) None
+       & info [ "sched-replay" ] ~docv:"FILE"
+         ~doc:"Replay a schedule recorded with --sched-record in BOTH \
+               executions (overrides --sched).")
+
+let sched_record =
+  Arg.(value & opt (some string) None
+       & info [ "sched-record" ] ~docv:"FILE"
+         ~doc:"Record the master's scheduling decisions and write the \
+               schedule log to $(docv) (replayable via --sched-replay).")
+
 let build_world files endpoints =
   let w = ref World.empty in
   List.iter
@@ -160,7 +187,7 @@ let parse_strategy = function
 
 let run prog_file files endpoints sources sink strategy verbose trace dot
     attribute sweep_strategies jobs final_state trace_out metrics metrics_json
-    faults fault_seed
+    faults fault_seed sched_policy sched_seed sched_replay sched_record
   =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
@@ -173,6 +200,23 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
        | Ok plan -> Ok (Some plan)
        | Error e -> Error ("bad --faults spec: " ^ e))
   in
+  let* sched_spec =
+    (* one spec drives both executions, so alignment is preserved under
+       any policy (a schedule is input, not a perturbation) *)
+    match sched_replay with
+    | Some path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      (match Schedule.of_string text with
+       | Ok s -> Ok (Some (Sched.spec ~seed:sched_seed (Sched.Replay s)))
+       | Error e -> Error (Printf.sprintf "bad --sched-replay %s: %s" path e))
+    | None ->
+      (match sched_policy with
+       | None -> Ok None
+       | Some pol ->
+         (match Sched.policy_of_string pol with
+          | Ok p -> Ok (Some (Sched.spec ~seed:sched_seed p))
+          | Error e -> Error ("bad --sched policy: " ^ e)))
+  in
   let src = In_channel.with_open_text prog_file In_channel.input_all in
   let world = build_world files endpoints in
   let config =
@@ -182,7 +226,10 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       strategy;
       record_trace = trace;
       check_final_state = final_state;
-      faults = fault_plan }
+      faults = fault_plan;
+      master_sched = sched_spec;
+      slave_sched = sched_spec;
+      record_sched = sched_record <> None }
   in
   if dot then begin
     match Ldx_cfg.Lower.lower_source src with
@@ -259,7 +306,15 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       Printf.printf "\nAligned trace (master | slave):\n";
       print_string (Ldx_report.Trace_view.render r.Engine.trace)
     end;
-    (try match recorder with
+    (try
+       (match (sched_record, r.Engine.master_schedule) with
+        | Some path, Some s ->
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (Schedule.to_string s));
+          Printf.printf "schedule written to %s (%d decisions)\n" path
+            (Array.length s)
+        | _ -> ());
+       match recorder with
      | None -> `Ok ()
      | Some rc ->
        let write_file path data =
@@ -302,6 +357,7 @@ let cmd =
         (const run $ prog_file $ files $ endpoints $ sources $ sink $ strategy
          $ verbose $ trace $ dot $ attribute $ sweep_strategies $ jobs
          $ final_state $ trace_out $ metrics $ metrics_json $ faults
-         $ fault_seed))
+         $ fault_seed $ sched_policy $ sched_seed $ sched_replay
+         $ sched_record))
 
 let () = exit (Cmd.eval cmd)

@@ -27,6 +27,8 @@ type slave_params = {
   slave_seed : int;
   record_trace : bool;
   check_final_state : bool;
+  sched : Engine.Sched.spec option;
+      (** slave scheduler spec; [None] = legacy from [slave_seed] *)
 }
 
 (** The slave-side projection of a config. *)
@@ -46,6 +48,11 @@ val of_strategies :
 
 (** One task per slave scheduler seed (concurrency sweeps, Table 4). *)
 val of_seeds : Engine.config -> int list -> slave_params list
+
+(** One task per labelled scheduler spec (schedule sweeps: how does the
+    verdict vary with the slave's interleaving?). *)
+val of_scheds :
+  Engine.config -> (string * Engine.Sched.spec) list -> slave_params list
 
 (** A task's fate.  A raising slave pass is recorded as [Crashed] — one
     bad task never takes down the fleet or loses sibling results.
@@ -91,14 +98,25 @@ type runner =
   Engine.config -> Ldx_cfg.Ir.program -> Ldx_osim.World.t ->
   Engine.master_out -> Engine.result
 
-(** [run ~jobs ?obs ?retry ?runner ~config prog world params] records
-    one master pass under [config]'s master-side fields, then runs one
-    slave pass per task under per-task exception containment.
-    [jobs <= 1] runs sequentially in the calling domain; [jobs > 1]
-    fans tasks out over [min jobs (length params)] domains, every one
-    of which is always joined ([Fun.protect]) even on unexpected
-    worker death.  Outcomes are returned in task order either way,
-    with identical statuses.
+(** [run ~jobs ?mode ?obs ?retry ?runner ~config prog world params]
+    records one master pass under [config]'s master-side fields, then
+    runs one slave pass per task under per-task exception containment.
+    Parallel execution fans tasks out over [min jobs (length params)]
+    domains claiming chunked ranges off a shared atomic cursor, every
+    domain always joined ([Fun.protect]) even on unexpected worker
+    death.  Outcomes are returned in task order either way, with
+    identical statuses (a property-suite invariant).
+
+    [?mode] selects the execution path.  The default [`Auto] goes
+    parallel only when [jobs > 1], there is more than one task, the
+    host reports more than one recommended domain, {e and} the master
+    pass ran at least ~20k steps (shorter slave passes lose more to
+    domain spawn/join than they gain — the measured 0.70x "speedup" of
+    small parallel campaigns); otherwise it runs sequentially in the
+    calling domain.  [`Sequential] and [`Parallel] force their path
+    (subject to [jobs]/task count).  The decision is emitted as a
+    [Campaign_plan] event and lands in the [campaign.mode.<mode>]
+    metrics counter.
 
     [?obs] observes the master pass (bracketed in [Master_run] phase
     events) and, in the sequential case, every slave pass too; the
@@ -106,7 +124,8 @@ type runner =
     a sink is not required to be domain-safe.  Task fates are emitted
     as [Task_done] events from the calling domain after collection. *)
 val run :
-  ?jobs:int -> ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?runner:runner ->
+  ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
+  ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?runner:runner ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   outcome list

@@ -33,6 +33,8 @@ module Sval = Ldx_osim.Sval
 module World = Ldx_osim.World
 module Ir = Ldx_cfg.Ir
 module Obs = Ldx_obs
+module Sched = Ldx_sched.Scheduler
+module Schedule = Ldx_sched.Schedule
 
 (* ------------------------------------------------------------------ *)
 (* Configuration.                                                      *)
@@ -74,6 +76,18 @@ type config = {
      counters.  Coupled slaves copy the master's faulted results; a
      decoupled slave replays the identical schedule from its own
      counters — DESIGN.md "Fault model" for the soundness argument. *)
+  master_sched : Sched.spec option;
+  (* Scheduler spec for the master pass; [None] = the legacy
+     round-robin seeded with [master_seed].  Like [faults], a spec is
+     immutable: each pass instantiates its own mutable state. *)
+  slave_sched : Sched.spec option;
+  (* Scheduler spec for slave passes; [None] = legacy from
+     [slave_seed].  A slave-side field (campaign tasks may override
+     it per task). *)
+  record_sched : bool;
+  (* Record both sides' scheduling decision logs; the master's is
+     exposed as [master_out.msched] / [result.master_schedule] (the
+     input of --sched-replay and the exploration enumerator). *)
 }
 
 let default_config =
@@ -85,7 +99,17 @@ let default_config =
     max_steps = 30_000_000;
     record_trace = false;
     check_final_state = false;
-    faults = None }
+    faults = None;
+    master_sched = None;
+    slave_sched = None;
+    record_sched = false }
+
+(* The scheduler state of one side: the configured spec, or the legacy
+   round-robin seeded like the historical hard-wired scheduler. *)
+let sched_state_of ~(record : bool) (spec : Sched.spec option) ~(seed : int) :
+  Sched.state =
+  Sched.instantiate ~record
+    (match spec with Some s -> s | None -> Sched.legacy ~seed)
 
 let sink_pred = function
   | Output_syscalls ->
@@ -299,7 +323,20 @@ let install_obs (s : Obs.Sink.t) (side : Obs.Event.side) (m : Machine.t)
          emit
            (Obs.Event.Fault_injected
               { side; sys; site;
-                action = Ldx_osim.Fault.action_to_string a }))
+                action = Ldx_osim.Fault.action_to_string a }));
+  m.Machine.on_obs_sched <-
+    Some
+      (fun t (d : Sched.decision) ->
+         emit
+           (Obs.Event.Schedule_decision
+              { side; index = d.Sched.d_index; chosen = d.Sched.d_chosen;
+                runnable = d.Sched.d_nrunnable;
+                quantum = d.Sched.d_quantum; ts = t.Machine.cycles });
+         if d.Sched.d_preempted then
+           emit
+             (Obs.Event.Preemption
+                { side; index = d.Sched.d_index; chosen = d.Sched.d_chosen;
+                  ts = t.Machine.cycles }))
 
 let emit_summary obs (side : Obs.Event.side) (m : Machine.t) : unit =
   match obs with
@@ -342,6 +379,8 @@ type result = {
   dyn_cnt_avg : float;
   dyn_cnt_max : int;
   max_seg_depth : int;
+  master_schedule : Ldx_sched.Schedule.t option;
+                                (* recorded when config.record_sched *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -368,6 +407,7 @@ type master_out = {
   msummary : exec_summary;
   mtotal_sinks : int;
   mmachine : Machine.t;
+  msched : Schedule.t option;                  (* when config.record_sched *)
 }
 
 let records_for (mo : master_out) (tid : int) : record array =
@@ -466,7 +506,14 @@ let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
   master_out =
   let os = Os.create ~pid:1000 world in
   Os.set_faults os config.faults;
-  let m = Machine.create ~seed:config.master_seed ~max_steps:config.max_steps prog os in
+  let sched =
+    sched_state_of ~record:config.record_sched config.master_sched
+      ~seed:config.master_seed
+  in
+  let m =
+    Machine.create ~seed:config.master_seed ~sched ~max_steps:config.max_steps
+      prog os
+  in
   (match obs with
    | Some s -> install_obs s Obs.Event.Master m os
    | None -> ());
@@ -506,7 +553,9 @@ let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
     mlock_trace = List.rev m.Machine.lock_trace;
     msummary = summary_of m;
     mtotal_sinks = !total_sinks;
-    mmachine = m }
+    mmachine = m;
+    msched =
+      (if config.record_sched then Some (Sched.to_schedule sched) else None) }
 
 (* ------------------------------------------------------------------ *)
 (* Slave pass.                                                         *)
@@ -529,7 +578,14 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
      tracks the master's while coupled, and stays deterministic after
      decoupling (DESIGN.md "Fault model") *)
   Os.set_faults os config.faults;
-  let m = Machine.create ~seed:config.slave_seed ~max_steps:config.max_steps prog os in
+  let sched =
+    sched_state_of ~record:config.record_sched config.slave_sched
+      ~seed:config.slave_seed
+  in
+  let m =
+    Machine.create ~seed:config.slave_seed ~sched ~max_steps:config.max_steps
+      prog os
+  in
   (match obs with
    | Some s -> install_obs s Obs.Event.Slave m os
    | None -> ());
@@ -876,7 +932,8 @@ let run_with_master ?obs (config : config) (prog : Ir.program)
     wall_cycles = max mo.msummary.cycles so.ssummary.cycles;
     dyn_cnt_avg = Machine.dyn_cnt_avg mm;
     dyn_cnt_max = mm.Machine.cnt_max;
-    max_seg_depth = mm.Machine.max_seg_depth }
+    max_seg_depth = mm.Machine.max_seg_depth;
+    master_schedule = mo.msched }
 
 let run ?(config = default_config) ?obs (prog : Ir.program) (world : World.t) :
   result =

@@ -15,6 +15,8 @@
     with the paper's spin-loop coupling. *)
 
 module Machine = Ldx_vm.Machine
+module Sched = Ldx_sched.Scheduler
+module Schedule = Ldx_sched.Schedule
 module Os = Ldx_osim.Os
 module Sval = Ldx_osim.Sval
 module World = Ldx_osim.World
@@ -60,11 +62,28 @@ type config = {
           plan with fresh occurrence counters, so a decoupled slave
           replays faults identically while coupled slaves copy faulted
           results — DESIGN.md "Fault model" *)
+  master_sched : Sched.spec option;
+      (** scheduler spec of the master pass; [None] = the legacy
+          round-robin seeded with [master_seed].  Specs are immutable
+          ({!Ldx_sched.Scheduler}): each pass instantiates its own
+          state *)
+  slave_sched : Sched.spec option;
+      (** scheduler spec of slave passes; [None] = legacy from
+          [slave_seed].  A slave-side field: campaign tasks may
+          override it per task *)
+  record_sched : bool;
+      (** record both sides' scheduling decision logs; the master's is
+          exposed as [master_out.msched] / [result.master_schedule]
+          (the input of schedule replay and bounded exploration) *)
 }
 
 (** recv sources, output sinks, off-by-one, seeds 0, tracing off,
-    no faults. *)
+    no faults, legacy schedulers. *)
 val default_config : config
+
+(** The scheduler state one side instantiates: the given spec, or the
+    legacy round-robin from [seed] when [None]. *)
+val sched_state_of : record:bool -> Sched.spec option -> seed:int -> Sched.state
 
 (** The sink predicate of a configuration (sys, site, args). *)
 val sink_pred : sink_config -> string -> int -> Sval.t list -> bool
@@ -153,6 +172,8 @@ type result = {
   dyn_cnt_avg : float;             (** Table 1 dynamic counter stats *)
   dyn_cnt_max : int;
   max_seg_depth : int;             (** deepest counter stack observed *)
+  master_schedule : Ldx_sched.Schedule.t option;
+      (** the master's recorded schedule, under [config.record_sched] *)
 }
 
 (** {1 Passes}
@@ -182,6 +203,7 @@ type master_out = {
   msummary : exec_summary;
   mtotal_sinks : int;
   mmachine : Machine.t;
+  msched : Schedule.t option;         (** under [config.record_sched] *)
 }
 
 (** The master's records for one spawn index ([| |] if it never made a

@@ -4,6 +4,12 @@ let pid_engine = 0
 let pid_master = 1
 let pid_slave = 2
 
+(* A dedicated lane per side for the scheduler timeline: one slice per
+   decision (which thread ran, for how many steps), instants for
+   preemptions.  The tid is far above any spawn index so the lane sorts
+   below the per-thread tracks. *)
+let tid_sched = 999
+
 let pid_of_side = function
   | Event.Master -> pid_master
   | Event.Slave -> pid_slave
@@ -135,6 +141,38 @@ let of_events (events : Event.t list) : Json.t =
                         match exn with
                         | Some e -> Json.Str e
                         | None -> Json.Null ) ]))
+       | Event.Schedule_decision { side; index; chosen; runnable; quantum; ts }
+         ->
+         tick ts;
+         let pid = pid_of_side side in
+         lane pid tid_sched;
+         emit
+           (obj
+              ~name:(Printf.sprintf "t%d" chosen)
+              ~cat:"sched" ~ph:"X" ~ts ~pid ~tid:tid_sched
+              (("dur", Json.Int quantum)
+               :: args
+                    [ ("index", Json.Int index);
+                      ("runnable", Json.Int runnable);
+                      ("quantum", Json.Int quantum) ]))
+       | Event.Preemption { side; index; chosen; ts } ->
+         tick ts;
+         let pid = pid_of_side side in
+         lane pid tid_sched;
+         emit
+           (obj
+              ~name:(Printf.sprintf "preempt -> t%d" chosen)
+              ~cat:"sched" ~ph:"i" ~ts ~pid ~tid:tid_sched
+              (("s", Json.Str "t") :: args [ ("index", Json.Int index) ]))
+       | Event.Campaign_plan { mode; jobs; tasks; est_steps } ->
+         emit
+           (obj ~name:("campaign " ^ mode) ~cat:"campaign" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:0
+              (("s", Json.Str "p")
+               :: args
+                    [ ("jobs", Json.Int jobs);
+                      ("tasks", Json.Int tasks);
+                      ("est_steps", Json.Int est_steps) ]))
        | Event.Os_call _ | Event.Cnt_sample _ -> ()
        | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
          ->
@@ -170,7 +208,10 @@ let of_events (events : Event.t list) : Json.t =
              ("tid", Json.Int tid);
              ( "args",
                Json.Obj
-                 [ ("name", Json.Str (Printf.sprintf "thread %d" tid)) ] ) ]))
+                 [ ( "name",
+                     Json.Str
+                       (if tid = tid_sched then "sched"
+                        else Printf.sprintf "thread %d" tid) ) ] ) ]))
   in
   Json.Obj
     [ ("displayTimeUnit", Json.Str "ns");

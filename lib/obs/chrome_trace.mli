@@ -15,6 +15,11 @@
     the running maximum of all cycle stamps seen so far in the stream,
     which keeps the track monotone and properly nested.
 
+    Each side additionally carries a "sched" lane (tid 999): one "X"
+    slice per scheduling decision named after the chosen thread (with
+    the granted quantum as its duration) and an instant per preemption
+    — the schedule timeline the exploration mode perturbs.
+
     Timestamps are virtual cycles reported in the format's microsecond
     field; absolute values are the engine's cycle model, only ratios
     are meaningful. *)

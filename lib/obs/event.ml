@@ -91,6 +91,16 @@ type t =
     }
   | Fault_injected of { side : side; sys : string; site : int; action : string }
   | Task_done of { label : string; status : string; exn : string option }
+  | Schedule_decision of {
+      side : side;
+      index : int;
+      chosen : int;
+      runnable : int;
+      quantum : int;
+      ts : int;
+    }
+  | Preemption of { side : side; index : int; chosen : int; ts : int }
+  | Campaign_plan of { mode : string; jobs : int; tasks : int; est_steps : int }
 
 let to_string = function
   | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
@@ -125,3 +135,12 @@ let to_string = function
   | Task_done { label; status; exn } ->
     Printf.sprintf "task-done %s %s%s" label status
       (match exn with None -> "" | Some e -> " exn=" ^ e)
+  | Schedule_decision { side; index; chosen; runnable; quantum; ts } ->
+    Printf.sprintf "sched %s #%d t%d of %d q=%d ts=%d" (side_to_string side)
+      index chosen runnable quantum ts
+  | Preemption { side; index; chosen; ts } ->
+    Printf.sprintf "preempt %s #%d -> t%d ts=%d" (side_to_string side) index
+      chosen ts
+  | Campaign_plan { mode; jobs; tasks; est_steps } ->
+    Printf.sprintf "campaign-plan %s jobs=%d tasks=%d est=%d" mode jobs tasks
+      est_steps

@@ -130,6 +130,26 @@ type t =
       status : string;         (** ["ok"], ["crashed"] or ["fuel-exhausted"] *)
       exn : string option;     (** the exception, for crashed tasks *)
     }
+  | Schedule_decision of {
+      side : side;
+      index : int;             (** 0-based decision number *)
+      chosen : int;            (** chosen thread, by spawn index *)
+      runnable : int;          (** size of the choice set *)
+      quantum : int;           (** steps granted *)
+      ts : int;                (** cycles at the pick *)
+    }
+  | Preemption of {
+      side : side;
+      index : int;             (** the decision that preempted *)
+      chosen : int;            (** the thread switched to *)
+      ts : int;
+    }
+  | Campaign_plan of {
+      mode : string;           (** ["sequential"] or ["parallel"] *)
+      jobs : int;              (** effective worker domains *)
+      tasks : int;
+      est_steps : int;         (** per-task cost estimate (master steps) *)
+    }
 
 (** Short human-readable rendering (debug sinks, logs). *)
 val to_string : t -> string

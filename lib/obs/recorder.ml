@@ -56,6 +56,16 @@ let absorb t (ev : Event.t) =
     in
     Metrics.incr m ("faults." ^ kind)
   | Event.Task_done { status; _ } -> Metrics.incr m ("campaign." ^ status)
+  | Event.Schedule_decision { side; runnable; quantum; _ } ->
+    Metrics.incr m (side_key "sched.decisions" side);
+    Metrics.observe m (side_key "sched.runnable" side) runnable;
+    Metrics.observe m (side_key "sched.quantum" side) quantum
+  | Event.Preemption { side; _ } ->
+    Metrics.incr m (side_key "sched.preemptions" side)
+  | Event.Campaign_plan { mode; jobs; tasks; _ } ->
+    Metrics.incr m ("campaign.mode." ^ mode);
+    Metrics.set m "campaign.jobs" jobs;
+    Metrics.set m "campaign.tasks" tasks
 
 let sink t =
   Sink.of_fn

@@ -20,13 +20,21 @@
       ({!Event.trap_class}: fuel, deadlock, os-error, vm-trap);
     - [campaign.<status>] — campaign task outcomes (ok, crashed,
       fuel-exhausted);
+    - [campaign.mode.<mode>] — execution mode the campaign chose
+      (sequential, parallel), with [campaign.jobs] / [campaign.tasks]
+      gauges;
+    - [sched.decisions.*] — scheduling decisions per side, and
+      [sched.preemptions.*] — decisions that switched away from a
+      still-runnable thread;
     - [master.cycles/steps/syscalls/cnt_instrs] and [slave.*] gauges
       from the run summaries, plus [run.wall_cycles] (max of the two
       clocks: the virtual two-CPU wall time).
 
     Histograms: [dyn_cnt.*] (dynamic counter value at each syscall,
-    Table 1) and [couple_lag] (slave clock minus producing master stamp
-    at each copy — how far the slave trails the master). *)
+    Table 1), [couple_lag] (slave clock minus producing master stamp
+    at each copy — how far the slave trails the master), and
+    [sched.runnable.*] / [sched.quantum.*] (choice-set sizes and
+    granted quanta per side). *)
 
 type t
 

@@ -1,0 +1,72 @@
+(* Bounded schedule exploration (iterative context bounding).
+
+   The enumerator is engine-agnostic: the caller supplies [run], which
+   executes under a [Scheduler.Forced] override list (empty = the base
+   round-robin schedule) and returns the recorded decision trace plus
+   whatever result it wants to keep.  From each explored trace the
+   enumerator derives children by forcing, at one decision with more
+   than one runnable thread, a different choice than the one taken —
+   i.e. one additional preemption.  Because the base policy is
+   deterministic, a child's execution is identical to its parent's up
+   to the forcing point, so the recorded parent trace is a faithful
+   oracle for the child's early runnable sets.
+
+   The worklist is breadth-first over the number of overrides, which is
+   exactly iterative context bounding: all schedules with 0 forced
+   preemptions, then 1, then 2, up to [bound].  Children are generated
+   only at decisions at or after the parent's last forcing point, so
+   each override list is generated once; residual duplicates (two
+   override lists driving the same chosen sequence) are collapsed by
+   the chosen-sequence signature. *)
+
+type 'a outcome = {
+  x_forced : (int * int) list;   (* the override list that produced it *)
+  x_trace : Scheduler.decision array;
+  x_signature : string;
+  x_value : 'a;
+}
+
+(* The chosen-thread sequence, the identity of an interleaving. *)
+let signature (trace : Scheduler.decision array) : string =
+  let buf = Buffer.create (Array.length trace * 3) in
+  Array.iter
+    (fun (d : Scheduler.decision) ->
+       Buffer.add_string buf (string_of_int d.Scheduler.d_chosen);
+       Buffer.add_char buf '.')
+    trace;
+  Buffer.contents buf
+
+let enumerate ?(bound = 2) ?(max_schedules = 32)
+    ~(run : (int * int) list -> Scheduler.decision array * 'a) () :
+  'a outcome list =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let results = ref [] in
+  let count = ref 0 in
+  (* worklist of (override list, first decision index eligible for a
+     new override); FIFO = breadth-first over override-list length *)
+  let work : ((int * int) list * int) Queue.t = Queue.create () in
+  Queue.add ([], 0) work;
+  while (not (Queue.is_empty work)) && !count < max_schedules do
+    let forced, from = Queue.pop work in
+    let trace, value = run forced in
+    let sg = signature trace in
+    if not (Hashtbl.mem seen sg) then begin
+      Hashtbl.replace seen sg ();
+      incr count;
+      results :=
+        { x_forced = forced; x_trace = trace; x_signature = sg;
+          x_value = value }
+        :: !results;
+      if List.length forced < bound then
+        Array.iteri
+          (fun i (d : Scheduler.decision) ->
+             if i >= from then
+               Array.iter
+                 (fun alt ->
+                    if alt <> d.Scheduler.d_chosen then
+                      Queue.add (forced @ [ (i, alt) ], i + 1) work)
+                 d.Scheduler.d_runnable)
+          trace
+    end
+  done;
+  List.rev !results

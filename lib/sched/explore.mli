@@ -1,0 +1,33 @@
+(** Bounded schedule exploration (iterative context bounding).
+
+    Engine-agnostic: the caller's [run] executes under a
+    {!Scheduler.Forced} override list (empty list = the base
+    round-robin schedule) with recording on, and returns the decision
+    trace plus any result.  Children force, at one decision with more
+    than one runnable thread, a different choice than the one the
+    parent took — one additional preemption.  The worklist is
+    breadth-first over override-list length (all schedules with 0
+    forced preemptions, then 1, … up to [bound]); distinct
+    interleavings are identified by their chosen-thread sequence. *)
+
+type 'a outcome = {
+  x_forced : (int * int) list;   (** the override list that produced it *)
+  x_trace : Scheduler.decision array;
+  x_signature : string;          (** chosen-thread sequence, e.g. ["0.1.0."] *)
+  x_value : 'a;
+}
+
+(** The chosen-thread sequence of a recorded trace — the identity of an
+    interleaving. *)
+val signature : Scheduler.decision array -> string
+
+(** [enumerate ~bound ~max_schedules ~run ()] explores up to
+    [max_schedules] {e distinct} interleavings with at most [bound]
+    forced preemptions each (defaults 2 and 32), in deterministic
+    breadth-first order.  [run] is called once per candidate override
+    list; candidates whose trace matches an already-seen signature are
+    discarded and generate no children. *)
+val enumerate :
+  ?bound:int -> ?max_schedules:int ->
+  run:((int * int) list -> Scheduler.decision array * 'a) -> unit ->
+  'a outcome list

@@ -38,12 +38,17 @@ val service_thread_op :
   Machine.t -> Machine.thread -> Machine.pending ->
   [ `Done of Value.t | `Block ]
 
-(** Run a program against a fresh instantiation of the world. *)
+(** Run a program against a fresh instantiation of the world.
+    [?sched] installs an instantiated scheduler state
+    ({!Machine.create}); the default is the legacy round-robin seeded
+    with [?seed]. *)
 val run :
-  ?seed:int -> ?max_steps:int -> ?record_trace:bool ->
+  ?seed:int -> ?sched:Machine.Sched.state -> ?max_steps:int ->
+  ?record_trace:bool ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> outcome
 
 (** Parse, check, lower, optionally instrument, then {!run}. *)
 val run_source :
-  ?instrument:bool -> ?seed:int -> ?max_steps:int -> ?record_trace:bool ->
+  ?instrument:bool -> ?seed:int -> ?sched:Machine.Sched.state ->
+  ?max_steps:int -> ?record_trace:bool ->
   string -> Ldx_osim.World.t -> outcome

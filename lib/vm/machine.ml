@@ -16,6 +16,7 @@
    to recursive functions) push a segment. *)
 
 module Ir = Ldx_cfg.Ir
+module Sched = Ldx_sched.Scheduler
 open Value
 
 type seg = {
@@ -88,8 +89,10 @@ type t = {
   mutable lock_gate : (string -> int -> bool) option;
   (* when set (slave mode), [try_lock] additionally asks the gate whether
      this thread (by spawn_index) may take the lock now *)
-  sched_seed : int;
-  mutable rr_cursor : int;
+  sched : Sched.state;
+  (* the pluggable scheduler (lib/sched): owns the pick cursor and
+     quantum choice; the default is [Sched.legacy], bit-identical to
+     the historical hard-wired round-robin *)
   mutable steps : int;
   mutable cycles : int;                (* virtual clock *)
   mutable syscalls : int;              (* syscall events emitted *)
@@ -112,6 +115,7 @@ type t = {
   mutable on_obs_syscall : (t -> thread -> pending -> unit) option;
   mutable on_obs_barrier : (t -> thread -> barrier -> unit) option;
   mutable on_obs_cnt_sample : (t -> thread -> int -> unit) option;
+  mutable on_obs_sched : (t -> Sched.decision -> unit) option;
 }
 
 type event =
@@ -128,7 +132,7 @@ let lock_key = function
   | Str s -> "s:" ^ s
   | Unit | Arr _ | Fptr _ -> trap "invalid lock id"
 
-let create ?(seed = 0) ?(max_steps = 30_000_000) (prog : Ir.program)
+let create ?(seed = 0) ?sched ?(max_steps = 30_000_000) (prog : Ir.program)
     (os : Ldx_osim.Os.t) : t =
   let main = Ir.find_func_exn prog "main" in
   if main.Ir.params <> [] then invalid_arg "Machine.create: main takes no params";
@@ -151,8 +155,10 @@ let create ?(seed = 0) ?(max_steps = 30_000_000) (prog : Ir.program)
     sig_handlers = Hashtbl.create 4;
     lock_trace = [];
     lock_gate = None;
-    sched_seed = seed;
-    rr_cursor = 0;
+    sched =
+      (match sched with
+       | Some s -> s
+       | None -> Sched.instantiate (Sched.legacy ~seed));
     steps = 0;
     cycles = 0;
     syscalls = 0;
@@ -166,7 +172,8 @@ let create ?(seed = 0) ?(max_steps = 30_000_000) (prog : Ir.program)
     max_seg_depth = 1;
     on_obs_syscall = None;
     on_obs_barrier = None;
-    on_obs_cnt_sample = None }
+    on_obs_cnt_sample = None;
+    on_obs_sched = None }
 
 let main_thread t = List.hd t.threads
 
@@ -531,10 +538,6 @@ let step_thread t (th : thread) : event option =
 let runnable_threads t =
   List.filter (fun th -> th.status = Runnable) t.threads
 
-let quantum t =
-  (* deterministic per-seed perturbation of time slices *)
-  8 + ((t.sched_seed lxor (t.steps * 2654435761)) land 31)
-
 exception Trapped of string
 
 let run_until_event (t : t) : event =
@@ -569,10 +572,18 @@ let run_until_event (t : t) : event =
                  ev := Some Ev_done
                end
              | _ :: _ ->
-               let n = List.length rs in
-               let th = List.nth rs (t.rr_cursor mod n) in
-               t.rr_cursor <- t.rr_cursor + 1;
-               let q = quantum t in
+               (* delegate the pick to the pluggable scheduler; threads
+                  are identified by spawn index (the dual-execution
+                  pairing key), which is unique per thread *)
+               let runnable =
+                 Array.of_list (List.map (fun th -> th.spawn_index) rs)
+               in
+               let d = Sched.pick t.sched ~runnable ~steps:t.steps in
+               let th =
+                 List.find (fun th -> th.spawn_index = d.Sched.d_chosen) rs
+               in
+               (match t.on_obs_sched with Some f -> f t d | None -> ());
+               let q = d.Sched.d_quantum in
                (try
                   let i = ref 0 in
                   while !i < q && !ev = None && th.status = Runnable do

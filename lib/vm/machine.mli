@@ -14,6 +14,7 @@
     a segment. *)
 
 module Ir = Ldx_cfg.Ir
+module Sched = Ldx_sched.Scheduler
 
 type seg = {
   mutable cnt : int;
@@ -84,8 +85,10 @@ type t = {
       (** (lock key, spawn_index) grants, most recent first *)
   mutable lock_gate : (string -> int -> bool) option;
       (** slave mode: may this thread take this free lock now? *)
-  sched_seed : int;
-  mutable rr_cursor : int;
+  sched : Sched.state;
+      (** the pluggable scheduler ({!Ldx_sched}): owns the pick cursor
+          and quantum choice; defaults to {!Sched.legacy}, bit-identical
+          to the historical hard-wired round-robin *)
   mutable steps : int;
   mutable cycles : int;          (** virtual clock (see {!Cost}) *)
   mutable syscalls : int;
@@ -108,6 +111,9 @@ type t = {
   mutable on_obs_cnt_sample : (t -> thread -> int -> unit) option;
       (** fires at each dynamic counter sample (one per syscall) with
           the sampled counter value *)
+  mutable on_obs_sched : (t -> Sched.decision -> unit) option;
+      (** fires at each scheduling decision, before the chosen thread's
+          quantum runs *)
 }
 
 type event =
@@ -121,8 +127,13 @@ type event =
     @raise Value.Trap on non-scalar values. *)
 val lock_key : Value.t -> string
 
-(** @raise Invalid_argument if [main] is missing or takes parameters. *)
-val create : ?seed:int -> ?max_steps:int -> Ir.program -> Ldx_osim.Os.t -> t
+(** [?sched] installs an instantiated scheduler state (one per machine:
+    states are mutable and must not be shared between machines);
+    without it the machine runs {!Sched.legacy} seeded with [?seed].
+    @raise Invalid_argument if [main] is missing or takes parameters. *)
+val create :
+  ?seed:int -> ?sched:Sched.state -> ?max_steps:int ->
+  Ir.program -> Ldx_osim.Os.t -> t
 
 val main_thread : t -> thread
 val cur_seg : thread -> seg

@@ -298,7 +298,12 @@ let test_campaign_parallel_matches_sequential () =
   let config = attribution_config in
   let params = campaign_params config in
   let seq = Campaign.run ~jobs:1 ~config prog attribution_world params in
-  let par = Campaign.run ~jobs:4 ~config prog attribution_world params in
+  (* [`Parallel] forces the domain-pool path even on hosts where [`Auto]
+     would (correctly) fall back to sequential — this test is about the
+     parallel path's determinism, not the mode heuristic *)
+  let par =
+    Campaign.run ~jobs:4 ~mode:`Parallel ~config prog attribution_world params
+  in
   check int "same number of outcomes" (List.length seq) (List.length par);
   List.iter2
     (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
@@ -340,7 +345,7 @@ let test_campaign_crash_contained () =
   let config = net_cfg [ Engine.source ~sys:"recv" () ] in
   let params = crash_params config in
   let run jobs =
-    Campaign.run ~jobs ~runner:crashing_runner ~config prog
+    Campaign.run ~jobs ~mode:`Parallel ~runner:crashing_runner ~config prog
       attribution_world params
   in
   let statuses outs = List.map (fun o -> o.Campaign.status) outs in
@@ -436,7 +441,9 @@ let prop_campaign_deterministic (p : Ldx_lang.Ast.program) =
   let config = Engine.default_config in
   let params = Campaign.of_strategies config Mutation.all_strategies in
   let seq = Campaign.run ~jobs:1 ~config prog qcheck_world params in
-  let par = Campaign.run ~jobs:4 ~config prog qcheck_world params in
+  let par =
+    Campaign.run ~jobs:4 ~mode:`Parallel ~config prog qcheck_world params
+  in
   List.for_all2
     (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
        a.Campaign.status = b.Campaign.status)

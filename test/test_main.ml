@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.tests);
       ("campaign", Test_campaign.tests);
       ("fault", Test_fault.tests);
+      ("sched", Test_sched.tests);
       ("properties", Test_properties.tests) ]

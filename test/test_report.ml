@@ -1,13 +1,19 @@
 (* Experiment-suite smoke tests: every table/figure renders, with the
-   headline relations from the paper asserted on the live corpus. *)
+   headline relations from the paper asserted on the live corpus —
+   plus byte-exact goldens for the Table and Trace_view renderers. *)
 
 module Experiments = Ldx_report.Experiments
 module Table = Ldx_report.Table
+module Trace_view = Ldx_report.Trace_view
 module Registry = Ldx_workloads.Registry
+module Engine = Ldx_core.Engine
+module Sval = Ldx_osim.Sval
+module World = Ldx_osim.World
 
 let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
+let string = Alcotest.string
 
 let contains hay needle =
   let hn = String.length hay and nn = String.length needle in
@@ -106,8 +112,107 @@ let test_ablations_render () =
   check bool "A2 shows false positives without reset" true
     (contains a2 "leak=true")
 
+(* ------------------------------------------------------------------ *)
+(* Renderer goldens: byte-exact expected output, so padding/alignment
+   regressions can't slip through the substring-based smoke tests.      *)
+
+let test_table_render_golden () =
+  let t =
+    Table.make ~title:"Demo table"
+      ~headers:[ "Program"; "Overhead"; "Leak" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      ~notes:[ "first note"; "second note" ]
+      [ [ "Apache"; "6.08%"; "yes" ]; [ "mcf"; "0.75%"; "no" ] ]
+  in
+  check string "table golden"
+    "## Demo table\n\n\
+     | Program | Overhead | Leak |\n\
+     |---------|----------|------|\n\
+     | Apache  |    6.08% |  yes |\n\
+     | mcf     |    0.75% |   no |\n\n\
+     > first note\n\
+     > second note\n"
+    (Table.render t)
+
+let test_trace_view_golden () =
+  let e pos action master slave =
+    { Engine.t_pos = pos; t_action = action; t_master = master;
+      t_slave = slave }
+  in
+  let entries =
+    [ e "<1>" Engine.T_copied (Some ("recv", [ Sval.I 3 ]))
+        (Some ("recv", [ Sval.I 3 ]));
+      e "<2>" Engine.T_sink_match
+        (Some ("send", [ Sval.I 3; Sval.S "hi" ]))
+        (Some ("send", [ Sval.I 3; Sval.S "hi" ]));
+      e "<3>" Engine.T_args_differ
+        (Some ("send", [ Sval.S "a" ]))
+        (Some ("send", [ Sval.S "b" ]));
+      e "<4>" Engine.T_path_diff (Some ("read", [])) (Some ("time", []));
+      e "<5>" Engine.T_master_only (Some ("write", [ Sval.I 1 ])) None;
+      e "<6>" Engine.T_slave_only None (Some ("print", [ Sval.S "x" ]));
+      e "<7>" Engine.T_decoupled None (Some ("send", [ Sval.I 9 ])) ]
+  in
+  check string "trace golden"
+    "pos  master        | slave          [action]\n\
+     ---  ------------- | -------------  [--]\n\
+     <1>  recv(3)       | recv(3)        [copied]\n\
+     <2>  send(3, \"hi\") | send(3, \"hi\")  [sink==]\n\
+     <3>  send(\"a\")     | send(\"b\")      [args-differ]\n\
+     <4>  read()        | time()         [path-diff]\n\
+     <5>  write(1)      |                [master-only]\n\
+     <6>                | print(\"x\")     [slave-only]\n\
+     <7>                | send(9)        [decoupled]\n"
+    (Trace_view.render entries)
+
+(* End-to-end golden on a THREADED program: two workers recv a source
+   each, the slave's mutated sends surface as args-differ then
+   decoupled, and the untainted epilogue stays aligned. *)
+let threaded_src = {|
+fn worker(wid) {
+  let s = socket("in");
+  let v = recv(s);
+  lock(1);
+  send(s, "r" + itoa(wid) + upper(v));
+  unlock(1);
+  return 0;
+}
+fn main() {
+  let t1 = spawn(@worker, 1);
+  let t2 = spawn(@worker, 2);
+  join(t1); join(t2);
+  print("done\n");
+}
+|}
+
+let test_trace_view_threaded_golden () =
+  let ast = Ldx_lang.Parser.parse_exn threaded_src in
+  let prog = Ldx_cfg.Lower.lower_program ast in
+  let prog, _ = Ldx_instrument.Counter.instrument prog in
+  let world = World.(empty |> with_endpoint "in" [ "ab"; "cd" ]) in
+  let config =
+    { Engine.default_config with
+      Engine.sources = [ Engine.source ~sys:"recv" () ];
+      sinks = Engine.Network_outputs }
+  in
+  check string "threaded trace golden"
+    "pos  master          | slave            [action]\n\
+     ---  --------------- | ---------------  [--]\n\
+     <1>  socket(\"in\")    | socket(\"in\")     [copied]\n\
+     <2>  recv(3)         | recv(3)          [copied]\n\
+     <1>  socket(\"in\")    | socket(\"in\")     [copied]\n\
+     <2>  recv(4)         | recv(4)          [copied]\n\
+     <4>  send(3, \"r1AB\") | send(3, \"r1BC\")  [args-differ]\n\
+     <4>  send(4, \"r2CD\") | send(4, \"r2DE\")  [decoupled]\n\
+     <5>  print(\"done\\n\") | print(\"done\\n\")  [copied]\n"
+    (Trace_view.side_by_side ~config prog world)
+
 let tests =
   [ Alcotest.test_case "table1 shape" `Quick test_table1_shape;
+    Alcotest.test_case "table render golden" `Quick test_table_render_golden;
+    Alcotest.test_case "trace view golden" `Quick test_trace_view_golden;
+    Alcotest.test_case "trace view threaded golden" `Quick
+      test_trace_view_threaded_golden;
     Alcotest.test_case "fig6 overheads low" `Quick test_fig6_overheads_low;
     Alcotest.test_case "table3 relations" `Quick test_table3_relations;
     Alcotest.test_case "table4 small" `Quick test_table4_small;
