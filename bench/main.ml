@@ -139,6 +139,27 @@ let run_campaign ~jobs () =
 let kernel_campaign_sequential () = run_campaign ~jobs:1 ()
 let kernel_campaign_parallel () = run_campaign ~jobs:4 ()
 
+(* Durable-campaign kernel: the same master-sharing fan-out, but with a
+   20-task seed sweep journaled write-through — the append+fsync-shaped
+   cost the durability layer adds per task.  Compared against the
+   unjournaled run in the JSON "durable" entry (acceptance: <= 5%). *)
+let durable_params =
+  lazy
+    (let w, _ = Lazy.force campaign_prepared in
+     Campaign.of_seeds (Workload.leak_config w) (List.init 20 Fun.id))
+
+let run_durable ?journal () =
+  let w, prog = Lazy.force campaign_prepared in
+  ignore
+    (Campaign.run ~jobs:1 ?journal ~config:(Workload.leak_config w) prog
+       w.Workload.world (Lazy.force durable_params))
+
+let kernel_campaign_journal () =
+  let path = Filename.temp_file "ldx_bench" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> run_durable ~journal:path ())
+
 (* Schedule-sweep kernel: the Table 4 concurrency rows re-verified
    across bounded-exploration interleavings (>= 20 distinct schedules
    per workload at full size) — each explored schedule is one complete
@@ -249,6 +270,8 @@ let tests =
         (Staged.stage kernel_campaign_sequential);
       Test.make ~name:"campaign_parallel"
         (Staged.stage kernel_campaign_parallel);
+      Test.make ~name:"campaign_journal"
+        (Staged.stage kernel_campaign_journal);
       Test.make ~name:"sched_sweep" (Staged.stage kernel_sched_sweep);
       Test.make ~name:"chaos_faults" (Staged.stage kernel_chaos);
       Test.make ~name:"ablation_alignment" (Staged.stage kernel_ablation_align);
@@ -419,6 +442,79 @@ let chaos_summary () =
       ( "chaos_overhead",
         if baseline_s > 0. then J.Float (chaos_s /. baseline_s) else J.Null ) ]
 
+(* Durable entry: the journal's write-through cost on the campaign
+   kernel (acceptance: <= 5% overhead), plus the resume experiment —
+   journal a 20-task seed sweep, truncate to the first 10 outcomes
+   (a kill at a record boundary), and resume: only the unjournaled
+   half may re-run, pinned by the store.* counters recorded here. *)
+let truncate_journal path keep =
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+  in
+  let kept = ref 0 in
+  let keep_line l =
+    if String.length l = 0 then false
+    else if l.[0] = 'o' then (
+      incr kept;
+      !kept <= keep)
+    else true
+  in
+  let out = List.filter keep_line lines in
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter
+        (fun l ->
+           output_string oc l;
+           output_char oc '\n')
+        out)
+
+let durable_summary () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let w, prog = Lazy.force campaign_prepared in
+  let config = Workload.leak_config w in
+  let params = Lazy.force durable_params in
+  let path = Filename.temp_file "ldx_bench" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let run ?journal () =
+    ignore (Campaign.run ~jobs:1 ?journal ~config prog w.Workload.world params)
+  in
+  run ();
+  let baseline_s = time (fun () -> run ()) in
+  let journaled_s = time (fun () -> run ~journal:path ()) in
+  truncate_journal path 10;
+  let rc = Ldx_obs.Recorder.create () in
+  let resume_s =
+    time (fun () ->
+        match
+          Campaign.resume ~jobs:1 ~obs:(Ldx_obs.Recorder.sink rc) ~journal:path
+            ~config prog w.Workload.world params
+        with
+        | Ok _ -> ()
+        | Error e -> failwith ("durable bench: resume rejected: " ^ e))
+  in
+  let snap = Ldx_obs.Recorder.snapshot rc in
+  let c name = Ldx_obs.Metrics.counter snap name in
+  J.Obj
+    [ ("workload", J.Str w.Workload.name);
+      ("tasks", J.Int (List.length params));
+      ("baseline_s", J.Float baseline_s);
+      ("journaled_s", J.Float journaled_s);
+      ( "journal_overhead",
+        if baseline_s > 0. then J.Float (journaled_s /. baseline_s)
+        else J.Null );
+      ("resume_replayed", J.Int (c "store.replayed"));
+      ("resume_rerun", J.Int (c "store.rerun"));
+      ("resume_s", J.Float resume_s);
+      ( "resume_saving",
+        if journaled_s > 0. then J.Float (1. -. (resume_s /. journaled_s))
+        else J.Null ) ]
+
 (* Schedule-sweep entry: per concurrency workload, how many distinct
    interleavings were explored and whether the leak verdict is stable
    across all of them (the Table 4 claim, lifted over schedules). *)
@@ -451,6 +547,7 @@ let write_bench_json rows =
                   (name, if Float.is_nan est then J.Null else J.Float est))
                rows) );
         ("campaign", campaign_comparison ());
+        ("durable", durable_summary ());
         ("sched_sweep", sched_sweep_summary ());
         ("chaos", chaos_summary ());
         ("engine_counters", J.Obj (recorded_counters ())) ]

@@ -23,6 +23,7 @@ module World = Ldx_osim.World
 module Fault = Ldx_osim.Fault
 module Workload = Ldx_workloads.Workload
 module Registry = Ldx_workloads.Registry
+module Store = Ldx_store.Store
 
 let test_world =
   World.(
@@ -196,6 +197,93 @@ let check_sequential (tasks : task array) : (int * failure) option =
   in
   go 0
 
+(* ------------------------------------------------------------------ *)
+(* Durable soak runs: journal each check's outcome through the same
+   checksummed store the campaign layer uses, so a long fuzz killed at
+   any point resumes from the last flushed record instead of repaying
+   hours of checking.  The fingerprint pins (runs, seed, class): the
+   task list is a pure function of those, so matching fingerprints mean
+   identical task arrays and journaled indexes replay soundly. *)
+
+let fuzz_fingerprint ~runs ~seed ~chaos =
+  Store.fingerprint
+    [ "ldx-fuzz/1"; string_of_int runs; string_of_int seed;
+      (if chaos then "chaos" else "invariants") ]
+
+let encode_outcome = function
+  | None -> "ok"
+  | Some f ->
+    (* the store escapes payloads, so embedded newlines are safe *)
+    String.concat "\n" [ "fail"; f.f_check; f.f_detail; f.f_program ]
+
+let decode_outcome payload : failure option option =
+  if payload = "ok" then Some None
+  else
+    match String.split_on_char '\n' payload with
+    | "fail" :: f_check :: f_detail :: rest ->
+      Some (Some { f_check; f_detail; f_program = String.concat "\n" rest })
+    | _ -> None
+
+(* Check tasks in index order, replaying journaled outcomes and
+   journaling fresh ones write-through; stops at the earliest failure
+   (exactly [check_sequential]'s semantics, so the reported
+   counterexample is independent of where previous runs were killed). *)
+let check_durable ~path ~resume ~fp (tasks : task array) :
+  ((int * failure) option, string) result =
+  let n = Array.length tasks in
+  let pre =
+    if not resume then Ok []
+    else
+      match Store.load ~path with
+      | Error e -> Error e
+      | Ok l ->
+        if l.Store.l_manifest.Store.fingerprint <> fp then
+          Error
+            (path
+             ^ ": fingerprint mismatch: the journal was written by a \
+                different fuzz configuration (runs/seed/class)")
+        else
+          Ok
+            (List.filter_map
+               (fun (i, payload) ->
+                  if i < 0 || i >= n then None
+                  else
+                    Option.map (fun o -> (i, payload, o))
+                      (decode_outcome payload))
+               l.Store.l_outcomes)
+  in
+  match pre with
+  | Error e -> Error e
+  | Ok pre ->
+    let manifest =
+      { Store.fingerprint = fp;
+        meta = [ ("tasks", string_of_int n) ];
+        tasks = List.init n (Printf.sprintf "task#%d") }
+    in
+    let store =
+      Store.checkpoint ~path manifest (List.map (fun (i, p, _) -> (i, p)) pre)
+    in
+    let replayed = Hashtbl.create 64 in
+    List.iter (fun (i, _, o) -> Hashtbl.replace replayed i o) pre;
+    if resume then
+      Printf.eprintf "ldx_fuzz: %s: replaying %d/%d checked tasks\n%!" path
+        (Hashtbl.length replayed) n;
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    let rec go i =
+      if i >= n then None
+      else
+        let o =
+          match Hashtbl.find_opt replayed i with
+          | Some o -> o
+          | None ->
+            let o = check_task tasks.(i) in
+            Store.append store i (encode_outcome o);
+            o
+        in
+        match o with Some f -> Some (i, f) | None -> go (i + 1)
+    in
+    Ok (go 0)
+
 let runs_arg =
   Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Programs per class.")
 
@@ -216,6 +304,21 @@ let chaos_arg =
                drops, clock skew) and check that zero sources still \
                yields zero reports — any leak is a false positive in \
                the causality inference.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Journal each check's outcome to $(docv) (checksummed, \
+               flushed per record) so a long soak run killed at any \
+               point resumes with --resume.  Checks run sequentially \
+               when journaling.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+         ~doc:"With --journal: replay journaled outcomes and check only \
+               the tasks that never made it to disk.  Requires the same \
+               --runs/--seed/--chaos as the journaled run.")
 
 let sched_explore_arg =
   Arg.(value & opt (some int) None
@@ -273,7 +376,7 @@ let explore_schedules bound =
   end
   else `Error (false, "schedule invariant violated")
 
-let fuzz runs seed jobs chaos sched_explore =
+let fuzz runs seed jobs chaos sched_explore journal resume =
   match sched_explore with
   | Some bound -> explore_schedules bound
   | None ->
@@ -282,15 +385,27 @@ let fuzz runs seed jobs chaos sched_explore =
     if chaos then make_chaos_tasks runs rand else make_tasks runs rand
   in
   let outcome =
-    if jobs <= 1 then check_sequential tasks else check_parallel ~jobs tasks
+    match journal with
+    | Some path ->
+      if jobs > 1 then
+        prerr_endline "ldx_fuzz: --journal checks sequentially (--jobs ignored)";
+      check_durable ~path ~resume ~fp:(fuzz_fingerprint ~runs ~seed ~chaos)
+        tasks
+    | None ->
+      if resume then Error "--resume requires --journal"
+      else
+        Ok
+          (if jobs <= 1 then check_sequential tasks
+           else check_parallel ~jobs tasks)
   in
   match outcome with
-  | None ->
+  | Error e -> `Error (false, e)
+  | Ok None ->
     Printf.printf "ok: %d %s checked, all invariants hold\n"
       (Array.length tasks)
       (if chaos then "(program, fault plan) pairs" else "programs");
     `Ok ()
-  | Some (i, f) ->
+  | Ok (Some (i, f)) ->
     Printf.printf "FAILURE after %d programs\ncheck:  %s\ndetail: %s\n\n%s\n"
       i f.f_check f.f_detail f.f_program;
     `Error (false, "invariant violated")
@@ -303,6 +418,6 @@ let cmd =
     Term.(
       ret
         (const fuzz $ runs_arg $ seed_arg $ jobs_arg $ chaos_arg
-         $ sched_explore_arg))
+         $ sched_explore_arg $ journal_arg $ resume_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -149,6 +149,57 @@ let sched_record =
          ~doc:"Record the master's scheduling decisions and write the \
                schedule log to $(docv) (replayable via --sched-replay).")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+         ~doc:"With --sweep-strategies: persist the campaign manifest to \
+               $(docv) and append each task outcome as it completes \
+               (checksummed, flushed).  A campaign killed at any point \
+               continues with --resume.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+         ~doc:"With --journal: resume the campaign from the journal — \
+               replay recorded outcomes verbatim and run only the \
+               missing tasks.  The rendered table is byte-identical to \
+               an uninterrupted run.")
+
+let task_deadline =
+  Arg.(value & opt (some int) None
+       & info [ "task-deadline" ] ~docv:"STEPS"
+         ~doc:"Campaign modes: cap each slave task at $(docv) VM steps \
+               (fuel-derived, so bit-deterministic — no wall clocks); a \
+               task cut off below the configured budget finishes as \
+               timed-out.")
+
+let max_retries =
+  Arg.(value & opt int 0
+       & info [ "max-retries" ] ~docv:"N"
+         ~doc:"Campaign modes: retry crashed/fuel-exhausted/timed-out \
+               tasks up to $(docv) times under jittered slave seeds; a \
+               task that crashes on every attempt is quarantined.")
+
+let backoff =
+  Arg.(value & opt int 1
+       & info [ "backoff" ] ~docv:"BASE"
+         ~doc:"Retry seed-jitter growth base: 1 = linear jitter \
+               (default), larger = jitter grows BASE^(k-1) on retry k — \
+               exponential backoff in seed space.")
+
+let retry_budget =
+  Arg.(value & opt (some int) None
+       & info [ "retry-fuel-budget" ] ~docv:"STEPS"
+         ~doc:"Cumulative VM-step budget one task may spend across all \
+               its attempts; once spent, no further retries.")
+
+let abort_after =
+  Arg.(value & opt (some int) None
+       & info [ "abort-after" ] ~docv:"N"
+         ~doc:"Crash-simulation hook for resume testing: exit(17) when \
+               the campaign starts its (N+1)-th slave pass, leaving \
+               exactly the completed outcomes in the --journal.")
+
 let build_world files endpoints =
   let w = ref World.empty in
   List.iter
@@ -188,6 +239,7 @@ let parse_strategy = function
 let run prog_file files endpoints sources sink strategy verbose trace dot
     attribute sweep_strategies jobs final_state trace_out metrics metrics_json
     faults fault_seed sched_policy sched_seed sched_replay sched_record
+    journal resume task_deadline max_retries backoff retry_budget abort_after
   =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
@@ -231,6 +283,72 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       slave_sched = sched_spec;
       record_sched = sched_record <> None }
   in
+  let recorder =
+    if trace_out <> None || metrics || metrics_json <> None then
+      Some (Ldx_obs.Recorder.create ())
+    else None
+  in
+  let obs = Option.map Ldx_obs.Recorder.sink recorder in
+  (* observability output shared by the campaign modes and plain runs *)
+  let emit_observability () =
+    match recorder with
+    | None -> `Ok ()
+    | Some rc ->
+      (try
+         let write_file path data =
+           Out_channel.with_open_text path (fun oc -> output_string oc data)
+         in
+         (match trace_out with
+          | Some path ->
+            write_file path
+              (Ldx_obs.Chrome_trace.to_string (Ldx_obs.Recorder.events rc));
+            Printf.printf "dual-timeline trace written to %s\n" path
+          | None -> ());
+         let snap = Ldx_obs.Recorder.snapshot rc in
+         (match metrics_json with
+          | Some path ->
+            write_file path
+              (Ldx_obs.Json.to_string
+                 (Ldx_obs.Json.Obj
+                    [ ("metrics", Ldx_obs.Metrics.to_json snap);
+                      ( "cost_model",
+                        Ldx_obs.Json.Obj
+                          (List.map
+                             (fun (k, v) -> (k, Ldx_obs.Json.Int v))
+                             (Ldx_vm.Cost.to_assoc ())) ) ]));
+            Printf.printf "metrics JSON written to %s\n" path
+          | None -> ());
+         if metrics then begin
+           print_newline ();
+           print_string (Ldx_report.Obs_report.render snap)
+         end;
+         `Ok ()
+       with Sys_error msg -> `Error (false, msg))
+  in
+  let retry =
+    if max_retries = 0 && retry_budget = None then None
+    else
+      Some
+        { Ldx_core.Campaign.no_retries with
+          Ldx_core.Campaign.max_retries;
+          backoff;
+          fuel_budget = retry_budget;
+          quarantine = max_retries > 0 }
+  in
+  (* the crash-simulation hook: completes the first N slave passes (and
+     their journal appends), then dies as a killed process would *)
+  let abort_runner =
+    Option.map
+      (fun n ->
+         let count = Atomic.make 0 in
+         fun ?obs cfg prog world mo ->
+           if Atomic.fetch_and_add count 1 >= n then begin
+             prerr_endline "ldx_run: --abort-after reached, aborting";
+             exit 17
+           end;
+           Engine.run_with_master ?obs cfg prog world mo)
+      abort_after
+  in
   if dot then begin
     match Ldx_cfg.Lower.lower_source src with
     | exception Failure msg -> `Error (false, msg)
@@ -244,30 +362,50 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
     | exception Failure msg -> `Error (false, msg)
     | prog ->
       let prog, _ = Ldx_instrument.Counter.instrument prog in
-      let attrs = Ldx_core.Attribute.per_source ~config ~jobs prog world in
+      let attrs =
+        Ldx_core.Attribute.per_source ~config ~jobs ?obs ?retry
+          ?deadline:task_deadline prog world
+      in
       print_string (Ldx_core.Attribute.render attrs);
-      `Ok ()
+      emit_observability ()
   end
   else if sweep_strategies then begin
     match Ldx_cfg.Lower.lower_source src with
     | exception Failure msg -> `Error (false, msg)
     | prog ->
       let prog, _ = Ldx_instrument.Counter.instrument prog in
-      let outs =
-        Ldx_core.Campaign.run ~jobs ~config prog world
-          (Ldx_core.Campaign.of_strategies config
-             Ldx_core.Mutation.all_strategies)
+      let params =
+        Ldx_core.Campaign.of_strategies config
+          Ldx_core.Mutation.all_strategies
       in
-      print_string (Ldx_core.Campaign.render outs);
-      `Ok ()
+      let outs =
+        match (journal, resume) with
+        | None, true -> Error "--resume requires --journal"
+        | Some path, true ->
+          (match
+             Ldx_core.Campaign.resume ~jobs ?obs ?retry
+               ?deadline:task_deadline ?runner:abort_runner ~journal:path
+               ~config prog world params
+           with
+           | Ok outs ->
+             Printf.eprintf "resumed campaign from %s\n%!" path;
+             Ok outs
+           | Error e -> Error e)
+        | _, false ->
+          Ok
+            (Ldx_core.Campaign.run ~jobs ?obs ?retry ?deadline:task_deadline
+               ?runner:abort_runner ?journal ~config prog world params)
+      in
+      (match outs with
+       | Error e -> `Error (false, e)
+       | Ok outs ->
+         print_string (Ldx_core.Campaign.render outs);
+         (match journal with
+          | Some path -> Printf.eprintf "campaign journal: %s\n%!" path
+          | None -> ());
+         emit_observability ())
   end
   else
-  let recorder =
-    if trace_out <> None || metrics || metrics_json <> None then
-      Some (Ldx_obs.Recorder.create ())
-    else None
-  in
-  let obs = Option.map Ldx_obs.Recorder.sink recorder in
   match Engine.run_source ~config ?obs src world with
   | exception Failure msg -> `Error (false, msg)
   | r ->
@@ -314,37 +452,7 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
           Printf.printf "schedule written to %s (%d decisions)\n" path
             (Array.length s)
         | _ -> ());
-       match recorder with
-     | None -> `Ok ()
-     | Some rc ->
-       let write_file path data =
-         Out_channel.with_open_text path (fun oc -> output_string oc data)
-       in
-       (match trace_out with
-        | Some path ->
-          write_file path
-            (Ldx_obs.Chrome_trace.to_string (Ldx_obs.Recorder.events rc));
-          Printf.printf "dual-timeline trace written to %s\n" path
-        | None -> ());
-       let snap = Ldx_obs.Recorder.snapshot rc in
-       (match metrics_json with
-        | Some path ->
-          write_file path
-            (Ldx_obs.Json.to_string
-               (Ldx_obs.Json.Obj
-                  [ ("metrics", Ldx_obs.Metrics.to_json snap);
-                    ( "cost_model",
-                      Ldx_obs.Json.Obj
-                        (List.map
-                           (fun (k, v) -> (k, Ldx_obs.Json.Int v))
-                           (Ldx_vm.Cost.to_assoc ())) ) ]));
-          Printf.printf "metrics JSON written to %s\n" path
-        | None -> ());
-       if metrics then begin
-         print_newline ();
-         print_string (Ldx_report.Obs_report.render snap)
-       end;
-       `Ok ()
+       emit_observability ()
      with Sys_error msg -> `Error (false, msg))
 
 let cmd =
@@ -358,6 +466,7 @@ let cmd =
          $ verbose $ trace $ dot $ attribute $ sweep_strategies $ jobs
          $ final_state $ trace_out $ metrics $ metrics_json $ faults
          $ fault_seed $ sched_policy $ sched_seed $ sched_replay
-         $ sched_record))
+         $ sched_record $ journal_arg $ resume_arg $ task_deadline
+         $ max_retries $ backoff $ retry_budget $ abort_after))
 
 let () = exit (Cmd.eval cmd)

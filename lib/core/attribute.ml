@@ -20,10 +20,11 @@ type attribution = {
    [config.sources], so K isolated-source runs cost 1 + K executions
    instead of 2K.  [jobs > 1] fans the slave passes out over a domain
    pool; results are identical to the sequential ones. *)
-let per_source ?(config = Engine.default_config) ?(jobs = 1) ?obs
-    (prog : Ir.program) (world : World.t) : attribution list =
+let per_source ?(config = Engine.default_config) ?(jobs = 1) ?obs ?retry
+    ?deadline (prog : Ir.program) (world : World.t) : attribution list =
   let outs =
-    Campaign.run ~jobs ?obs ~config prog world (Campaign.of_sources config)
+    Campaign.run ~jobs ?obs ?retry ?deadline ~config prog world
+      (Campaign.of_sources config)
   in
   List.map2
     (fun spec (o : Campaign.outcome) ->

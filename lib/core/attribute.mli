@@ -14,10 +14,15 @@ type attribution = {
     replaying a single recorded master pass (a {!Campaign}): 1 + K
     executions instead of 2K.  [?jobs] (default 1) fans the slave
     passes out over a domain pool; results are identical either way.
-    [?obs] observes the shared master pass (one [Master_run] phase) and,
-    when sequential, each slave pass. *)
+    [?obs] observes the shared master pass (one [Master_run] phase) and
+    every slave pass (buffered and drained in task order when parallel).
+    [?retry] and [?deadline] are {!Campaign.run}'s task robustness
+    controls; a task that still ends [Crashed]/[Quarantined] surfaces
+    as [Invalid_argument] — attribution needs every per-source
+    verdict. *)
 val per_source :
   ?config:Engine.config -> ?jobs:int -> ?obs:Ldx_obs.Sink.t ->
+  ?retry:Campaign.retry_policy -> ?deadline:int ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> attribution list
 
 val source_to_string : Engine.source_spec -> string

@@ -1,4 +1,5 @@
-(* Campaign layer: one recorded master, N independent slave passes.
+(* Campaign layer: one recorded master, N independent slave passes —
+   durable, deadline-bounded, retried and quarantined.
 
    The per-source attribution follow-up (Sec. 3) and the
    mutation-strategy study (Sec. 8.3) both re-run a dual execution per
@@ -14,11 +15,21 @@
    from immutable inputs (the program, the world description, the frozen
    master log) and the VM scheduler is deterministically seeded, so a
    parallel campaign is byte-identical to a sequential one (asserted by
-   the property suite). *)
+   the property suite).
+
+   Durability: [?journal] persists a manifest (configuration
+   fingerprint + task list) and appends each outcome as the calling
+   domain collects it, through [Ldx_store.Store]'s checksummed
+   append-only format; [resume] replays journaled outcomes verbatim and
+   runs only the tasks that never made it to disk.  Outcome payloads
+   are [Marshal]ed [Engine.result]s (plain data, no closures), guarded
+   by the manifest fingerprint: a journal only ever replays into the
+   exact campaign shape that wrote it. *)
 
 module World = Ldx_osim.World
 module Ir = Ldx_cfg.Ir
 module Obs = Ldx_obs
+module Store = Ldx_store.Store
 
 (* Slave-side parameters only, by construction: anything expressible as
    a [slave_params] is sound to run against a shared master recording. *)
@@ -82,76 +93,262 @@ let of_scheds (c : Engine.config)
    bad task must not take down the fleet (nor, in the parallel path,
    lose every sibling's result).  Fuel exhaustion gets its own arm —
    the result is still meaningful (both sides' partial summaries are
-   there) but its verdict must not be trusted like a completed run's. *)
+   there) but its verdict must not be trusted like a completed run's.
+   [Timed_out] is the same fuel trap under a [?deadline] tighter than
+   the configured budget; [Quarantined] parks a task that crashed on
+   every attempt. *)
 type status =
   | Ok of Engine.result
   | Crashed of { exn : string; backtrace : string }
   | Fuel_exhausted of Engine.result
+  | Timed_out of Engine.result
+  | Quarantined of { exn : string; backtrace : string }
 
 type outcome = {
   params : slave_params;
   status : status;
+  attempts : int;
 }
 
 let status_class = function
   | Ok _ -> "ok"
   | Crashed _ -> "crashed"
   | Fuel_exhausted _ -> "fuel-exhausted"
+  | Timed_out _ -> "timed-out"
+  | Quarantined _ -> "quarantined"
 
 let result_of = function
-  | Ok r | Fuel_exhausted r -> Some r
-  | Crashed _ -> None
+  | Ok r | Fuel_exhausted r | Timed_out r -> Some r
+  | Crashed _ | Quarantined _ -> None
 
 let result_exn (o : outcome) : Engine.result =
   match o.status with
-  | Ok r | Fuel_exhausted r -> r
+  | Ok r | Fuel_exhausted r | Timed_out r -> r
   | Crashed { exn; _ } ->
     invalid_arg (Printf.sprintf "campaign task %s crashed: %s" o.params.label exn)
+  | Quarantined { exn; _ } ->
+    invalid_arg
+      (Printf.sprintf "campaign task %s quarantined: %s" o.params.label exn)
 
-(* Bounded retries for crashed/fuel-exhausted tasks.  Each retry re-runs
-   the task with [slave_seed + attempt * seed_jitter]: a transient
-   failure (schedule-dependent deadlock, fuel blow-up under an unlucky
-   interleaving) clears under a perturbed schedule, a deterministic one
-   reproduces — which is exactly the signal the retry count carries. *)
+(* Bounded retries for crashed/fuel-exhausted/timed-out tasks.  Retry
+   [k] (1-based) re-runs with [slave_seed + seed_jitter * stride k]:
+   linear when [backoff <= 1] (bit-identical to the historical policy),
+   else [backoff^(k-1)] — exponential backoff in seed space.  A
+   transient failure (schedule-dependent deadlock, fuel blow-up under
+   an unlucky interleaving) clears under a perturbed schedule, a
+   deterministic one reproduces — which is exactly the signal the
+   attempt count carries, and what [quarantine] acts on. *)
 type retry_policy = {
   max_retries : int;
   seed_jitter : int;
+  backoff : int;
+  fuel_budget : int option;
+  quarantine : bool;
 }
 
-let no_retries = { max_retries = 0; seed_jitter = 1 }
+let no_retries =
+  { max_retries = 0; seed_jitter = 1; backoff = 1; fuel_budget = None;
+    quarantine = false }
 
 type runner =
+  ?obs:Obs.Sink.t ->
   Engine.config -> Ir.program -> World.t -> Engine.master_out -> Engine.result
 
+let default_runner : runner =
+  fun ?obs cfg prog world mo -> Engine.run_with_master ?obs cfg prog world mo
+
+(* ---------- durable journal encoding ---------- *)
+
+(* Outcome payloads are hex so they survive the store's line format
+   unscathed; "-" stands for the empty string (hex of "" would vanish
+   between the separators). *)
+let to_hex (s : string) : string =
+  if s = "" then "-"
+  else begin
+    let b = Buffer.create (2 * String.length s) in
+    String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+    Buffer.contents b
+  end
+
+let of_hex (s : string) : string option =
+  if s = "-" then Some ""
+  else if String.length s mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init
+           (String.length s / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> None
+
+(* [Engine.result] is plain data (records, variants, strings, ints —
+   audited: no closures anywhere under it), so [Marshal] round-trips it
+   exactly; replaying a journaled outcome is verbatim, which is what
+   makes interrupted-then-resumed renders byte-identical. *)
+let encode_status (s : status) (attempts : int) : string =
+  let res tag (r : Engine.result) =
+    Printf.sprintf "%s %d %s" tag attempts (to_hex (Marshal.to_string r []))
+  in
+  let dead tag exn backtrace =
+    Printf.sprintf "%s %d %s %s" tag attempts (to_hex exn) (to_hex backtrace)
+  in
+  match s with
+  | Ok r -> res "ok" r
+  | Fuel_exhausted r -> res "fuel" r
+  | Timed_out r -> res "timeout" r
+  | Crashed { exn; backtrace } -> dead "crash" exn backtrace
+  | Quarantined { exn; backtrace } -> dead "quarantine" exn backtrace
+
+let decode_status (payload : string) : (status * int) option =
+  let result h k =
+    match of_hex h with
+    | None -> None
+    | Some m ->
+      (match (Marshal.from_string m 0 : Engine.result) with
+       | r -> Some (k r)
+       | exception _ -> None)
+  in
+  match String.split_on_char ' ' payload with
+  | [ tag; a; h ] -> (
+      match int_of_string_opt a with
+      | None -> None
+      | Some attempts -> (
+        match tag with
+        | "ok" -> result h (fun r -> (Ok r, attempts))
+        | "fuel" -> result h (fun r -> (Fuel_exhausted r, attempts))
+        | "timeout" -> result h (fun r -> (Timed_out r, attempts))
+        | _ -> None))
+  | [ tag; a; e; b ] -> (
+      match (int_of_string_opt a, of_hex e, of_hex b) with
+      | Some attempts, Some exn, Some backtrace -> (
+        match tag with
+        | "crash" -> Some (Crashed { exn; backtrace }, attempts)
+        | "quarantine" -> Some (Quarantined { exn; backtrace }, attempts)
+        | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* The configuration fingerprint a journal stores and [resume] checks.
+   Slave params, faults and scheduler specs are plain data (audited, as
+   for outcomes) and are hashed via [Marshal]; the one config field
+   that can hold a closure — [Custom_sinks] — contributes only its
+   constructor tag, so two campaigns differing solely in a custom sink
+   predicate fingerprint alike (documented in DESIGN.md: don't resume
+   across predicate changes). *)
+let sinks_tag : Engine.sink_config -> string = function
+  | Engine.Output_syscalls -> "output"
+  | Engine.Network_outputs -> "network"
+  | Engine.File_outputs -> "file"
+  | Engine.Attack_sinks -> "attack"
+  | Engine.Custom_sinks _ -> "custom"
+
+let fingerprint ?(retry = no_retries) ?deadline ~(config : Engine.config)
+    (prog : Ir.program) (world : World.t) (params : slave_params list) : string =
+  let m x = Marshal.to_string x [] in
+  Store.fingerprint
+    ([ "ldx-campaign/1";
+       m prog;
+       m world;
+       string_of_int config.Engine.master_seed;
+       string_of_int config.Engine.max_steps;
+       sinks_tag config.Engine.sinks;
+       m config.Engine.faults;
+       m config.Engine.master_sched;
+       string_of_bool config.Engine.record_sched;
+       (match deadline with None -> "-" | Some d -> string_of_int d);
+       Printf.sprintf "%d,%d,%d,%s,%b" retry.max_retries retry.seed_jitter
+         retry.backoff
+         (match retry.fuel_budget with None -> "-" | Some b -> string_of_int b)
+         retry.quarantine ]
+     @ List.map m params)
+
+(* ---------- one task ---------- *)
+
+let pow base e =
+  let r = ref 1 in
+  for _ = 1 to e do r := !r * base done;
+  !r
+
 (* Run one task under containment: exceptions become [Crashed], fuel
-   traps on either side become [Fuel_exhausted], retries (if any) are
-   attempted with jittered slave seeds.  This is the only place a slave
-   pass is invoked, so sequential and parallel campaigns contain
-   failures identically. *)
-let run_task ?(retry = no_retries) ~(runner : runner) (config : Engine.config)
-    (prog : Ir.program) (world : World.t) (mo : Engine.master_out)
-    (p : slave_params) : status =
-  let attempt_once (p : slave_params) : status =
-    match runner (apply config p) prog world mo with
+   traps become [Fuel_exhausted] (or [Timed_out] under a tightened
+   deadline), retries (if any) are attempted with jittered slave seeds
+   until the policy's count or fuel budget is spent.  This is the only
+   place a slave pass is invoked, so sequential and parallel campaigns
+   contain failures identically.  Returns the final status and the
+   number of runs performed. *)
+let run_task ~(retry : retry_policy) ?deadline ?obs ~(runner : runner)
+    (config : Engine.config) (prog : Ir.program) (world : World.t)
+    (mo : Engine.master_out) (p : slave_params) : status * int =
+  (* the deadline only ever LOWERS the slave's fuel; the master summary
+     comes from the recording, so master-side config agreement holds *)
+  let tightened =
+    match deadline with Some d -> d < config.Engine.max_steps | None -> false
+  in
+  let task_config p' =
+    let c = apply config p' in
+    if tightened then
+      { c with Engine.max_steps = Option.get deadline }
+    else c
+  in
+  (* one attempt's step cap — what a crashed run is charged against the
+     fuel budget (conservative: it may have died earlier) *)
+  let attempt_cap =
+    if tightened then Option.get deadline else config.Engine.max_steps
+  in
+  let attempt_once p' : status * int =
+    match runner ?obs (task_config p') prog world mo with
     | r ->
-      let fuel s = Engine.classify_trap s.Engine.trap = Engine.Fuel in
-      if fuel r.Engine.master || fuel r.Engine.slave then Fuel_exhausted r
-      else Ok r
+      let fuel (s : Engine.exec_summary) =
+        Engine.classify_trap s.Engine.trap = Engine.Fuel
+      in
+      let spent = r.Engine.slave.Engine.steps in
+      if fuel r.Engine.master then (Fuel_exhausted r, spent)
+      else if fuel r.Engine.slave then
+        ((if tightened then Timed_out r else Fuel_exhausted r), spent)
+      else (Ok r, spent)
     | exception e ->
       let backtrace = Printexc.get_backtrace () in
-      Crashed { exn = Printexc.to_string e; backtrace }
+      (Crashed { exn = Printexc.to_string e; backtrace }, attempt_cap)
   in
-  let rec go attempt =
+  let stride k = if retry.backoff <= 1 then k else pow retry.backoff (k - 1) in
+  let budget_left spent =
+    match retry.fuel_budget with None -> true | Some b -> spent < b
+  in
+  (* [attempt] counts retries already performed (0 = first run) *)
+  let rec go attempt spent all_crashed =
     let p' =
       if attempt = 0 then p
-      else { p with slave_seed = p.slave_seed + (attempt * retry.seed_jitter) }
+      else
+        { p with
+          slave_seed = p.slave_seed + (retry.seed_jitter * stride attempt) }
     in
-    match attempt_once p' with
-    | Ok _ as s -> s
-    | (Crashed _ | Fuel_exhausted _) as s ->
-      if attempt < retry.max_retries then go (attempt + 1) else s
+    let s, cost = attempt_once p' in
+    let spent = spent + cost in
+    let all_crashed =
+      all_crashed && (match s with Crashed _ -> true | _ -> false)
+    in
+    match s with
+    | Ok _ -> (s, attempt + 1)
+    | Crashed _ | Fuel_exhausted _ | Timed_out _ | Quarantined _ ->
+      if attempt < retry.max_retries && budget_left spent then
+        go (attempt + 1) spent all_crashed
+      else begin
+        let attempts = attempt + 1 in
+        let s =
+          match s with
+          | Crashed { exn; backtrace }
+            when retry.quarantine && all_crashed && attempts > 1 ->
+            (* the crash reproduced under a perturbed seed: it is
+               deterministic, park it *)
+            Quarantined { exn; backtrace }
+          | s -> s
+        in
+        (s, attempts)
+      end
   in
-  go 0
+  go 0 0 true
+
+(* ---------- parallel fan-out ---------- *)
 
 (* Below roughly this many master-pass steps, a slave pass is so short
    that [Domain.spawn]/[Domain.join] overhead and the contended work
@@ -160,32 +357,37 @@ let run_task ?(retry = no_retries) ~(runner : runner) (config : Engine.config)
    back to sequential under this break-even. *)
 let domain_break_even = 20_000
 
-(* Fan tasks out over [jobs] domains (the calling domain participates).
-   The work queue is a bounded atomic cursor over the task array, but
-   domains claim contiguous CHUNKS of ~n/(4*jobs) tasks per
-   fetch-and-add rather than single indexes: the contended atomic is
-   touched ~4 times per domain instead of once per task, while the 4x
-   over-decomposition keeps late-stage load balance when task costs are
-   uneven.  Each result slot is written by exactly one domain and read
-   only after the joins, which gives the necessary happens-before
-   edges.  [run_task] never raises, and the joins are under
-   [Fun.protect], so no domain can be leaked even if a worker or the
-   calling domain dies unexpectedly. *)
-let run_parallel ?retry ?(runner = (Engine.run_with_master ?obs:None : runner))
-    ~jobs (config : Engine.config) (prog : Ir.program) (world : World.t)
-    (mo : Engine.master_out) (tasks : slave_params array) : status array =
-  let n = Array.length tasks in
-  let results : status option array = Array.make n None in
-  let chunk = max 1 ((n + (4 * jobs) - 1) / (4 * jobs)) in
+(* Fan the missing tasks out over [jobs] domains (the calling domain
+   participates).  The work queue is a bounded atomic cursor over the
+   index array, but domains claim contiguous CHUNKS of ~k/(4*jobs)
+   tasks per fetch-and-add rather than single indexes: the contended
+   atomic is touched ~4 times per domain instead of once per task,
+   while the 4x over-decomposition keeps late-stage load balance when
+   task costs are uneven.  Each result slot is written by exactly one
+   domain and read only after the joins, which gives the necessary
+   happens-before edges.  [run_task] never raises, and the joins are
+   under [Fun.protect], so no domain can be leaked even if a worker or
+   the calling domain dies unexpectedly.
+
+   This lean path carries no sink and no journal; when either is
+   present [run_collected] is used instead. *)
+let run_parallel ~retry ?deadline ~runner ~jobs (config : Engine.config)
+    (prog : Ir.program) (world : World.t) (mo : Engine.master_out)
+    (tasks : slave_params array) (idxs : int array)
+    (results : (status * int) option array) : unit =
+  let k = Array.length idxs in
+  let chunk = max 1 ((k + (4 * jobs) - 1) / (4 * jobs)) in
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
       let lo = Atomic.fetch_and_add next chunk in
-      if lo < n then begin
-        let hi = min n (lo + chunk) in
-        for i = lo to hi - 1 do
+      if lo < k then begin
+        let hi = min k (lo + chunk) in
+        for j = lo to hi - 1 do
+          let i = idxs.(j) in
           results.(i) <-
-            Some (run_task ?retry ~runner config prog world mo tasks.(i))
+            Some (run_task ~retry ?deadline ~runner config prog world mo
+                    tasks.(i))
         done;
         loop ()
       end
@@ -198,7 +400,7 @@ let run_parallel ?retry ?(runner = (Engine.run_with_master ?obs:None : runner))
      run-to-run nondeterminism in campaign output *)
   let record_bt = Printexc.backtrace_status () in
   let spawned =
-    Array.init (min jobs n - 1) (fun _ ->
+    Array.init (min jobs k - 1) (fun _ ->
         Domain.spawn (fun () ->
             Printexc.record_backtrace record_bt;
             worker ()))
@@ -215,112 +417,303 @@ let run_parallel ?retry ?(runner = (Engine.run_with_master ?obs:None : runner))
            with e -> if !first_exn = None then first_exn := Some e)
         spawned;
       match !first_exn with Some e -> raise e | None -> ())
-    worker;
-  Array.map
-    (function
-      | Some s -> s
-      | None ->
-        (* unreachable when the claims above completed; defensive so a
-           future bug degrades to a recorded failure, not an abort *)
-        Crashed { exn = "task slot never claimed"; backtrace = "" })
-    results
+    worker
 
-let run ?(jobs = 1) ?(mode = `Auto) ?obs ?retry ?runner
+(* Parallel fan-out with a collecting domain: used whenever a sink or a
+   journal is present.  Worker domains run tasks with a PRIVATE
+   buffered sink each (an event list needs no domain safety) and post
+   (index, status, attempts, events) to a queue; the calling domain
+   collects, appending each outcome to the journal write-through AS IT
+   ARRIVES — so a kill at any point loses at most the in-flight tasks —
+   and, after the joins, drains the event buffers into the real sink in
+   task order.  Workers never touch the sink or the store. *)
+let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal
+    (config : Engine.config) (prog : Ir.program) (world : World.t)
+    (mo : Engine.master_out) (tasks : slave_params array) (idxs : int array)
+    (results : (status * int) option array) : unit =
+  let k = Array.length idxs in
+  let w = max 1 (min jobs k) in
+  let chunk = max 1 ((k + (4 * w) - 1) / (4 * w)) in
+  let next = Atomic.make 0 in
+  let q = Queue.create () in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let send msg =
+    Mutex.lock mu;
+    Queue.add msg q;
+    Condition.signal cond;
+    Mutex.unlock mu
+  in
+  let recv () =
+    Mutex.lock mu;
+    while Queue.is_empty q do Condition.wait cond mu done;
+    let msg = Queue.pop q in
+    Mutex.unlock mu;
+    msg
+  in
+  let buffered = obs <> None in
+  let worker () =
+    let rec loop () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo < k then begin
+        let hi = min k (lo + chunk) in
+        for j = lo to hi - 1 do
+          let i = idxs.(j) in
+          let buf = ref [] in
+          let task_obs =
+            if buffered then Some (Obs.Sink.of_fn (fun ev -> buf := ev :: !buf))
+            else None
+          in
+          let s, a =
+            run_task ~retry ?deadline ?obs:task_obs ~runner config prog world
+              mo tasks.(i)
+          in
+          send (`Result (i, s, a, List.rev !buf))
+        done;
+        loop ()
+      end
+    in
+    (* a worker that dies outside the per-task containment must still
+       announce itself, or the collector would wait forever *)
+    (match loop () with
+     | () -> send (`Exit None)
+     | exception e -> send (`Exit (Some e)))
+  in
+  let record_bt = Printexc.backtrace_status () in
+  let spawned =
+    Array.init w (fun _ ->
+        Domain.spawn (fun () ->
+            Printexc.record_backtrace record_bt;
+            worker ()))
+  in
+  let events : Obs.Event.t list array = Array.make (Array.length tasks) [] in
+  let worker_exn = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      let first_exn = ref None in
+      Array.iter
+        (fun d ->
+           try Domain.join d
+           with e -> if !first_exn = None then first_exn := Some e)
+        spawned;
+      match !first_exn with Some e -> raise e | None -> ())
+    (fun () ->
+       let exited = ref 0 in
+       while !exited < w do
+         match recv () with
+         | `Result (i, s, a, evs) ->
+           results.(i) <- Some (s, a);
+           events.(i) <- evs;
+           Option.iter (fun t -> Store.append t i (encode_status s a)) journal
+         | `Exit e ->
+           incr exited;
+           (match e with
+            | Some e when !worker_exn = None -> worker_exn := Some e
+            | _ -> ())
+       done);
+  (* satellite invariant: every slave-pass event reaches the sink, in
+     task order, from this (the collecting) domain *)
+  Array.iter (fun evs -> List.iter (Obs.Sink.emit_opt obs) evs) events;
+  match !worker_exn with Some e -> raise e | None -> ()
+
+(* ---------- the campaign ---------- *)
+
+let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal
+    ~(pre : (int * (status * int)) list) ~(pre_raw : (int * string) list)
     ~(config : Engine.config) (prog : Ir.program) (world : World.t)
     (params : slave_params list) : outcome list =
-  let runner : runner =
-    match runner with
-    | Some r -> r
-    | None -> fun cfg prog world mo -> Engine.run_with_master ?obs cfg prog world mo
-  in
-  let mo =
-    Obs.Sink.emit_opt obs (Obs.Event.Phase_begin Obs.Event.Master_run);
-    Fun.protect
-      ~finally:(fun () ->
-        Obs.Sink.emit_opt obs (Obs.Event.Phase_end Obs.Event.Master_run))
-      (fun () -> Engine.master_pass ?obs config prog world)
-  in
-  let ntasks = List.length params in
-  (* mode resolution.  [`Auto] goes parallel only when it can plausibly
-     win: more than one job AND task, a host with more than one
-     recommended domain, and slave passes long enough (estimated by the
-     master pass's step count — a slave pass replays the same program)
-     to amortise domain spawn/join overhead. *)
-  let parallel =
-    jobs > 1 && ntasks > 1
-    && (match mode with
-        | `Sequential -> false
-        | `Parallel -> true
-        | `Auto ->
-          Domain.recommended_domain_count () > 1
-          && mo.Engine.msummary.Engine.steps >= domain_break_even)
-  in
-  Obs.Sink.emit_opt obs
-    (Obs.Event.Campaign_plan
-       { mode = (if parallel then "parallel" else "sequential");
-         jobs = (if parallel then jobs else 1);
-         tasks = ntasks;
-         est_steps = mo.Engine.msummary.Engine.steps });
-  let outs =
-    if not parallel then
-      List.map
-        (fun p ->
-           { params = p;
-             status = run_task ?retry ~runner config prog world mo p })
-        params
-    else begin
-      (* the observability sink is not required to be domain-safe, so the
-         parallel path records the master only; results are unaffected
-         (observation never perturbs the engine).  The parallel runner
-         drops the sink for the same reason. *)
-      let runner : runner =
-        match obs with
-        | None -> runner
-        | Some _ -> fun cfg prog world mo ->
-          Engine.run_with_master ?obs:None cfg prog world mo
+  let runner = Option.value runner ~default:default_runner in
+  let tasks = Array.of_list params in
+  let n = Array.length tasks in
+  let results : (status * int) option array = Array.make n None in
+  let fresh = Array.make n false in
+  List.iter
+    (fun (i, sa) -> if i >= 0 && i < n then results.(i) <- Some sa)
+    pre;
+  let missing = List.filter (fun i -> results.(i) = None) (List.init n Fun.id) in
+  (* checkpoint the manifest (and any replayed outcomes) via atomic
+     rename BEFORE any task runs: a fresh run becomes resumable
+     immediately, a resumed run heals its torn tail on disk *)
+  let store =
+    match journal with
+    | None -> None
+    | Some path ->
+      let manifest =
+        { Store.fingerprint =
+            fingerprint ~retry ?deadline ~config prog world params;
+          meta = [ ("tasks", string_of_int n) ];
+          tasks = Array.to_list (Array.map (fun p -> p.label) tasks) }
       in
-      let tasks = Array.of_list params in
-      let statuses = run_parallel ?retry ~runner ~jobs config prog world mo tasks in
-      List.mapi (fun i p -> { params = p; status = statuses.(i) }) params
-    end
+      let t = Store.checkpoint ~path manifest pre_raw in
+      Obs.Sink.emit_opt obs
+        (Obs.Event.Checkpoint
+           { path; tasks = n; journaled = List.length pre_raw });
+      Some t
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Store.close store) @@ fun () ->
+  (if missing <> [] then begin
+     (* ONE master pass, shared by every slave task still to run; when
+        everything replays from the journal even this is skipped *)
+     let mo =
+       Obs.Sink.emit_opt obs (Obs.Event.Phase_begin Obs.Event.Master_run);
+       Fun.protect
+         ~finally:(fun () ->
+           Obs.Sink.emit_opt obs (Obs.Event.Phase_end Obs.Event.Master_run))
+         (fun () -> Engine.master_pass ?obs config prog world)
+     in
+     let nmiss = List.length missing in
+     (* mode resolution.  [`Auto] goes parallel only when it can
+        plausibly win: more than one job AND missing task, a host with
+        more than one recommended domain, and slave passes long enough
+        (estimated by the master pass's step count — a slave pass
+        replays the same program) to amortise domain spawn/join
+        overhead. *)
+     let parallel =
+       jobs > 1 && nmiss > 1
+       && (match mode with
+           | `Sequential -> false
+           | `Parallel -> true
+           | `Auto ->
+             Domain.recommended_domain_count () > 1
+             && mo.Engine.msummary.Engine.steps >= domain_break_even)
+     in
+     Obs.Sink.emit_opt obs
+       (Obs.Event.Campaign_plan
+          { mode = (if parallel then "parallel" else "sequential");
+            jobs = (if parallel then jobs else 1);
+            tasks = nmiss;
+            est_steps = mo.Engine.msummary.Engine.steps });
+     let idxs = Array.of_list missing in
+     if not parallel then
+       Array.iter
+         (fun i ->
+            let s, a =
+              run_task ~retry ?deadline ?obs ~runner config prog world mo
+                tasks.(i)
+            in
+            results.(i) <- Some (s, a);
+            Option.iter (fun t -> Store.append t i (encode_status s a)) store)
+         idxs
+     else if obs = None && store = None then
+       run_parallel ~retry ?deadline ~runner ~jobs config prog world mo tasks
+         idxs results
+     else
+       run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal:store config
+         prog world mo tasks idxs results;
+     Array.iter (fun i -> fresh.(i) <- true) idxs
+   end);
+  let outs =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+            match results.(i) with
+            | Some (status, attempts) -> { params = p; status; attempts }
+            | None ->
+              (* unreachable when the claims above completed; defensive
+                 so a future bug degrades to a recorded failure, not an
+                 abort *)
+              { params = p;
+                status =
+                  Crashed { exn = "task slot never claimed"; backtrace = "" };
+                attempts = 0 })
+         tasks)
   in
   (* task fates are emitted from the calling domain, after collection,
-     so the sink never sees concurrent emissions *)
-  List.iter
-    (fun o ->
+     so the sink never sees concurrent emissions; [Quarantine] fires
+     only for freshly-parked tasks (replayed ones announced it in the
+     run that journaled them) *)
+  List.iteri
+    (fun i o ->
        Obs.Sink.emit_opt obs
          (Obs.Event.Task_done
             { label = o.params.label;
               status = status_class o.status;
+              attempts = o.attempts;
               exn =
                 (match o.status with
-                 | Crashed { exn; _ } -> Some exn
-                 | Ok _ | Fuel_exhausted _ -> None) }))
+                 | Crashed { exn; _ } | Quarantined { exn; _ } -> Some exn
+                 | Ok _ | Fuel_exhausted _ | Timed_out _ -> None) });
+       match o.status with
+       | Quarantined { exn; _ } when fresh.(i) ->
+         Obs.Sink.emit_opt obs
+           (Obs.Event.Quarantine
+              { label = o.params.label; attempts = o.attempts; exn })
+       | _ -> ())
     outs;
   outs
+
+let run ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
+    ?runner ?journal ~(config : Engine.config) (prog : Ir.program)
+    (world : World.t) (params : slave_params list) : outcome list =
+  run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~pre:[]
+    ~pre_raw:[] ~config prog world params
+
+let resume ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
+    ?runner ~journal ~(config : Engine.config) (prog : Ir.program)
+    (world : World.t) (params : slave_params list) :
+  (outcome list, string) result =
+  match Store.load ~path:journal with
+  | Error e -> Error e
+  | Ok loaded ->
+    let fp = fingerprint ~retry ?deadline ~config prog world params in
+    if loaded.Store.l_manifest.Store.fingerprint <> fp then
+      Error
+        (Printf.sprintf
+           "%s: fingerprint mismatch (journal %s, campaign %s): the journal \
+            was written by a different campaign"
+           journal loaded.Store.l_manifest.Store.fingerprint fp)
+    else begin
+      let n = List.length params in
+      (* replay verbatim: keep the journal's own payload strings for the
+         re-checkpoint so nothing is re-encoded along the way *)
+      let pre_raw, pre =
+        List.fold_left
+          (fun (raw, dec) (i, payload) ->
+             if i < 0 || i >= n then (raw, dec)
+             else
+               match decode_status payload with
+               | Some sa -> ((i, payload) :: raw, (i, sa) :: dec)
+               | None -> (raw, dec))
+          ([], []) loaded.Store.l_outcomes
+      in
+      let pre_raw = List.rev pre_raw and pre = List.rev pre in
+      Obs.Sink.emit_opt obs
+        (Obs.Event.Resume
+           { path = journal;
+             tasks = n;
+             replayed = List.length pre;
+             rerun = n - List.length pre;
+             torn = loaded.Store.l_torn });
+      Ok
+        (run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner
+           ~journal:(Some journal) ~pre ~pre_raw ~config prog world params)
+    end
 
 let render (outs : outcome list) : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "%-24s %-14s %-18s %8s %8s %8s %6s\n" "task" "status"
-       "failure" "mutated" "diffs" "tainted" "leak");
+    (Printf.sprintf "%-24s %-14s %-18s %4s %8s %8s %8s %6s\n" "task" "status"
+       "failure" "att" "mutated" "diffs" "tainted" "leak");
   List.iter
     (fun o ->
        match o.status with
-       | Crashed { exn; _ } ->
+       | Crashed { exn; _ } | Quarantined { exn; _ } ->
          Buffer.add_string buf
-           (Printf.sprintf "%-24s %-14s %-18s %8s %8s %8s %6s  %s\n"
-              o.params.label "crashed" "-" "-" "-" "-" "-" exn)
-       | Ok r | Fuel_exhausted r ->
+           (Printf.sprintf "%-24s %-14s %-18s %4d %8s %8s %8s %6s  %s\n"
+              o.params.label (status_class o.status) "-" o.attempts "-" "-" "-"
+              "-" exn)
+       | Ok r | Fuel_exhausted r | Timed_out r ->
          (* per-side failure classes, e.g. "ok/fuel" for a healthy
             master whose slave ran out of budget *)
-         let cls s = Engine.(failure_class_to_string (classify_trap s.Engine.trap)) in
+         let cls s =
+           Engine.(failure_class_to_string (classify_trap s.Engine.trap))
+         in
          let failure =
            Printf.sprintf "%s/%s" (cls r.Engine.master) (cls r.Engine.slave)
          in
          Buffer.add_string buf
-           (Printf.sprintf "%-24s %-14s %-18s %8d %8d %8d %6b\n"
-              o.params.label (status_class o.status) failure
+           (Printf.sprintf "%-24s %-14s %-18s %4d %8d %8d %8d %6b\n"
+              o.params.label (status_class o.status) failure o.attempts
               r.Engine.mutated_inputs r.Engine.syscall_diffs
               r.Engine.tainted_sinks r.Engine.leak))
     outs;

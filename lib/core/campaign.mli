@@ -1,5 +1,5 @@
 (** Campaign layer: one recorded master pass, N independent slave
-    passes.
+    passes — durable, deadline-bounded, retried and quarantined.
 
     [Engine.master_pass] never reads the slave-only configuration
     fields ([sources], [strategy], [slave_seed], [record_trace]), and a
@@ -13,9 +13,17 @@
     so a parallel campaign is byte-identical to a sequential one (a
     property-suite invariant).
 
+    On top of the fan-out sit the durability controls of long-running
+    campaigns ({!run}'s [?journal], {!resume}, [?deadline], the
+    generalized {!retry_policy}): a campaign interrupted at {e any}
+    point — even mid-[write(2)] — resumes from its journal re-running
+    only the tasks whose outcomes were never durably recorded, and
+    renders byte-identically to an uninterrupted run.
+
     This is the substrate for per-source attribution
     ({!Attribute.per_source}), mutation-strategy sweeps
-    ([ldx_run --sweep-strategies]) and slave-seed sweeps. *)
+    ([ldx_run --sweep-strategies]), slave-seed sweeps, and the
+    ROADMAP's archive-backed campaign service. *)
 
 (** Slave-side parameters only, by construction: anything expressible
     as a [slave_params] is sound to run against a shared master
@@ -57,55 +65,87 @@ val of_scheds :
 (** A task's fate.  A raising slave pass is recorded as [Crashed] — one
     bad task never takes down the fleet or loses sibling results.
     [Fuel_exhausted] carries the (partial) result of a run whose master
-    or slave trapped on the step budget: the numbers are real, the
-    leak verdict is not trustworthy. *)
+    or slave trapped on the step budget: the numbers are real, the leak
+    verdict is not trustworthy.  [Timed_out] is the same fuel trap
+    fired by a {e task deadline} ([?deadline] below) tighter than the
+    configured budget — a runaway task was cut off, deterministically,
+    with no wall-clock involved.  [Quarantined] parks a task that
+    crashed on its first run {e and} on every retry: the failure is
+    deterministic, re-running it is waste, and the fleet moves on. *)
 type status =
   | Ok of Engine.result
   | Crashed of { exn : string; backtrace : string }
   | Fuel_exhausted of Engine.result
+  | Timed_out of Engine.result
+  | Quarantined of { exn : string; backtrace : string }
 
 type outcome = {
   params : slave_params;
   status : status;
+  attempts : int;  (** runs performed: 1 = first try, n > 1 = retried *)
 }
 
-(** ["ok"], ["crashed"] or ["fuel-exhausted"] — the [Task_done] event
-    vocabulary. *)
+(** ["ok"], ["crashed"], ["fuel-exhausted"], ["timed-out"] or
+    ["quarantined"] — the [Task_done] event vocabulary. *)
 val status_class : status -> string
 
-(** The result, if the task produced one ([Ok] or [Fuel_exhausted]). *)
+(** The result, if the task produced one ([Ok], [Fuel_exhausted] or
+    [Timed_out]). *)
 val result_of : status -> Engine.result option
 
 (** The result of a completed task.
-    @raise Invalid_argument on [Crashed] outcomes. *)
+    @raise Invalid_argument on [Crashed]/[Quarantined] outcomes. *)
 val result_exn : outcome -> Engine.result
 
-(** Bounded retries for crashed/fuel-exhausted tasks: attempt [k]
-    (1-based) re-runs with [slave_seed + k * seed_jitter], so transient
-    (schedule-dependent) failures clear under a perturbed schedule while
-    deterministic ones reproduce. *)
+(** Bounded retries for crashed, fuel-exhausted and timed-out tasks.
+    Attempt [k] (1-based) re-runs with
+    [slave_seed + seed_jitter * stride k], where [stride k] is [k]
+    when [backoff <= 1] (the legacy linear jitter) and
+    [backoff^(k-1)] otherwise — exponential backoff in {e seed space},
+    the derandomized analogue of backoff in time: transient
+    (schedule-dependent) failures clear under an increasingly perturbed
+    schedule while deterministic ones reproduce.
+
+    [fuel_budget] caps the {e cumulative} VM steps a task may spend
+    across all its attempts (slave steps for completed runs; the
+    per-attempt step cap, conservatively, for crashed ones).  Once
+    spent, no further retries are attempted — a pathological task
+    cannot multiply its cost unbounded through the retry loop.
+
+    [quarantine] parks a task whose every attempt crashed (at least
+    one retry was performed, so the crash reproduced under a perturbed
+    seed) as [Quarantined] instead of [Crashed] — surfaced in
+    {!render}, the [campaign.quarantined] metrics counter and a
+    [Quarantine] event. *)
 type retry_policy = {
   max_retries : int;   (** 0 = fail fast (the default) *)
   seed_jitter : int;
+  backoff : int;       (** jitter growth base; [<= 1] = linear (legacy) *)
+  fuel_budget : int option;
+      (** cumulative per-task step cap across attempts; [None] = off *)
+  quarantine : bool;   (** park deterministic crashers *)
 }
 
 val no_retries : retry_policy
 
 (** How a task turns a config into a result; defaults to
     {!Engine.run_with_master}.  Overridable for fault-tolerance tests
-    (inject a raising runner) and custom replay pipelines. *)
+    (inject a raising runner) and custom replay pipelines.  [?obs] is
+    the task-private sink the parallel path threads through
+    (see {!run}); custom runners may ignore it. *)
 type runner =
+  ?obs:Ldx_obs.Sink.t ->
   Engine.config -> Ldx_cfg.Ir.program -> Ldx_osim.World.t ->
   Engine.master_out -> Engine.result
 
-(** [run ~jobs ?mode ?obs ?retry ?runner ~config prog world params]
-    records one master pass under [config]'s master-side fields, then
-    runs one slave pass per task under per-task exception containment.
-    Parallel execution fans tasks out over [min jobs (length params)]
-    domains claiming chunked ranges off a shared atomic cursor, every
-    domain always joined ([Fun.protect]) even on unexpected worker
-    death.  Outcomes are returned in task order either way, with
-    identical statuses (a property-suite invariant).
+(** [run ~jobs ?mode ?obs ?retry ?deadline ?runner ?journal ~config
+    prog world params] records one master pass under [config]'s
+    master-side fields, then runs one slave pass per task under
+    per-task exception containment.  Parallel execution fans tasks out
+    over a domain pool claiming chunked ranges off a shared atomic
+    cursor, every domain always joined ([Fun.protect]) even on
+    unexpected worker death.  Outcomes are returned in task order
+    either way, with identical statuses (a property-suite invariant).
 
     [?mode] selects the execution path.  The default [`Auto] goes
     parallel only when [jobs > 1], there is more than one task, the
@@ -118,19 +158,71 @@ type runner =
     [Campaign_plan] event and lands in the [campaign.mode.<mode>]
     metrics counter.
 
+    [?deadline] bounds each {e task} (not the campaign) to that many
+    VM steps per slave pass, re-using the engine's in-quantum fuel
+    check — no wall clocks, so a deadline is bit-deterministic.  A
+    task cut off by a deadline tighter than [config.max_steps] is
+    [Timed_out].
+
+    [?journal] opens a durable journal at that path: the campaign
+    manifest (configuration fingerprint, program/world hashes, task
+    list) is checkpointed via atomic rename before any task runs, and
+    each task's outcome is appended — checksummed and flushed — as the
+    collecting domain receives it.  A campaign killed at any point
+    resumes via {!resume}.
+
     [?obs] observes the master pass (bracketed in [Master_run] phase
-    events) and, in the sequential case, every slave pass too; the
-    parallel path does not thread the sink through slave passes because
-    a sink is not required to be domain-safe.  Task fates are emitted
-    as [Task_done] events from the calling domain after collection. *)
+    events) and every slave pass: sequentially by direct threading; in
+    parallel, each task gets a {e private buffered sink} and the
+    collecting domain drains the buffers in task order after the
+    joins, so the sink needs no domain safety and still sees every
+    slave-pass event.  Task fates are emitted as [Task_done] (and
+    [Quarantine]) events from the collecting domain, per task, in
+    task order. *)
 val run :
   ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
-  ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?runner:runner ->
+  ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?deadline:int ->
+  ?runner:runner -> ?journal:string ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   outcome list
 
+(** [resume ~journal ...] continues a campaign from a {!run}-written
+    journal: it validates that the journal's configuration fingerprint
+    matches the given config/program/world/tasks (and retry/deadline
+    controls), drops any torn tail, replays the journaled outcomes
+    {e verbatim}, and runs only the missing tasks (skipping even the
+    master pass when nothing is missing).  The journal is re-
+    checkpointed (atomic rename) so the torn tail is healed on disk,
+    then newly-run outcomes are appended write-through as in {!run}.
+
+    Killed-at-any-point + resume renders byte-identically to an
+    uninterrupted run (pinned by the property suite at [jobs] 1
+    and 4).
+
+    [Error] when the journal is unreadable, corrupt in its manifest
+    section, or fingerprint-mismatched (the journaled outcomes were
+    recorded under a different configuration and replaying them would
+    be unsound). *)
+val resume :
+  ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
+  ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?deadline:int ->
+  ?runner:runner -> journal:string ->
+  config:Engine.config ->
+  Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
+  (outcome list, string) result
+
+(** The configuration fingerprint {!run} stores and {!resume} checks:
+    a digest over the program, the world, the master-side config
+    fields, every task's slave parameters, and the retry/deadline
+    controls.  Exposed for tools that want to check resumability
+    without loading the engine. *)
+val fingerprint :
+  ?retry:retry_policy -> ?deadline:int ->
+  config:Engine.config ->
+  Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list -> string
+
 (** Fixed-width summary table of a campaign's outcomes, including each
-    task's status and per-side failure classes
+    task's final status, attempt count and per-side failure classes
     ({!Engine.failure_class}). *)
 val render : outcome list -> string

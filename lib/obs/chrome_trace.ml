@@ -10,6 +10,10 @@ let pid_slave = 2
    below the per-thread tracks. *)
 let tid_sched = 999
 
+(* Journal lane on the engine track: checkpoint/resume/quarantine
+   instants of the campaign durability layer. *)
+let tid_journal = 998
+
 let pid_of_side = function
   | Event.Master -> pid_master
   | Event.Slave -> pid_slave
@@ -130,13 +134,14 @@ let of_events (events : Event.t list) : Json.t =
                :: args
                     [ ("site", Json.Int site);
                       ("action", Json.Str action) ]))
-       | Event.Task_done { label; status; exn } ->
+       | Event.Task_done { label; status; attempts; exn } ->
          emit
            (obj ~name:("task " ^ label) ~cat:"campaign" ~ph:"i" ~ts:!now
               ~pid:pid_engine ~tid:0
               (("s", Json.Str "p")
                :: args
                     [ ("status", Json.Str status);
+                      ("attempts", Json.Int attempts);
                       ( "exn",
                         match exn with
                         | Some e -> Json.Str e
@@ -173,6 +178,37 @@ let of_events (events : Event.t list) : Json.t =
                     [ ("jobs", Json.Int jobs);
                       ("tasks", Json.Int tasks);
                       ("est_steps", Json.Int est_steps) ]))
+       | Event.Checkpoint { path; tasks; journaled } ->
+         lane pid_engine tid_journal;
+         emit
+           (obj ~name:"checkpoint" ~cat:"journal" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:tid_journal
+              (("s", Json.Str "t")
+               :: args
+                    [ ("path", Json.Str path);
+                      ("tasks", Json.Int tasks);
+                      ("journaled", Json.Int journaled) ]))
+       | Event.Resume { path; tasks; replayed; rerun; torn } ->
+         lane pid_engine tid_journal;
+         emit
+           (obj ~name:"resume" ~cat:"journal" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:tid_journal
+              (("s", Json.Str "t")
+               :: args
+                    [ ("path", Json.Str path);
+                      ("tasks", Json.Int tasks);
+                      ("replayed", Json.Int replayed);
+                      ("rerun", Json.Int rerun);
+                      ("torn", Json.Int torn) ]))
+       | Event.Quarantine { label; attempts; exn } ->
+         lane pid_engine tid_journal;
+         emit
+           (obj ~name:("quarantine " ^ label) ~cat:"journal" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:tid_journal
+              (("s", Json.Str "t")
+               :: args
+                    [ ("attempts", Json.Int attempts);
+                      ("exn", Json.Str exn) ]))
        | Event.Os_call _ | Event.Cnt_sample _ -> ()
        | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
          ->
@@ -211,6 +247,7 @@ let of_events (events : Event.t list) : Json.t =
                  [ ( "name",
                      Json.Str
                        (if tid = tid_sched then "sched"
+                        else if tid = tid_journal then "journal"
                         else Printf.sprintf "thread %d" tid) ) ] ) ]))
   in
   Json.Obj

@@ -90,7 +90,12 @@ type t =
       trap : string option;
     }
   | Fault_injected of { side : side; sys : string; site : int; action : string }
-  | Task_done of { label : string; status : string; exn : string option }
+  | Task_done of {
+      label : string;
+      status : string;
+      attempts : int;
+      exn : string option;
+    }
   | Schedule_decision of {
       side : side;
       index : int;
@@ -101,6 +106,15 @@ type t =
     }
   | Preemption of { side : side; index : int; chosen : int; ts : int }
   | Campaign_plan of { mode : string; jobs : int; tasks : int; est_steps : int }
+  | Checkpoint of { path : string; tasks : int; journaled : int }
+  | Resume of {
+      path : string;
+      tasks : int;
+      replayed : int;
+      rerun : int;
+      torn : int;
+    }
+  | Quarantine of { label : string; attempts : int; exn : string }
 
 let to_string = function
   | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
@@ -132,8 +146,8 @@ let to_string = function
       (match trap with None -> "" | Some m -> " trap=" ^ m)
   | Fault_injected { side; sys; site; action } ->
     Printf.sprintf "fault %s %s@%d %s" (side_to_string side) sys site action
-  | Task_done { label; status; exn } ->
-    Printf.sprintf "task-done %s %s%s" label status
+  | Task_done { label; status; attempts; exn } ->
+    Printf.sprintf "task-done %s %s attempts=%d%s" label status attempts
       (match exn with None -> "" | Some e -> " exn=" ^ e)
   | Schedule_decision { side; index; chosen; runnable; quantum; ts } ->
     Printf.sprintf "sched %s #%d t%d of %d q=%d ts=%d" (side_to_string side)
@@ -144,3 +158,10 @@ let to_string = function
   | Campaign_plan { mode; jobs; tasks; est_steps } ->
     Printf.sprintf "campaign-plan %s jobs=%d tasks=%d est=%d" mode jobs tasks
       est_steps
+  | Checkpoint { path; tasks; journaled } ->
+    Printf.sprintf "checkpoint %s tasks=%d journaled=%d" path tasks journaled
+  | Resume { path; tasks; replayed; rerun; torn } ->
+    Printf.sprintf "resume %s tasks=%d replayed=%d rerun=%d torn=%d" path
+      tasks replayed rerun torn
+  | Quarantine { label; attempts; exn } ->
+    Printf.sprintf "quarantine %s attempts=%d exn=%s" label attempts exn

@@ -127,7 +127,10 @@ type t =
     }
   | Task_done of {
       label : string;          (** campaign task label *)
-      status : string;         (** ["ok"], ["crashed"] or ["fuel-exhausted"] *)
+      status : string;
+          (** ["ok"], ["crashed"], ["fuel-exhausted"], ["timed-out"] or
+              ["quarantined"] *)
+      attempts : int;          (** runs performed (1 = no retries) *)
       exn : string option;     (** the exception, for crashed tasks *)
     }
   | Schedule_decision of {
@@ -149,6 +152,23 @@ type t =
       jobs : int;              (** effective worker domains *)
       tasks : int;
       est_steps : int;         (** per-task cost estimate (master steps) *)
+    }
+  | Checkpoint of {
+      path : string;           (** journal file *)
+      tasks : int;             (** tasks in the manifest *)
+      journaled : int;         (** outcomes persisted at checkpoint *)
+    }
+  | Resume of {
+      path : string;
+      tasks : int;
+      replayed : int;          (** outcomes replayed verbatim *)
+      rerun : int;             (** tasks re-run (never journaled) *)
+      torn : int;              (** torn-tail records dropped on load *)
+    }
+  | Quarantine of {
+      label : string;          (** the parked task *)
+      attempts : int;          (** every one of which crashed *)
+      exn : string;            (** the final attempt's exception *)
     }
 
 (** Short human-readable rendering (debug sinks, logs). *)

@@ -55,7 +55,13 @@ let absorb t (ev : Event.t) =
       | None -> action
     in
     Metrics.incr m ("faults." ^ kind)
-  | Event.Task_done { status; _ } -> Metrics.incr m ("campaign." ^ status)
+  | Event.Task_done { status; attempts; _ } ->
+    Metrics.incr m ("campaign." ^ status);
+    (* retries = attempts beyond the first; tasks that needed any *)
+    if attempts > 1 then begin
+      Metrics.incr m "retry.tasks";
+      Metrics.add m "retry.attempts" (attempts - 1)
+    end
   | Event.Schedule_decision { side; runnable; quantum; _ } ->
     Metrics.incr m (side_key "sched.decisions" side);
     Metrics.observe m (side_key "sched.runnable" side) runnable;
@@ -66,6 +72,17 @@ let absorb t (ev : Event.t) =
     Metrics.incr m ("campaign.mode." ^ mode);
     Metrics.set m "campaign.jobs" jobs;
     Metrics.set m "campaign.tasks" tasks
+  | Event.Checkpoint { journaled; _ } ->
+    Metrics.incr m "store.checkpoints";
+    Metrics.set m "store.journaled" journaled
+  | Event.Resume { replayed; rerun; torn; _ } ->
+    Metrics.incr m "store.resumes";
+    Metrics.add m "store.replayed" replayed;
+    Metrics.add m "store.rerun" rerun;
+    if torn > 0 then Metrics.add m "store.torn" torn
+  | Event.Quarantine { attempts; _ } ->
+    Metrics.incr m "retry.quarantines";
+    Metrics.observe m "retry.attempts_at_quarantine" attempts
 
 let sink t =
   Sink.of_fn

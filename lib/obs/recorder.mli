@@ -19,7 +19,15 @@
     - [failures.<side>.<class>] — trap taxonomy per side
       ({!Event.trap_class}: fuel, deadlock, os-error, vm-trap);
     - [campaign.<status>] — campaign task outcomes (ok, crashed,
-      fuel-exhausted);
+      fuel-exhausted, timed-out, quarantined);
+    - [retry.tasks] / [retry.attempts] — tasks that needed any retry,
+      and total retries performed; [retry.quarantines] — tasks parked
+      after crashing on every attempt;
+    - [store.checkpoints] / [store.resumes] — journal checkpoints
+      written and resumes performed, with [store.journaled] (outcomes
+      persisted at the last checkpoint), [store.replayed] /
+      [store.rerun] (resume work split) and [store.torn] (torn-tail
+      records dropped on load);
     - [campaign.mode.<mode>] — execution mode the campaign chose
       (sequential, parallel), with [campaign.jobs] / [campaign.tasks]
       gauges;

@@ -1,0 +1,231 @@
+(* Durable journaled storage.  See the interface for the format
+   grammar and the checkpoint/append durability discipline. *)
+
+let header = "ldx-store/1"
+
+(* ------------------------------------------------------------------ *)
+(* Checksums and fingerprints.                                         *)
+
+(* FNV-1a 64-bit: tiny, dependency-free, and plenty for torn-write
+   detection — the threat model is a half-written line after a crash,
+   not an adversary forging collisions. *)
+let fnv64 (s : string) : int64 =
+  let offset_basis = 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+       h := Int64.logxor !h (Int64.of_int (Char.code c));
+       h := Int64.mul !h prime)
+    s;
+  !h
+
+let hash_hex s = Printf.sprintf "%016Lx" (fnv64 s)
+
+(* Length-prefixing keeps part boundaries significant, so moving bytes
+   between adjacent parts always changes the digest. *)
+let fingerprint (parts : string list) : string =
+  hash_hex
+    (String.concat ""
+       (List.map (fun p -> string_of_int (String.length p) ^ ":" ^ p) parts))
+
+let escape = String.escaped
+
+let unescape (s : string) : (string, string) result =
+  match Scanf.unescaped s with
+  | v -> Ok v
+  | exception Scanf.Scan_failure m -> Error ("bad escape: " ^ m)
+  | exception Failure m -> Error ("bad escape: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Records.                                                            *)
+
+type manifest = {
+  fingerprint : string;
+  meta : (string * string) list;
+  tasks : string list;
+}
+
+(* One checksummed line: "<tag> <crc> <rest>" with crc = fnv64(rest).
+   [rest] must be newline-free (payloads are escaped by the caller of
+   [record]). *)
+let record tag rest = Printf.sprintf "%c %s %s\n" tag (hash_hex rest) rest
+
+let outcome_line index payload =
+  record 'o' (Printf.sprintf "%d %s" index (escape payload))
+
+let manifest_lines (m : manifest) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("# " ^ header ^ "\n");
+  Buffer.add_string buf ("f " ^ m.fingerprint ^ "\n");
+  List.iter
+    (fun (k, v) ->
+       if String.contains k ' ' then
+         invalid_arg "Store: manifest keys must not contain spaces";
+       Buffer.add_string buf (record 'm' (k ^ " " ^ escape v)))
+    m.meta;
+  List.iteri
+    (fun i label ->
+       Buffer.add_string buf (record 't' (string_of_int i ^ " " ^ escape label)))
+    m.tasks;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Writing.                                                            *)
+
+type t = {
+  path : string;
+  mutable oc : out_channel option;
+}
+
+let checkpoint ~path (m : manifest) (outcomes : (int * string) list) : t =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      output_string oc (manifest_lines m);
+      List.iter
+        (fun (i, payload) -> output_string oc (outcome_line i payload))
+        outcomes;
+      (* the rename publishes whatever made it to disk; flush first so
+         "whatever" is the whole checkpoint *)
+      flush oc);
+  Sys.rename tmp path;
+  { path; oc = Some (Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path) }
+
+let append (t : t) (index : int) (payload : string) : unit =
+  match t.oc with
+  | None -> invalid_arg "Store.append: store is closed"
+  | Some oc ->
+    output_string oc (outcome_line index payload);
+    (* flush per record: a crash after [append] returns must find the
+       record on the other side of the channel buffer *)
+    flush oc
+
+let path_of t = t.path
+
+let close (t : t) : unit =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    Out_channel.close oc
+
+(* ------------------------------------------------------------------ *)
+(* Reading.                                                            *)
+
+type loaded = {
+  l_manifest : manifest;
+  l_outcomes : (int * string) list;
+  l_torn : int;
+}
+
+let split_once ch s =
+  match String.index_opt s ch with
+  | None -> None
+  | Some i ->
+    Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(* "<tag> <crc> <rest>" with a matching checksum, or None. *)
+let parse_record (line : string) : (char * string) option =
+  if String.length line < 2 || line.[1] <> ' ' then None
+  else
+    match split_once ' ' (String.sub line 2 (String.length line - 2)) with
+    | Some (crc, rest) when crc = hash_hex rest -> Some (line.[0], rest)
+    | _ -> None
+
+let load ~path : (loaded, string) result =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text ->
+    let lines = String.split_on_char '\n' text in
+    (* a file ending in '\n' splits into a trailing "" — harmless, the
+       blank-line filter below drops it; a file NOT ending in '\n' has
+       its (possibly torn) final line carried as-is, and the checksum
+       decides its fate *)
+    let err = ref None in
+    let fingerprint = ref None in
+    let meta = ref [] in
+    let tasks = ref [] in       (* (index, label) *)
+    let outcomes = ref [] in
+    let torn = ref 0 in
+    let in_journal = ref false in
+    let fail lineno msg =
+      if !err = None then
+        err := Some (Printf.sprintf "%s: line %d: %s" path (lineno + 1) msg)
+    in
+    let int_field rest k =
+      match split_once ' ' rest with
+      | Some (i, v) ->
+        (match (int_of_string_opt i, unescape v) with
+         | Some i, Ok v -> k i v
+         | _ -> None)
+      | None -> None
+    in
+    List.iteri
+      (fun lineno line ->
+         if !err = None && line <> "" && (lineno > 0 || line = "# " ^ header)
+         then
+           match line.[0] with
+           | '#' -> ()
+           | 'o' ->
+             in_journal := true;
+             (* the journal tail is where torn writes live: a record
+                that fails its checksum (or was cut short) is dropped —
+                along with everything after it, because a write that
+                tore mid-file means the file is not append-only and
+                nothing downstream can be trusted *)
+             if !torn > 0 then incr torn
+             else
+               (match parse_record line with
+                | Some ('o', rest) ->
+                  (match
+                     int_field rest (fun i v -> Some (i, v))
+                   with
+                   | Some o -> outcomes := o :: !outcomes
+                   | None -> incr torn)
+                | _ -> incr torn)
+           | _ when !in_journal ->
+             (* non-'o' junk after the journal started: same torn-tail
+                treatment *)
+             incr torn
+           | 'f' ->
+             (match split_once ' ' line with
+              | Some ("f", fp) when !fingerprint = None ->
+                fingerprint := Some fp
+              | _ -> fail lineno "malformed fingerprint record")
+           | 'm' ->
+             (match parse_record line with
+              | Some ('m', rest) ->
+                (match split_once ' ' rest with
+                 | Some (k, v) ->
+                   (match unescape v with
+                    | Ok v -> meta := (k, v) :: !meta
+                    | Error e -> fail lineno e)
+                 | None -> fail lineno "malformed manifest record")
+              | _ -> fail lineno "manifest record failed its checksum")
+           | 't' ->
+             (match parse_record line with
+              | Some ('t', rest) ->
+                (match int_field rest (fun i v -> Some (i, v)) with
+                 | Some t -> tasks := t :: !tasks
+                 | None -> fail lineno "malformed task record")
+              | _ -> fail lineno "task record failed its checksum")
+           | _ -> fail lineno (Printf.sprintf "unknown record %S" line)
+         else if !err = None && lineno = 0 && line <> "# " ^ header then
+           fail lineno
+             (Printf.sprintf "expected header %S" ("# " ^ header)))
+      lines;
+    (match (!err, !fingerprint) with
+     | Some e, _ -> Error e
+     | None, None -> Error (path ^ ": missing fingerprint record")
+     | None, Some fp ->
+       let tasks =
+         (* task records carry their index so order on disk is free;
+            sort back into task order *)
+         List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !tasks)
+         |> List.map snd
+       in
+       Ok
+         { l_manifest =
+             { fingerprint = fp; meta = List.rev !meta; tasks };
+           l_outcomes = List.rev !outcomes;
+           l_torn = !torn })

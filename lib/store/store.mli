@@ -1,0 +1,98 @@
+(** Durable journaled storage for campaigns (and other task sweeps).
+
+    A store file is a {e versioned, line-oriented text format} in the
+    same spirit as the [# ldx-sched/1] schedule format: one header
+    line, a manifest section, then an append-only journal of outcome
+    records.  Every record line carries its own FNV-1a checksum, so a
+    reader can detect torn writes (a process killed mid-[write(2)]) and
+    recover the longest valid prefix instead of losing the file.
+
+    Durability discipline:
+
+    - {b checkpoint} writes the whole file (manifest + any outcomes) to
+      a temporary sibling and atomically renames it into place — a
+      crash during checkpoint leaves either the old file or the new
+      one, never a hybrid;
+    - {b append} adds one checksummed outcome record and flushes — a
+      crash mid-append costs at most that record, which the checksum
+      catches on the next load.
+
+    The store knows nothing about what an outcome {e means}: payloads
+    are opaque single-line strings (callers escape them; see
+    {!escape}).  [Ldx_core.Campaign] layers fingerprint validation and
+    outcome serialization on top.
+
+    Format grammar (one record per line):
+    {v
+    # ldx-store/1
+    f <fingerprint>             (caller-computed configuration digest)
+    m <crc> <key> <value>       (manifest metadata, repeatable)
+    t <crc> <index> <label>     (one per task, in task order)
+    o <crc> <index> <payload>   (outcome journal; appended over time)
+    v}
+    where [<crc>] is the FNV-1a 64-bit hash of everything after the
+    "[X <crc> ]" prefix, in lower-case hex.  Blank lines are ignored.
+    ['#'] lines are comments (only the header is meaningful). *)
+
+(** {1 Checksums and fingerprints} *)
+
+(** FNV-1a 64-bit hash. *)
+val fnv64 : string -> int64
+
+(** Lower-case 16-hex-digit rendering of {!fnv64}. *)
+val hash_hex : string -> string
+
+(** Digest of an ordered list of parts (length-prefixed, so part
+    boundaries matter: [["ab";"c"] <> ["a";"bc"]]). *)
+val fingerprint : string list -> string
+
+(** Escape a payload to a single line (C-style, ['\\'] escapes); inverse
+    {!unescape}. *)
+val escape : string -> string
+
+val unescape : string -> (string, string) result
+
+(** {1 Manifest} *)
+
+type manifest = {
+  fingerprint : string;
+      (** opaque digest of everything the journaled outcomes depend on;
+          {!load} returns it, callers decide whether it still matches *)
+  meta : (string * string) list;  (** free-form metadata, in order *)
+  tasks : string list;            (** task labels, in task order *)
+}
+
+(** {1 Writing} *)
+
+type t
+
+(** [checkpoint ~path manifest outcomes] atomically replaces [path]
+    with a store holding [manifest] and the given [(index, payload)]
+    outcome records, then leaves the store open for {!append}.
+    @raise Sys_error on I/O failure. *)
+val checkpoint : path:string -> manifest -> (int * string) list -> t
+
+(** Append one outcome record and flush. *)
+val append : t -> int -> string -> unit
+
+val path_of : t -> string
+
+val close : t -> unit
+
+(** {1 Reading} *)
+
+type loaded = {
+  l_manifest : manifest;
+  l_outcomes : (int * string) list;  (** valid records, file order *)
+  l_torn : int;
+      (** records (or partial lines) dropped from the tail because a
+          checksum failed or the line was cut short — [> 0] means the
+          writer died mid-append *)
+}
+
+(** Parse a store file, recovering the longest valid prefix of the
+    outcome journal.  [Error] on a missing/renamed header or a corrupt
+    {e manifest} section (the manifest is only ever written by an
+    atomic checkpoint, so damage there is real corruption, not a torn
+    append). *)
+val load : path:string -> (loaded, string) result

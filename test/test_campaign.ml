@@ -320,7 +320,7 @@ exception Deliberate of string
 (* A runner that raises for task labels carrying "crash" and delegates
    to the real engine otherwise — the fault-tolerance probe from the
    Campaign interface. *)
-let crashing_runner cfg prog world mo =
+let crashing_runner ?obs:_ cfg prog world mo =
   List.iter
     (fun (s : Engine.source_spec) ->
        match s.Engine.src_arg with
@@ -380,7 +380,7 @@ let test_campaign_crash_contained () =
 let test_campaign_retry_transient () =
   let prog = instrumented attribution_src in
   let config = net_cfg [ Engine.source ~sys:"recv" () ] in
-  let transient_runner cfg prog world mo =
+  let transient_runner ?obs:_ cfg prog world mo =
     if cfg.Engine.slave_seed = 0 then raise (Deliberate "transient")
     else Engine.run_with_master cfg prog world mo
   in
@@ -394,7 +394,7 @@ let test_campaign_retry_transient () =
    | _ -> Alcotest.fail "expected Crashed without retries");
   let with_retry =
     Campaign.run ~runner:transient_runner
-      ~retry:{ Campaign.max_retries = 1; seed_jitter = 3 }
+      ~retry:{ Campaign.no_retries with Campaign.max_retries = 1; seed_jitter = 3 }
       ~config prog attribution_world params
   in
   match (List.hd with_retry).Campaign.status with
@@ -429,6 +429,248 @@ let test_campaign_fuel_status () =
        !found)
   | _ -> Alcotest.fail "expected Fuel_exhausted"
 
+(* ------------------------------------------------------------------ *)
+(* Deadlines, backoff, fuel budgets, quarantine.                       *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let found = ref false in
+  for i = 0 to String.length hay - n do
+    if (not !found) && String.sub hay i n = needle then found := true
+  done;
+  !found
+
+(* A task deadline tighter than the configured budget cuts the slave
+   pass off as Timed_out (not Fuel_exhausted: the budget was fine, the
+   deadline was not); a slack deadline changes nothing. *)
+let test_campaign_deadline () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let params = [ Campaign.params_of_config config ] in
+  let outs =
+    Campaign.run ~deadline:5 ~config prog attribution_world params
+  in
+  (match (List.hd outs).Campaign.status with
+   | Campaign.Timed_out _ as s ->
+     check bool "status class" true (Campaign.status_class s = "timed-out");
+     check bool "render marks the task timed-out" true
+       (contains (Campaign.render outs) "timed-out")
+   | _ -> Alcotest.fail "expected Timed_out under a 5-step deadline");
+  let slack =
+    Campaign.run ~deadline:config.Engine.max_steps ~config prog
+      attribution_world params
+  in
+  match (List.hd slack).Campaign.status with
+  | Campaign.Ok _ -> ()
+  | _ -> Alcotest.fail "expected Ok under a slack deadline"
+
+(* Retry attempt k re-runs with slave_seed + jitter * backoff^(k-1):
+   exponential backoff in seed space, linear when backoff <= 1. *)
+let test_campaign_backoff_seeds () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let seeds = ref [] in
+  let seed_logger ?obs:_ (cfg : Engine.config) _prog _world _mo =
+    seeds := cfg.Engine.slave_seed :: !seeds;
+    raise (Deliberate "always")
+  in
+  let base =
+    { (Campaign.params_of_config config) with Campaign.slave_seed = 100 }
+  in
+  let run retry =
+    seeds := [];
+    let outs =
+      Campaign.run ~runner:seed_logger ~retry ~config prog attribution_world
+        [ base ]
+    in
+    (List.rev !seeds, (List.hd outs).Campaign.attempts)
+  in
+  let exp_seeds, exp_attempts =
+    run
+      { Campaign.no_retries with
+        Campaign.max_retries = 3; seed_jitter = 2; backoff = 3 }
+  in
+  check bool "exponential strides 1,3,9" true
+    (exp_seeds = [ 100; 102; 106; 118 ]);
+  check int "every attempt recorded" 4 exp_attempts;
+  let lin_seeds, _ =
+    run
+      { Campaign.no_retries with
+        Campaign.max_retries = 3; seed_jitter = 2; backoff = 1 }
+  in
+  check bool "backoff <= 1 keeps the legacy linear jitter" true
+    (lin_seeds = [ 100; 102; 104; 106 ])
+
+(* The cumulative fuel budget stops the retry loop early: crashed
+   attempts are charged the per-attempt step cap, so a pathological
+   task cannot multiply its cost through retries. *)
+let test_campaign_retry_fuel_budget () =
+  let prog = instrumented attribution_src in
+  let config =
+    { (net_cfg [ Engine.source ~sys:"recv" () ]) with Engine.max_steps = 1000 }
+  in
+  let always_crash ?obs:_ _ _ _ _ = raise (Deliberate "pathological") in
+  let run fuel_budget =
+    let outs =
+      Campaign.run ~runner:always_crash
+        ~retry:
+          { Campaign.no_retries with
+            Campaign.max_retries = 5; fuel_budget }
+        ~config prog attribution_world
+        [ Campaign.params_of_config config ]
+    in
+    (List.hd outs).Campaign.attempts
+  in
+  check int "unbudgeted: every retry burned" 6 (run None);
+  (* two crashed attempts are charged 2 * 1000 steps > 1500: the third
+     attempt never runs *)
+  check int "budget caps cumulative attempts" 2 (run (Some 1500))
+
+(* Quarantine: a crash that reproduces on every (seed-perturbed) retry
+   is deterministic — parked as Quarantined, with the event and counter
+   to match.  A first-try crash with no retries stays Crashed: one run
+   proves nothing about determinism. *)
+let test_campaign_quarantine () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let always_crash ?obs:_ _ _ _ _ = raise (Deliberate "deterministic") in
+  let params = [ Campaign.params_of_config config ] in
+  let rc = Obs.Recorder.create () in
+  let outs =
+    Campaign.run ~obs:(Obs.Recorder.sink rc) ~runner:always_crash
+      ~retry:
+        { Campaign.no_retries with
+          Campaign.max_retries = 2; quarantine = true }
+      ~config prog attribution_world params
+  in
+  (match List.hd outs with
+   | { Campaign.status = Campaign.Quarantined { exn; _ }; attempts; _ } ->
+     check bool "exception retained" true (contains exn "deterministic");
+     check int "all attempts crashed" 3 attempts;
+     check bool "render marks the task quarantined" true
+       (contains (Campaign.render outs) "quarantined")
+   | _ -> Alcotest.fail "expected Quarantined");
+  let snap = Obs.Recorder.snapshot rc in
+  check int "campaign.quarantined counter" 1
+    (Obs.Metrics.counter snap "campaign.quarantined");
+  check int "retry.quarantines counter" 1
+    (Obs.Metrics.counter snap "retry.quarantines");
+  (* without retries there is no reproduction evidence: stays Crashed *)
+  let no_retry =
+    Campaign.run ~runner:always_crash
+      ~retry:{ Campaign.no_retries with Campaign.quarantine = true }
+      ~config prog attribution_world params
+  in
+  match (List.hd no_retry).Campaign.status with
+  | Campaign.Crashed _ -> ()
+  | _ -> Alcotest.fail "expected Crashed without a confirming retry"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel observability: per-task buffered sinks.                    *)
+
+(* jobs=4 with a plain (non-domain-safe) closure sink: the collecting
+   domain drains each task's private buffer in task order, so the sink
+   sees one Master_run phase, every slave pass, and Task_done per task
+   in task order — without any synchronization of its own. *)
+let test_campaign_parallel_obs_order () =
+  let prog = instrumented attribution_src in
+  let config = net_cfg [ Engine.source ~sys:"recv" () ] in
+  let params = campaign_params config in
+  let events = ref [] in
+  let obs = Obs.Sink.of_fn (fun e -> events := e :: !events) in
+  let outs =
+    Campaign.run ~jobs:4 ~mode:`Parallel ~obs ~config prog attribution_world
+      params
+  in
+  check bool "all tasks completed" true
+    (List.for_all
+       (fun o -> match o.Campaign.status with Campaign.Ok _ -> true | _ -> false)
+       outs);
+  let evs = List.rev !events in
+  let count p = List.length (List.filter p evs) in
+  check int "one master phase" 1
+    (count (function
+       | Obs.Event.Phase_begin Obs.Event.Master_run -> true
+       | _ -> false));
+  check int "one slave phase per task" (List.length params)
+    (count (function
+       | Obs.Event.Phase_begin Obs.Event.Slave_run -> true
+       | _ -> false));
+  let labels =
+    List.filter_map
+      (function Obs.Event.Task_done { label; _ } -> Some label | _ -> None)
+      evs
+  in
+  check bool "Task_done per task, in task order" true
+    (labels = List.map (fun (p : Campaign.slave_params) -> p.Campaign.label) params)
+
+(* ------------------------------------------------------------------ *)
+(* Journaled campaigns: checkpoint, resume, kill-anywhere recovery.    *)
+
+let with_journal f =
+  let path = Filename.temp_file "ldx_test_campaign" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path text =
+  Out_channel.with_open_bin path (fun oc -> output_string oc text)
+
+(* Resuming a complete journal replays every outcome verbatim (no
+   master pass, no task re-runs) and renders byte-identically. *)
+let test_campaign_resume_complete () =
+  let prog = instrumented attribution_src in
+  let config = attribution_config in
+  let params = campaign_params config in
+  with_journal @@ fun path ->
+  let outs = Campaign.run ~journal:path ~config prog attribution_world params in
+  let reference = Campaign.render outs in
+  let resumed = ref None in
+  let obs =
+    Obs.Sink.of_fn (function
+      | Obs.Event.Resume { replayed; rerun; torn; _ } ->
+        resumed := Some (replayed, rerun, torn)
+      | _ -> ())
+  in
+  match Campaign.resume ~obs ~journal:path ~config prog attribution_world params with
+  | Error e -> Alcotest.fail e
+  | Ok outs' ->
+    Alcotest.(check string) "resume renders byte-identically" reference
+      (Campaign.render outs');
+    check bool "all replayed, none re-run, nothing torn" true
+      (!resumed = Some (List.length params, 0, 0))
+
+(* A journal written under one configuration refuses to resume another:
+   different tasks, a different deadline, or different retry controls
+   all flip the fingerprint. *)
+let test_campaign_resume_fingerprint_mismatch () =
+  let prog = instrumented attribution_src in
+  let config = attribution_config in
+  let params = campaign_params config in
+  with_journal @@ fun path ->
+  ignore (Campaign.run ~journal:path ~config prog attribution_world params);
+  let expect_error what r =
+    match r with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "resume accepted %s" what
+  in
+  expect_error "a dropped task"
+    (Campaign.resume ~journal:path ~config prog attribution_world
+       (List.tl params));
+  expect_error "a new deadline"
+    (Campaign.resume ~deadline:10_000 ~journal:path ~config prog
+       attribution_world params);
+  expect_error "new retry controls"
+    (Campaign.resume
+       ~retry:{ Campaign.no_retries with Campaign.max_retries = 2 }
+       ~journal:path ~config prog attribution_world params);
+  (* the matching configuration still resumes *)
+  match Campaign.resume ~journal:path ~config prog attribution_world params with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "matching config rejected: %s" e
+
 let qcheck_world =
   World.(
     empty
@@ -448,6 +690,65 @@ let prop_campaign_deterministic (p : Ldx_lang.Ast.program) =
     (fun (a : Campaign.outcome) (b : Campaign.outcome) ->
        a.Campaign.status = b.Campaign.status)
     seq par
+
+(* Kill-anywhere durability (over random structured programs): journal
+   a campaign, then simulate a crash by truncating the journal at EVERY
+   outcome-record boundary and mid-record, and resume at jobs=1 and
+   jobs=4 — every resumption must render byte-identically to the
+   uninterrupted campaign.  (Cuts inside the manifest are out of scope:
+   the manifest is only ever published by an atomic rename.) *)
+let prop_resume_truncated (p : Ldx_lang.Ast.program) =
+  let prog, _ = Counter.instrument (Lower.lower_program p) in
+  let config = Engine.default_config in
+  let params =
+    Campaign.of_strategies config
+      [ List.hd Mutation.all_strategies ]
+    @ Campaign.of_seeds config [ 1; 2 ]
+  in
+  let reference =
+    Campaign.render (Campaign.run ~jobs:1 ~config prog qcheck_world params)
+  in
+  with_journal @@ fun path ->
+  ignore (Campaign.run ~journal:path ~config prog qcheck_world params);
+  let text = read_file path in
+  (* cut points: the end of the manifest (no outcomes journaled), each
+     outcome record's end, and the middle of each record *)
+  let cuts =
+    let acc = ref [] in
+    let len = String.length text in
+    let rec line_starts i =
+      if i < len then begin
+        (if text.[i] = 'o' then
+           let stop =
+             match String.index_from_opt text i '\n' with
+             | Some j -> j + 1
+             | None -> len
+           in
+           acc := stop :: ((i + stop) / 2) :: i :: !acc);
+        match String.index_from_opt text i '\n' with
+        | Some j -> line_starts (j + 1)
+        | None -> ()
+      end
+    in
+    line_starts 0;
+    List.sort_uniq compare !acc
+  in
+  List.for_all
+    (fun cut ->
+       List.for_all
+         (fun jobs ->
+            with_journal @@ fun cut_path ->
+            write_file cut_path (String.sub text 0 cut);
+            let mode = if jobs > 1 then `Parallel else `Sequential in
+            match
+              Campaign.resume ~jobs ~mode ~journal:cut_path ~config prog
+                qcheck_world params
+            with
+            | Error e ->
+              QCheck2.Test.fail_reportf "cut at %d, jobs=%d: %s" cut jobs e
+            | Ok outs -> Campaign.render outs = reference)
+         [ 1; 4 ])
+    cuts
 
 let qtest name count gen prop =
   QCheck_alcotest.to_alcotest
@@ -481,5 +782,21 @@ let tests =
       test_campaign_retry_transient;
     Alcotest.test_case "fuel exhaustion is a distinct status" `Quick
       test_campaign_fuel_status;
+    Alcotest.test_case "deadline cuts tasks off as Timed_out" `Quick
+      test_campaign_deadline;
+    Alcotest.test_case "retry seeds follow exponential backoff" `Quick
+      test_campaign_backoff_seeds;
+    Alcotest.test_case "fuel budget caps cumulative retries" `Quick
+      test_campaign_retry_fuel_budget;
+    Alcotest.test_case "deterministic crashers quarantined" `Quick
+      test_campaign_quarantine;
+    Alcotest.test_case "parallel sink buffered, drained in task order"
+      `Quick test_campaign_parallel_obs_order;
+    Alcotest.test_case "resume of a complete journal replays verbatim"
+      `Quick test_campaign_resume_complete;
+    Alcotest.test_case "resume rejects a fingerprint mismatch" `Quick
+      test_campaign_resume_fingerprint_mismatch;
     qtest "P14 campaign jobs=4 deterministic" 40 Gen_minic.gen_program
-      prop_campaign_deterministic ]
+      prop_campaign_deterministic;
+    qtest "P15 kill-anywhere resume renders identically" 10
+      Gen_minic.gen_program prop_resume_truncated ]

@@ -21,6 +21,7 @@ let () =
       ("align", Test_align.tests);
       ("obs", Test_obs.tests);
       ("campaign", Test_campaign.tests);
+      ("store", Test_store.tests);
       ("fault", Test_fault.tests);
       ("sched", Test_sched.tests);
       ("properties", Test_properties.tests) ]
