@@ -24,6 +24,16 @@ module Align = Ldx_core.Align
    meaningful in full runs. *)
 let smoke = Sys.getenv_opt "LDX_BENCH_SMOKE" <> None
 
+(* LDX_BENCH_ONLY=SUBSTR (or a single argv argument) restricts the run
+   to kernels whose name contains SUBSTR — a quick inner loop when
+   optimizing one kernel.  Filtered runs print wall times only:
+   BENCH_results.json and BENCH_history.jsonl are not touched, so the
+   committed baseline and the history always describe full runs. *)
+let bench_only =
+  match Sys.getenv_opt "LDX_BENCH_ONLY" with
+  | Some s when s <> "" -> Some s
+  | _ -> if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None
+
 (* ------------------------------------------------------------------ *)
 (* Kernels.                                                            *)
 
@@ -256,30 +266,45 @@ let kernel_counter_instrument =
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing.                                                  *)
 
+let all_kernels =
+  [ ("table1_instrumentation", Staged.stage instrument_all);
+    ("fig6_overhead", Staged.stage kernel_fig6);
+    ("table2_effectiveness", Staged.stage kernel_table2);
+    ("table3_tainting", Staged.stage kernel_table3);
+    ("table4_concurrency", Staged.stage kernel_table4);
+    ("case_studies", Staged.stage kernel_case_studies);
+    ("fp_check", Staged.stage kernel_fp_check);
+    ("mutation_strategies", Staged.stage kernel_mutation);
+    ("campaign_sequential", Staged.stage kernel_campaign_sequential);
+    ("campaign_parallel", Staged.stage kernel_campaign_parallel);
+    ("campaign_journal", Staged.stage kernel_campaign_journal);
+    ("sched_sweep", Staged.stage kernel_sched_sweep);
+    ("chaos_faults", Staged.stage kernel_chaos);
+    ("ablation_alignment", Staged.stage kernel_ablation_align);
+    ("ablation_loops", Staged.stage kernel_ablation_loops);
+    ("micro_position_compare", Staged.stage kernel_position_compare);
+    ("micro_counter_instrument", Staged.stage kernel_counter_instrument) ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let selected_kernels =
+  match bench_only with
+  | None -> all_kernels
+  | Some f ->
+    (match List.filter (fun (n, _) -> contains n f) all_kernels with
+     | [] ->
+       Printf.eprintf "LDX_BENCH_ONLY=%S matches no kernel; known kernels:\n"
+         f;
+       List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) all_kernels;
+       exit 2
+     | l -> l)
+
 let tests =
   Test.make_grouped ~name:"ldx" ~fmt:"%s %s"
-    [ Test.make ~name:"table1_instrumentation" (Staged.stage instrument_all);
-      Test.make ~name:"fig6_overhead" (Staged.stage kernel_fig6);
-      Test.make ~name:"table2_effectiveness" (Staged.stage kernel_table2);
-      Test.make ~name:"table3_tainting" (Staged.stage kernel_table3);
-      Test.make ~name:"table4_concurrency" (Staged.stage kernel_table4);
-      Test.make ~name:"case_studies" (Staged.stage kernel_case_studies);
-      Test.make ~name:"fp_check" (Staged.stage kernel_fp_check);
-      Test.make ~name:"mutation_strategies" (Staged.stage kernel_mutation);
-      Test.make ~name:"campaign_sequential"
-        (Staged.stage kernel_campaign_sequential);
-      Test.make ~name:"campaign_parallel"
-        (Staged.stage kernel_campaign_parallel);
-      Test.make ~name:"campaign_journal"
-        (Staged.stage kernel_campaign_journal);
-      Test.make ~name:"sched_sweep" (Staged.stage kernel_sched_sweep);
-      Test.make ~name:"chaos_faults" (Staged.stage kernel_chaos);
-      Test.make ~name:"ablation_alignment" (Staged.stage kernel_ablation_align);
-      Test.make ~name:"ablation_loops" (Staged.stage kernel_ablation_loops);
-      Test.make ~name:"micro_position_compare"
-        (Staged.stage kernel_position_compare);
-      Test.make ~name:"micro_counter_instrument"
-        (Staged.stage kernel_counter_instrument) ]
+    (List.map (fun (n, k) -> Test.make ~name:n k) selected_kernels)
 
 let benchmark () =
   let ols =
@@ -535,35 +560,89 @@ let sched_sweep_summary () =
                         J.Str (Sched_sweep.classification t) ) ] ))
              (Lazy.force sched_sweeps)) ) ]
 
-let write_bench_json rows =
+let wall_times_json rows =
+  J.Obj
+    (List.map
+       (fun (name, est) ->
+          (name, if Float.is_nan est then J.Null else J.Float est))
+       rows)
+
+let write_bench_json ~counters rows =
   let json =
     J.Obj
       [ ("schema", J.Str "ldx-bench/1");
         ("time_unit", J.Str "ns_per_run");
-        ( "wall_times",
-          J.Obj
-            (List.map
-               (fun (name, est) ->
-                  (name, if Float.is_nan est then J.Null else J.Float est))
-               rows) );
+        ("wall_times", wall_times_json rows);
         ("campaign", campaign_comparison ());
         ("durable", durable_summary ());
         ("sched_sweep", sched_sweep_summary ());
         ("chaos", chaos_summary ());
-        ("engine_counters", J.Obj (recorded_counters ())) ]
+        ("engine_counters", J.Obj counters) ]
   in
   Out_channel.with_open_text "BENCH_results.json" (fun oc ->
       output_string oc (J.to_string json);
       output_char oc '\n')
 
+(* One BENCH_history.jsonl line per full bench run: the wall times and
+   deterministic engine counters stamped with schema, commit, smoke mode
+   and toolchain — the trajectory `ldx_prof bench-diff` and the history
+   tooling read.  Append-only; filtered runs never write it. *)
+let commit_id () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when s <> "" -> s
+  | _ ->
+    (try
+       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with Unix.Unix_error _ | Sys_error _ -> "unknown")
+
+let append_history ~counters rows =
+  let json =
+    J.Obj
+      [ ("schema", J.Str "ldx-bench-history/1");
+        ("unix_time", J.Int (int_of_float (Unix.gettimeofday ())));
+        ("commit", J.Str (commit_id ()));
+        ("smoke", J.Bool smoke);
+        ("ocaml", J.Str Sys.ocaml_version);
+        ("time_unit", J.Str "ns_per_run");
+        ("wall_times", wall_times_json rows);
+        ("engine_counters", J.Obj counters) ]
+  in
+  Out_channel.with_open_gen
+    [ Open_append; Open_creat; Open_text ]
+    0o644 "BENCH_history.jsonl"
+    (fun oc ->
+       output_string oc (J.to_string json);
+       output_char oc '\n')
+
 let () =
-  Printf.printf
-    "=== Bechamel: wall time per experiment kernel (host machine) ===\n\n%!";
+  (match bench_only with
+   | Some f ->
+     Printf.printf
+       "=== Bechamel: wall time per experiment kernel (filtered: %S) \
+        ===\n\n%!"
+       f
+   | None ->
+     Printf.printf
+       "=== Bechamel: wall time per experiment kernel (host machine) \
+        ===\n\n%!");
   let rows = result_rows (benchmark ()) in
   print_results rows;
-  write_bench_json rows;
-  Printf.printf "\nbench results written to BENCH_results.json\n";
-  Printf.printf
-    "\n=== Regenerated evaluation (simulated metrics, cf. EXPERIMENTS.md) \
-     ===\n\n%!";
-  print_string (Experiments.all ~runs:(if smoke then 2 else 50) ())
+  match bench_only with
+  | Some _ ->
+    Printf.printf
+      "\nfiltered run: BENCH_results.json and BENCH_history.jsonl not \
+       written\n"
+  | None ->
+    let counters = recorded_counters () in
+    write_bench_json ~counters rows;
+    Printf.printf "\nbench results written to BENCH_results.json\n";
+    append_history ~counters rows;
+    Printf.printf "bench history appended to BENCH_history.jsonl\n";
+    Printf.printf
+      "\n=== Regenerated evaluation (simulated metrics, cf. EXPERIMENTS.md) \
+       ===\n\n%!";
+    print_string (Experiments.all ~runs:(if smoke then 2 else 50) ())

@@ -21,7 +21,16 @@ let split_once ch s =
     (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
 
 let prog_file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.minic")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM.minic")
+
+let workload_arg =
+  let doc =
+    "Run a registry workload (e.g. 403.gcc, 473.astar) instead of a \
+     program file: its world, sources, sinks and strategy come from the \
+     registry entry's leak configuration."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "workload" ] ~docv:"NAME" ~doc)
 
 let files =
   let doc = "Add a file to the simulated world: PATH=CONTENTS (repeatable)." in
@@ -95,6 +104,36 @@ let trace_out =
                timeline (master and slave tracks, flow arrows on coupled \
                syscalls) to $(docv) — load it in Perfetto or \
                chrome://tracing.")
+
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+         ~doc:"Attach deterministic cost-attribution profiles to both \
+               executions and print the ranked report (per-opcode, \
+               per-CFG-block, per-syscall and engine coupling \
+               categories in virtual cycles).  Profiling never perturbs \
+               the run: verdicts and engine counters are bit-identical \
+               with it on or off.")
+
+let profile_json =
+  Arg.(value & opt (some string) None
+       & info [ "profile-json" ] ~docv:"FILE"
+         ~doc:"Write the profile as JSON (schema ldx-prof/1) to $(docv) \
+               — renderable and diffable later with ldx_prof.")
+
+let profile_folded =
+  Arg.(value & opt (some string) None
+       & info [ "profile-folded" ] ~docv:"FILE"
+         ~doc:"Write the profile as folded stacks \
+               (side;function;block cycles) to $(docv), ready for \
+               flamegraph.pl.")
+
+let progress =
+  Arg.(value & flag
+       & info [ "progress" ]
+         ~doc:"Campaign modes: print a live status line to stderr from \
+               the campaign's heartbeat events (completed/total tasks, \
+               virtual cycles done, cycle-based ETA).")
 
 let metrics =
   Arg.(value & flag
@@ -236,10 +275,11 @@ let parse_strategy = function
   | "random" -> Ok (Mutation.Random_replace 7)
   | s -> Error (Printf.sprintf "unknown strategy %S" s)
 
-let run prog_file files endpoints sources sink strategy verbose trace dot
-    attribute sweep_strategies jobs final_state trace_out metrics metrics_json
-    faults fault_seed sched_policy sched_seed sched_replay sched_record
-    journal resume task_deadline max_retries backoff retry_budget abort_after
+let run prog_file workload files endpoints sources sink strategy verbose trace
+    dot attribute sweep_strategies jobs final_state trace_out metrics
+    metrics_json profile_flag profile_json profile_folded progress faults
+    fault_seed sched_policy sched_seed sched_replay sched_record journal
+    resume task_deadline max_retries backoff retry_budget abort_after
   =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
@@ -269,26 +309,109 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
           | Ok p -> Ok (Some (Sched.spec ~seed:sched_seed p))
           | Error e -> Error ("bad --sched policy: " ^ e)))
   in
-  let src = In_channel.with_open_text prog_file In_channel.input_all in
-  let world = build_world files endpoints in
+  let* input =
+    match (workload, prog_file) with
+    | Some _, Some _ -> Error "give PROGRAM.minic or --workload, not both"
+    | None, None -> Error "a PROGRAM.minic argument or --workload is required"
+    | None, Some path ->
+      Ok (`Src (In_channel.with_open_text path In_channel.input_all))
+    | Some name, None ->
+      (match Ldx_workloads.Registry.find name with
+       | Some w -> Ok (`Workload w)
+       | None -> Error (Printf.sprintf "unknown workload %S" name))
+  in
+  let world =
+    match input with
+    | `Workload w -> w.Ldx_workloads.Workload.world
+    | `Src _ -> build_world files endpoints
+  in
+  let base_config =
+    match input with
+    | `Workload w -> Ldx_workloads.Workload.leak_config w
+    | `Src _ ->
+      { Engine.default_config with
+        Engine.sources = parse_sources sources;
+        sinks;
+        strategy }
+  in
   let config =
-    { Engine.default_config with
-      Engine.sources = parse_sources sources;
-      sinks;
-      strategy;
-      record_trace = trace;
+    { base_config with
+      Engine.record_trace = trace;
       check_final_state = final_state;
       faults = fault_plan;
       master_sched = sched_spec;
       slave_sched = sched_spec;
       record_sched = sched_record <> None }
   in
+  (* lowering shared by every mode: a registry workload arrives already
+     instrumented; a source file is lowered and instrumented here *)
+  let lowered () =
+    match input with
+    | `Workload w -> Ok (fst (Ldx_workloads.Workload.instrumented w))
+    | `Src src ->
+      (match Ldx_cfg.Lower.lower_source src with
+       | exception Failure msg -> Error msg
+       | prog -> Ok (fst (Ldx_instrument.Counter.instrument prog)))
+  in
   let recorder =
     if trace_out <> None || metrics || metrics_json <> None then
       Some (Ldx_obs.Recorder.create ())
     else None
   in
-  let obs = Option.map Ldx_obs.Recorder.sink recorder in
+  let progress_sink =
+    if progress then
+      Some
+        (Ldx_obs.Sink.of_fn (function
+           | Ldx_obs.Event.Campaign_progress
+               { completed; total; cycles_done; eta_cycles } ->
+             Printf.eprintf "\r[%d/%d] cycles=%d eta=%d%s%!" completed total
+               cycles_done eta_cycles
+               (if completed >= total then "\n" else "")
+           | _ -> ()))
+    else None
+  in
+  let obs =
+    match (Option.map Ldx_obs.Recorder.sink recorder, progress_sink) with
+    | None, None -> None
+    | (Some _ as s), None -> s
+    | None, (Some _ as p) -> p
+    | Some s, Some p -> Some (Ldx_obs.Sink.tee [ s; p ])
+  in
+  let prof =
+    if profile_flag || profile_json <> None || profile_folded <> None then
+      Some (Engine.fresh_profiles ())
+    else None
+  in
+  let emit_profile () =
+    match prof with
+    | None -> `Ok ()
+    | Some pp ->
+      (try
+         let d =
+           Ldx_prof.Report.of_profiles ~master:pp.Engine.prof_master
+             ~slave:pp.Engine.prof_slave
+         in
+         (match profile_json with
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc
+                  (Ldx_obs.Json.to_string (Ldx_prof.Report.to_json d));
+                output_char oc '\n');
+            Printf.printf "profile JSON written to %s\n" path
+          | None -> ());
+         (match profile_folded with
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Ldx_prof.Report.folded d));
+            Printf.printf "folded stacks written to %s\n" path
+          | None -> ());
+         if profile_flag then begin
+           print_newline ();
+           print_string (Ldx_prof.Report.render d)
+         end;
+         `Ok ()
+       with Sys_error msg -> `Error (false, msg))
+  in
   (* observability output shared by the campaign modes and plain runs *)
   let emit_observability () =
     match recorder with
@@ -350,18 +473,16 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       abort_after
   in
   if dot then begin
-    match Ldx_cfg.Lower.lower_source src with
-    | exception Failure msg -> `Error (false, msg)
-    | prog ->
-      let prog, _ = Ldx_instrument.Counter.instrument prog in
+    match lowered () with
+    | Error msg -> `Error (false, msg)
+    | Ok prog ->
       print_string (Ldx_cfg.Dot.program_to_dot prog);
       `Ok ()
   end
   else if attribute then begin
-    match Ldx_cfg.Lower.lower_source src with
-    | exception Failure msg -> `Error (false, msg)
-    | prog ->
-      let prog, _ = Ldx_instrument.Counter.instrument prog in
+    match lowered () with
+    | Error msg -> `Error (false, msg)
+    | Ok prog ->
       let attrs =
         Ldx_core.Attribute.per_source ~config ~jobs ?obs ?retry
           ?deadline:task_deadline prog world
@@ -370,10 +491,9 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
       emit_observability ()
   end
   else if sweep_strategies then begin
-    match Ldx_cfg.Lower.lower_source src with
-    | exception Failure msg -> `Error (false, msg)
-    | prog ->
-      let prog, _ = Ldx_instrument.Counter.instrument prog in
+    match lowered () with
+    | Error msg -> `Error (false, msg)
+    | Ok prog ->
       let params =
         Ldx_core.Campaign.of_strategies config
           Ldx_core.Mutation.all_strategies
@@ -406,9 +526,23 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
          emit_observability ())
   end
   else
-  match Engine.run_source ~config ?obs src world with
-  | exception Failure msg -> `Error (false, msg)
-  | r ->
+  let ran =
+    match input with
+    | `Src src ->
+      (match Engine.run_source ~config ?obs ?prof src world with
+       | exception Failure msg -> Error msg
+       | r -> Ok r)
+    | `Workload _ ->
+      (match lowered () with
+       | Error msg -> Error msg
+       | Ok prog ->
+         (match Engine.run ~config ?obs ?prof prog world with
+          | exception Failure msg -> Error msg
+          | r -> Ok r))
+  in
+  match ran with
+  | Error msg -> `Error (false, msg)
+  | Ok r ->
     let trap_suffix (s : Engine.exec_summary) =
       match s.Engine.trap with
       | None -> ""
@@ -452,7 +586,9 @@ let run prog_file files endpoints sources sink strategy verbose trace dot
           Printf.printf "schedule written to %s (%d decisions)\n" path
             (Array.length s)
         | _ -> ());
-       emit_observability ()
+       match emit_profile () with
+       | `Ok () -> emit_observability ()
+       | e -> e
      with Sys_error msg -> `Error (false, msg))
 
 let cmd =
@@ -462,11 +598,13 @@ let cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ prog_file $ files $ endpoints $ sources $ sink $ strategy
-         $ verbose $ trace $ dot $ attribute $ sweep_strategies $ jobs
-         $ final_state $ trace_out $ metrics $ metrics_json $ faults
-         $ fault_seed $ sched_policy $ sched_seed $ sched_replay
-         $ sched_record $ journal_arg $ resume_arg $ task_deadline
-         $ max_retries $ backoff $ retry_budget $ abort_after))
+        (const run $ prog_file $ workload_arg $ files $ endpoints $ sources
+         $ sink $ strategy $ verbose $ trace $ dot $ attribute
+         $ sweep_strategies $ jobs $ final_state $ trace_out $ metrics
+         $ metrics_json $ profile_flag $ profile_json $ profile_folded
+         $ progress $ faults $ fault_seed $ sched_policy $ sched_seed
+         $ sched_replay $ sched_record $ journal_arg $ resume_arg
+         $ task_deadline $ max_retries $ backoff $ retry_budget
+         $ abort_after))
 
 let () = exit (Cmd.eval cmd)

@@ -348,6 +348,43 @@ let run_task ~(retry : retry_policy) ?deadline ?obs ~(runner : runner)
   in
   go 0 0 true
 
+(* ---------- per-task telemetry ---------- *)
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* Wall cycles of a task's fate (0 when there is no result). *)
+let wall_cycles_of (s : status) : int =
+  match result_of s with Some r -> r.Engine.wall_cycles | None -> 0
+
+(* [run_task] plus telemetry when a sink is present: a [Task_begin]
+   marker before the first attempt and a [Task_timing] after the last,
+   carrying the wall-clock queue-wait ([t0] = fan-out start) vs
+   run-time split and the deterministic virtual wall.  With no sink
+   this is exactly [run_task] — no clock reads on the lean path. *)
+let run_task_telemetry ~retry ?deadline ?obs ~runner ~index ~t0
+    (config : Engine.config) (prog : Ir.program) (world : World.t)
+    (mo : Engine.master_out) (p : slave_params) : status * int =
+  match obs with
+  | None -> run_task ~retry ?deadline ~runner config prog world mo p
+  | Some _ ->
+    let t_start = now_us () in
+    Obs.Sink.emit_opt obs (Obs.Event.Task_begin { label = p.label; index });
+    let s, a = run_task ~retry ?deadline ?obs ~runner config prog world mo p in
+    let t_end = now_us () in
+    Obs.Sink.emit_opt obs
+      (Obs.Event.Task_timing
+         { label = p.label;
+           index;
+           queue_us = max 0 (t_start - t0);
+           run_us = max 0 (t_end - t_start);
+           wall_cycles = wall_cycles_of s });
+    (s, a)
+
+(* Mean-based remaining-cycles estimate for progress heartbeats. *)
+let eta_cycles ~completed ~total ~cycles_done =
+  if completed <= 0 then 0
+  else cycles_done / completed * (total - completed)
+
 (* ---------- parallel fan-out ---------- *)
 
 (* Below roughly this many master-pass steps, a slave pass is so short
@@ -427,7 +464,7 @@ let run_parallel ~retry ?deadline ~runner ~jobs (config : Engine.config)
    ARRIVES — so a kill at any point loses at most the in-flight tasks —
    and, after the joins, drains the event buffers into the real sink in
    task order.  Workers never touch the sink or the store. *)
-let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal
+let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal ~t0
     (config : Engine.config) (prog : Ir.program) (world : World.t)
     (mo : Engine.master_out) (tasks : slave_params array) (idxs : int array)
     (results : (status * int) option array) : unit =
@@ -465,8 +502,8 @@ let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal
             else None
           in
           let s, a =
-            run_task ~retry ?deadline ?obs:task_obs ~runner config prog world
-              mo tasks.(i)
+            run_task_telemetry ~retry ?deadline ?obs:task_obs ~runner ~index:i
+              ~t0 config prog world mo tasks.(i)
           in
           send (`Result (i, s, a, List.rev !buf))
         done;
@@ -499,12 +536,27 @@ let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal
       match !first_exn with Some e -> raise e | None -> ())
     (fun () ->
        let exited = ref 0 in
+       let completed = ref 0 in
+       let cycles_done = ref 0 in
        while !exited < w do
          match recv () with
          | `Result (i, s, a, evs) ->
            results.(i) <- Some (s, a);
            events.(i) <- evs;
-           Option.iter (fun t -> Store.append t i (encode_status s a)) journal
+           Option.iter (fun t -> Store.append t i (encode_status s a)) journal;
+           (* live heartbeat from the collecting domain, in arrival
+              order (liveness, not determinism: progress events are
+              excluded from traces/goldens) *)
+           incr completed;
+           cycles_done := !cycles_done + wall_cycles_of s;
+           Obs.Sink.emit_opt obs
+             (Obs.Event.Campaign_progress
+                { completed = !completed;
+                  total = k;
+                  cycles_done = !cycles_done;
+                  eta_cycles =
+                    eta_cycles ~completed:!completed ~total:k
+                      ~cycles_done:!cycles_done })
          | `Exit e ->
            incr exited;
            (match e with
@@ -584,22 +636,36 @@ let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal
             tasks = nmiss;
             est_steps = mo.Engine.msummary.Engine.steps });
      let idxs = Array.of_list missing in
-     if not parallel then
+     let t0 = now_us () in
+     if not parallel then begin
+       let completed = ref 0 in
+       let cycles_done = ref 0 in
        Array.iter
          (fun i ->
             let s, a =
-              run_task ~retry ?deadline ?obs ~runner config prog world mo
-                tasks.(i)
+              run_task_telemetry ~retry ?deadline ?obs ~runner ~index:i ~t0
+                config prog world mo tasks.(i)
             in
             results.(i) <- Some (s, a);
-            Option.iter (fun t -> Store.append t i (encode_status s a)) store)
+            Option.iter (fun t -> Store.append t i (encode_status s a)) store;
+            incr completed;
+            cycles_done := !cycles_done + wall_cycles_of s;
+            Obs.Sink.emit_opt obs
+              (Obs.Event.Campaign_progress
+                 { completed = !completed;
+                   total = nmiss;
+                   cycles_done = !cycles_done;
+                   eta_cycles =
+                     eta_cycles ~completed:!completed ~total:nmiss
+                       ~cycles_done:!cycles_done }))
          idxs
+     end
      else if obs = None && store = None then
        run_parallel ~retry ?deadline ~runner ~jobs config prog world mo tasks
          idxs results
      else
-       run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal:store config
-         prog world mo tasks idxs results;
+       run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal:store ~t0
+         config prog world mo tasks idxs results;
      Array.iter (fun i -> fresh.(i) <- true) idxs
    end);
   let outs =
@@ -692,16 +758,16 @@ let resume ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
 let render (outs : outcome list) : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "%-24s %-14s %-18s %4s %8s %8s %8s %6s\n" "task" "status"
-       "failure" "att" "mutated" "diffs" "tainted" "leak");
+    (Printf.sprintf "%-24s %-14s %-18s %4s %8s %8s %8s %6s %10s\n" "task"
+       "status" "failure" "att" "mutated" "diffs" "tainted" "leak" "wall_cyc");
   List.iter
     (fun o ->
        match o.status with
        | Crashed { exn; _ } | Quarantined { exn; _ } ->
          Buffer.add_string buf
-           (Printf.sprintf "%-24s %-14s %-18s %4d %8s %8s %8s %6s  %s\n"
+           (Printf.sprintf "%-24s %-14s %-18s %4d %8s %8s %8s %6s %10s  %s\n"
               o.params.label (status_class o.status) "-" o.attempts "-" "-" "-"
-              "-" exn)
+              "-" "-" exn)
        | Ok r | Fuel_exhausted r | Timed_out r ->
          (* per-side failure classes, e.g. "ok/fuel" for a healthy
             master whose slave ran out of budget *)
@@ -712,9 +778,9 @@ let render (outs : outcome list) : string =
            Printf.sprintf "%s/%s" (cls r.Engine.master) (cls r.Engine.slave)
          in
          Buffer.add_string buf
-           (Printf.sprintf "%-24s %-14s %-18s %4d %8d %8d %8d %6b\n"
+           (Printf.sprintf "%-24s %-14s %-18s %4d %8d %8d %8d %6b %10d\n"
               o.params.label (status_class o.status) failure o.attempts
               r.Engine.mutated_inputs r.Engine.syscall_diffs
-              r.Engine.tainted_sinks r.Engine.leak))
+              r.Engine.tainted_sinks r.Engine.leak r.Engine.wall_cycles))
     outs;
   Buffer.contents buf

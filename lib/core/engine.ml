@@ -25,6 +25,7 @@
    is observation-equivalent to the paper's spin-loop coupling. *)
 
 module Machine = Ldx_vm.Machine
+module Profile = Ldx_vm.Profile
 module Driver = Ldx_vm.Driver
 module Value = Ldx_vm.Value
 module Cost = Ldx_vm.Cost
@@ -502,8 +503,8 @@ let run_side (m : Machine.t)
   in
   loop ()
 
-let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
-  master_out =
+let master_pass ?obs ?prof (config : config) (prog : Ir.program)
+    (world : World.t) : master_out =
   let os = Os.create ~pid:1000 world in
   Os.set_faults os config.faults;
   let sched =
@@ -512,7 +513,7 @@ let master_pass ?obs (config : config) (prog : Ir.program) (world : World.t) :
   in
   let m =
     Machine.create ~seed:config.master_seed ~sched ~max_steps:config.max_steps
-      prog os
+      ?prof prog os
   in
   (match obs with
    | Some s -> install_obs s Obs.Event.Master m os
@@ -570,8 +571,8 @@ type slave_out = {
   sos : Os.t;                  (* the slave's private OS (final state) *)
 }
 
-let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
-    (mo : master_out) : slave_out =
+let slave_pass ?obs ?prof (config : config) (prog : Ir.program)
+    (world : World.t) (mo : master_out) : slave_out =
   let os = Os.create ~pid:1001 world in
   (* the slave's OS instantiates the SAME immutable plan with fresh
      occurrence counters: replaying from scratch, its fault schedule
@@ -584,7 +585,7 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
   in
   let m =
     Machine.create ~seed:config.slave_seed ~sched ~max_steps:config.max_steps
-      prog os
+      ?prof prog os
   in
   (match obs with
    | Some s -> install_obs s Obs.Event.Slave m os
@@ -755,8 +756,23 @@ let slave_pass ?obs (config : config) (prog : Ir.program) (world : World.t)
                the master's while coupled — which is what makes a later
                decoupling replay the remaining schedule identically. *)
             (try ignore (Os.exec ~site os sys sargs) with Os.Os_error _ -> ());
+            let before = m.Machine.cycles in
             m.Machine.cycles <- max m.Machine.cycles r.rcyc + Cost.share_copy;
             if sinkp then m.Machine.cycles <- m.Machine.cycles + Cost.sink_compare;
+            (match prof with
+             | Some p ->
+               (* decompose the clock delta so engine categories plus
+                  per-op cycles sum exactly to the slave's clock *)
+               let stall = max before r.rcyc - before in
+               if stall > 0 then
+                 Profile.charge_engine p ~cat:Profile.eng_couple_stall
+                   ~cycles:stall;
+               Profile.charge_engine p ~cat:Profile.eng_share_copy
+                 ~cycles:Cost.share_copy;
+               if sinkp then
+                 Profile.charge_engine p ~cat:Profile.eng_sink_compare
+                   ~cycles:Cost.sink_compare
+             | None -> ());
             note ~tid ~pos
               ~action:(if sinkp then T_sink_match else T_copied)
               ~sinkp ~master_ts:r.rcyc
@@ -888,11 +904,11 @@ let final_state_reports (mos : Os.t) (sos : Os.t) : sink_report list =
    layer's "1 master + K slaves" depends on this, and on [master_pass]
    never reading the slave-only config fields ([sources], [strategy],
    [slave_seed], [record_trace]). *)
-let run_with_master ?obs (config : config) (prog : Ir.program)
+let run_with_master ?obs ?prof (config : config) (prog : Ir.program)
     (world : World.t) (mo : master_out) : result =
   let so =
     with_phase obs Obs.Event.Slave_run (fun () ->
-        slave_pass ?obs config prog world mo)
+        slave_pass ?obs ?prof config prog world mo)
   in
   let state_reports =
     if config.check_final_state then
@@ -935,17 +951,27 @@ let run_with_master ?obs (config : config) (prog : Ir.program)
     max_seg_depth = mm.Machine.max_seg_depth;
     master_schedule = mo.msched }
 
-let run ?(config = default_config) ?obs (prog : Ir.program) (world : World.t) :
-  result =
+(* Dual profile: one per side, so master-vs-slave overhead is
+   decomposable.  Cross-run aggregation works too — pass the same pair
+   to several runs of the same program and the counters accumulate. *)
+type profiles = { prof_master : Profile.t; prof_slave : Profile.t }
+
+let fresh_profiles () =
+  { prof_master = Profile.create (); prof_slave = Profile.create () }
+
+let run ?(config = default_config) ?obs ?prof (prog : Ir.program)
+    (world : World.t) : result =
+  let pm = Option.map (fun p -> p.prof_master) prof in
+  let ps = Option.map (fun p -> p.prof_slave) prof in
   let mo =
     with_phase obs Obs.Event.Master_run (fun () ->
-        master_pass ?obs config prog world)
+        master_pass ?obs ?prof:pm config prog world)
   in
-  run_with_master ?obs config prog world mo
+  run_with_master ?obs ?prof:ps config prog world mo
 
 (* Parse, check, lower, instrument, dual-execute. *)
-let run_source ?config ?instrument_config ?obs (src : string) (world : World.t)
-  : result =
+let run_source ?config ?instrument_config ?obs ?prof (src : string)
+    (world : World.t) : result =
   let ast =
     with_phase obs Obs.Event.Parse (fun () -> Ldx_lang.Parser.parse_exn src)
   in
@@ -957,7 +983,7 @@ let run_source ?config ?instrument_config ?obs (src : string) (world : World.t)
     with_phase obs Obs.Event.Instrument (fun () ->
         Ldx_instrument.Counter.instrument ?config:instrument_config prog)
   in
-  run ?config ?obs prog world
+  run ?config ?obs ?prof prog world
 
 (* Native (uninstrumented, single-execution) cycles for overhead
    computations (Fig. 6 baseline). *)

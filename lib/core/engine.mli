@@ -231,9 +231,11 @@ val run_side :
 
 (** Run the master: execute everything for real, record outcomes.
     [?obs] installs the observability hooks on the master machine and
-    its OS and emits a run summary (see {!run}). *)
+    its OS and emits a run summary (see {!run}); [?prof] attaches a
+    cost-attribution profile to the master machine (see {!profiles}). *)
 val master_pass :
-  ?obs:Ldx_obs.Sink.t -> config -> Ir.program -> World.t -> master_out
+  ?obs:Ldx_obs.Sink.t -> ?prof:Ldx_vm.Profile.t -> config -> Ir.program ->
+  World.t -> master_out
 
 (** {1 Entry points}
 
@@ -244,10 +246,28 @@ val master_pass :
     mutations, and per-side run summaries.  With [?obs] omitted the
     engine pays one pointer comparison per emission point and results
     are unchanged — observation never perturbs the experiment
-    (asserted by [test_obs.ml]). *)
+    (asserted by [test_obs.ml]).
+
+    [?prof] attaches deterministic cost-attribution profiles
+    ({!Ldx_vm.Profile}): per-opcode / per-CFG-block / per-syscall
+    virtual-cycle counters, one profile per side so dual-execution
+    overhead is decomposable.  Same zero-perturbation contract as
+    [?obs] (asserted by [test_prof.ml]); pass the same pair to several
+    runs of one program to aggregate. *)
+
+(** One cost-attribution profile per execution side. *)
+type profiles = {
+  prof_master : Ldx_vm.Profile.t;
+  prof_slave : Ldx_vm.Profile.t;
+}
+
+(** A fresh, empty profile pair. *)
+val fresh_profiles : unit -> profiles
 
 (** Dual-execute an (instrumented) program. *)
-val run : ?config:config -> ?obs:Ldx_obs.Sink.t -> Ir.program -> World.t -> result
+val run :
+  ?config:config -> ?obs:Ldx_obs.Sink.t -> ?prof:profiles -> Ir.program ->
+  World.t -> result
 
 (** Run one slave pass (plus the optional final-state check) against an
     already-recorded master and assemble the full {!result}.  Sound
@@ -256,15 +276,16 @@ val run : ?config:config -> ?obs:Ldx_obs.Sink.t -> Ir.program -> World.t -> resu
     [run_with_master] never mutates [mo]: callers may fan out many
     configs — even from concurrent domains — over one recording.
     [config] must agree with the recording's config on the master-side
-    fields ([master_seed], [max_steps], [sinks], [faults]). *)
+    fields ([master_seed], [max_steps], [sinks], [faults]).
+    [?prof] attaches a profile to the slave machine. *)
 val run_with_master :
-  ?obs:Ldx_obs.Sink.t -> config -> Ir.program -> World.t -> master_out ->
-  result
+  ?obs:Ldx_obs.Sink.t -> ?prof:Ldx_vm.Profile.t -> config -> Ir.program ->
+  World.t -> master_out -> result
 
 (** Parse, check, lower, instrument, dual-execute. *)
 val run_source :
   ?config:config -> ?instrument_config:Ldx_instrument.Counter.config ->
-  ?obs:Ldx_obs.Sink.t -> string -> World.t -> result
+  ?obs:Ldx_obs.Sink.t -> ?prof:profiles -> string -> World.t -> result
 
 (** Uninstrumented single-execution cycles — the Fig. 6 baseline. *)
 val native_cycles :

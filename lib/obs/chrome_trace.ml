@@ -14,6 +14,13 @@ let tid_sched = 999
    instants of the campaign durability layer. *)
 let tid_journal = 998
 
+(* Per-task campaign lanes on the engine track: task [i] gets lane
+   [tid_task_base + i], carrying a begin instant and one slice whose
+   duration is the task's deterministic virtual wall.  Tasks are laid
+   end-to-end on their own clock (buffered sinks drain in task order,
+   so the layout is byte-stable at any [jobs]). *)
+let tid_task_base = 1000
+
 let pid_of_side = function
   | Event.Master -> pid_master
   | Event.Slave -> pid_slave
@@ -40,6 +47,10 @@ let of_events (events : Event.t list) : Json.t =
   let lanes : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
   let lane pid tid = Hashtbl.replace lanes (pid, tid) () in
   lane pid_engine 0;
+  (* task-lane labels for thread_name metadata, and the end-to-end
+     task clock *)
+  let task_labels : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let task_clock = ref 0 in
   let flow_id = ref 0 in
   let summaries = ref [] in
   List.iter
@@ -209,6 +220,32 @@ let of_events (events : Event.t list) : Json.t =
                :: args
                     [ ("attempts", Json.Int attempts);
                       ("exn", Json.Str exn) ]))
+       | Event.Task_begin { label; index } ->
+         let tid = tid_task_base + index in
+         lane pid_engine tid;
+         Hashtbl.replace task_labels tid ("task " ^ label);
+         emit
+           (obj ~name:("begin " ^ label) ~cat:"campaign" ~ph:"i"
+              ~ts:!task_clock ~pid:pid_engine ~tid
+              (("s", Json.Str "t") :: args [ ("index", Json.Int index) ]))
+       | Event.Task_timing { label; index; wall_cycles; _ } ->
+         (* only the deterministic virtual wall is rendered; the
+            wall-clock queue/run split stays out of the (golden-pinned)
+            trace *)
+         let tid = tid_task_base + index in
+         lane pid_engine tid;
+         Hashtbl.replace task_labels tid ("task " ^ label);
+         emit
+           (obj ~name:label ~cat:"campaign" ~ph:"X" ~ts:!task_clock
+              ~pid:pid_engine ~tid
+              (("dur", Json.Int wall_cycles)
+               :: args
+                    [ ("index", Json.Int index);
+                      ("wall_cycles", Json.Int wall_cycles) ]));
+         task_clock := !task_clock + wall_cycles
+       (* Campaign_progress payloads are arrival-ordered and mean-based
+          (nondeterministic at jobs>1) — excluded from traces *)
+       | Event.Campaign_progress _ -> ()
        | Event.Os_call _ | Event.Cnt_sample _ -> ()
        | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
          ->
@@ -248,7 +285,10 @@ let of_events (events : Event.t list) : Json.t =
                      Json.Str
                        (if tid = tid_sched then "sched"
                         else if tid = tid_journal then "journal"
-                        else Printf.sprintf "thread %d" tid) ) ] ) ]))
+                        else
+                          match Hashtbl.find_opt task_labels tid with
+                          | Some l -> l
+                          | None -> Printf.sprintf "thread %d" tid) ) ] ) ]))
   in
   Json.Obj
     [ ("displayTimeUnit", Json.Str "ns");

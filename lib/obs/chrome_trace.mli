@@ -20,6 +20,14 @@
     the granted quantum as its duration) and an instant per preemption
     — the schedule timeline the exploration mode perturbs.
 
+    Campaign runs add a "journal" lane (tid 998) with
+    checkpoint/resume/quarantine instants, and one lane per task
+    (tid 1000+index, named after the task label): a begin instant plus
+    a slice whose duration is the task's deterministic virtual wall,
+    tasks laid end-to-end in task order.  Wall-clock telemetry
+    ([Task_timing]'s queue/run split, [Campaign_progress]) is excluded,
+    so campaign traces stay byte-identical at any [jobs].
+
     Timestamps are virtual cycles reported in the format's microsecond
     field; absolute values are the engine's cycle model, only ratios
     are meaningful. *)

@@ -115,6 +115,27 @@ type t =
       torn : int;
     }
   | Quarantine of { label : string; attempts : int; exn : string }
+  | Task_begin of { label : string; index : int }
+  | Task_timing of {
+      label : string;
+      index : int;
+      queue_us : int;
+          (* wall-clock microseconds between campaign fan-out start and
+             the task's first attempt (nondeterministic — never rendered
+             into traces or goldens) *)
+      run_us : int;   (* wall-clock microseconds spent running attempts *)
+      wall_cycles : int;
+          (* deterministic virtual wall of the task's result, 0 for
+             tasks without a result (crashed/quarantined) *)
+    }
+  | Campaign_progress of {
+      completed : int;
+      total : int;
+      cycles_done : int;   (* sum of wall_cycles over completed tasks *)
+      eta_cycles : int;
+          (* estimated remaining virtual cycles (mean-based; at jobs>1
+             the completion order makes this nondeterministic) *)
+    }
 
 let to_string = function
   | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
@@ -165,3 +186,11 @@ let to_string = function
       tasks replayed rerun torn
   | Quarantine { label; attempts; exn } ->
     Printf.sprintf "quarantine %s attempts=%d exn=%s" label attempts exn
+  | Task_begin { label; index } ->
+    Printf.sprintf "task-begin #%d %s" index label
+  | Task_timing { label; index; queue_us; run_us; wall_cycles } ->
+    Printf.sprintf "task-timing #%d %s queue_us=%d run_us=%d wall_cycles=%d"
+      index label queue_us run_us wall_cycles
+  | Campaign_progress { completed; total; cycles_done; eta_cycles } ->
+    Printf.sprintf "progress %d/%d cycles=%d eta=%d" completed total
+      cycles_done eta_cycles

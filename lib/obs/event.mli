@@ -170,6 +170,30 @@ type t =
       attempts : int;          (** every one of which crashed *)
       exn : string;            (** the final attempt's exception *)
     }
+  | Task_begin of {
+      label : string;
+      index : int;             (** 0-based task index in the campaign *)
+    }
+  | Task_timing of {
+      label : string;
+      index : int;
+      queue_us : int;
+          (** wall-clock µs from fan-out start to the task's first
+              attempt (nondeterministic — never rendered into traces
+              or goldens) *)
+      run_us : int;            (** wall-clock µs spent running attempts *)
+      wall_cycles : int;
+          (** deterministic virtual wall of the task's result, 0 when
+              there is no result (crashed/quarantined) *)
+    }
+  | Campaign_progress of {
+      completed : int;
+      total : int;
+      cycles_done : int;       (** Σ wall_cycles over completed tasks *)
+      eta_cycles : int;
+          (** estimated remaining virtual cycles (mean-based; at
+              jobs>1 completion order makes this nondeterministic) *)
+    }
 
 (** Short human-readable rendering (debug sinks, logs). *)
 val to_string : t -> string

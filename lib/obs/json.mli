@@ -21,3 +21,21 @@ val to_buffer : Buffer.t -> t -> unit
 
 (** Escape and quote a string literal. *)
 val quote : string -> string
+
+(** Parse a JSON document (RFC 8259 subset: everything [to_string]
+    emits, plus exponents and [\u] escapes decoded as UTF-8).  Numbers
+    without fraction/exponent parse as [Int], others as [Float]. *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors for parsed trees} *)
+
+(** Field of an [Obj], [None] otherwise. *)
+val member : string -> t -> t option
+
+(** [Int], or an integral [Float]. *)
+val to_int : t -> int option
+
+(** Any number, as float. *)
+val to_float : t -> float option
+
+val to_str : t -> string option

@@ -106,6 +106,35 @@ let snapshot (t : t) =
 let counter snap name =
   match List.assoc_opt name snap.counters with Some v -> v | None -> 0
 
+(* Inclusive value range of a log2 bucket: bucket 0 holds all samples
+   <= 0; bucket b >= 1 holds [2^(b-1), 2^b - 1] (b = bit length). *)
+let bucket_bounds b =
+  if b <= 0 then (min_int, 0) else (1 lsl (b - 1), (1 lsl b) - 1)
+
+(* Rank-based percentile over the log2 buckets.  Returns the inclusive
+   value bounds of the bucket holding the p-th percentile sample
+   (nearest-rank: rank = ceil(p/100 * count), clamped to [1, count]),
+   tightened to the histogram's observed [min, max].  [None] when the
+   histogram is empty or [p] is outside [0, 100]. *)
+let percentile (h : hist_snapshot) (p : float) : (int * int) option =
+  if h.h_count = 0 || Float.is_nan p || p < 0.0 || p > 100.0 then None
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let rec walk acc = function
+      | [] -> None
+      | (b, c) :: rest ->
+        if acc + c >= rank then begin
+          let lo, hi = bucket_bounds b in
+          Some (max lo h.h_min, min hi h.h_max)
+        end
+        else walk (acc + c) rest
+    in
+    walk 0 h.h_buckets
+  end
+
 let to_json snap =
   Json.Obj
     [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));

@@ -46,4 +46,18 @@ val snapshot : t -> snapshot
 (** [counter snap name] is the counter's value, or 0 when absent. *)
 val counter : snapshot -> string -> int
 
+(** Inclusive value range covered by a log2 bucket: bucket 0 is
+    [(min_int, 0)] (all non-positive samples); bucket [b >= 1] is
+    [(2^(b-1), 2^b - 1)] — exactly the values whose bit length is [b].
+    Pinned by a qcheck property in [test_obs.ml]. *)
+val bucket_bounds : int -> int * int
+
+(** [percentile h p] is the inclusive value range of the log2 bucket
+    holding the p-th percentile sample (nearest-rank:
+    [rank = ceil(p/100 * count)], clamped to [1, count]), tightened to
+    the histogram's observed min/max.  The true percentile value is
+    guaranteed to lie within the returned bounds (qcheck-pinned).
+    [None] when the histogram is empty or [p] is outside [0, 100]. *)
+val percentile : hist_snapshot -> float -> (int * int) option
+
 val to_json : snapshot -> Json.t

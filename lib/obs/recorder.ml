@@ -83,6 +83,17 @@ let absorb t (ev : Event.t) =
   | Event.Quarantine { attempts; _ } ->
     Metrics.incr m "retry.quarantines";
     Metrics.observe m "retry.attempts_at_quarantine" attempts
+  | Event.Task_begin _ -> Metrics.incr m "campaign.begun"
+  | Event.Task_timing { queue_us; run_us; wall_cycles; _ } ->
+    Metrics.observe m "campaign.queue_us" queue_us;
+    Metrics.observe m "campaign.run_us" run_us;
+    if wall_cycles > 0 then
+      Metrics.observe m "campaign.wall_cycles" wall_cycles
+  | Event.Campaign_progress { completed; cycles_done; eta_cycles; _ } ->
+    Metrics.incr m "campaign.progress_events";
+    Metrics.set m "campaign.completed" completed;
+    Metrics.set m "campaign.cycles_done" cycles_done;
+    Metrics.set m "campaign.eta_cycles" eta_cycles
 
 let sink t =
   Sink.of_fn

@@ -31,6 +31,10 @@
     - [campaign.mode.<mode>] — execution mode the campaign chose
       (sequential, parallel), with [campaign.jobs] / [campaign.tasks]
       gauges;
+    - [campaign.begun] — tasks started; [campaign.progress_events] —
+      heartbeat events, with [campaign.completed] /
+      [campaign.cycles_done] / [campaign.eta_cycles] gauges from the
+      latest heartbeat (ETA in virtual cycles, mean-based);
     - [sched.decisions.*] — scheduling decisions per side, and
       [sched.preemptions.*] — decisions that switched away from a
       still-runnable thread;
@@ -40,9 +44,12 @@
 
     Histograms: [dyn_cnt.*] (dynamic counter value at each syscall,
     Table 1), [couple_lag] (slave clock minus producing master stamp
-    at each copy — how far the slave trails the master), and
+    at each copy — how far the slave trails the master),
     [sched.runnable.*] / [sched.quantum.*] (choice-set sizes and
-    granted quanta per side). *)
+    granted quanta per side), and per-task campaign telemetry:
+    [campaign.queue_us] / [campaign.run_us] (wall-clock queue-wait vs
+    run-time split — nondeterministic, never golden-pinned) and
+    [campaign.wall_cycles] (deterministic virtual wall per task). *)
 
 type t
 

@@ -1,0 +1,282 @@
+module Profile = Ldx_vm.Profile
+module J = Ldx_obs.Json
+
+type dual = {
+  d_master : Profile.snapshot;
+  d_slave : Profile.snapshot;
+  d_wall : int;
+}
+
+let of_profiles ~master ~slave =
+  let m = Profile.snapshot master and s = Profile.snapshot slave in
+  { d_master = m;
+    d_slave = s;
+    d_wall = max m.Profile.s_total_cycles s.Profile.s_total_cycles }
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                      *)
+
+let pct total v =
+  if total <= 0 then 0. else 100. *. float_of_int v /. float_of_int total
+
+let render_rows buf ~total ~title (rows : Profile.row list) =
+  if rows <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %-22s %12s %12s %7s\n" title "steps" "cycles" "%");
+    List.iter
+      (fun (r : Profile.row) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-22s %12d %12d %6.2f%%\n" r.Profile.r_name
+              r.Profile.r_steps r.Profile.r_cycles
+              (pct total r.Profile.r_cycles)))
+      rows;
+    Buffer.add_char buf '\n'
+  end
+
+let render_side buf name (s : Profile.snapshot) ~blocks =
+  Buffer.add_string buf
+    (Printf.sprintf "-- %s: %d steps, %d cycles --\n" name
+       s.Profile.s_total_steps s.Profile.s_total_cycles);
+  let total = s.Profile.s_total_cycles in
+  let by_cycles (a : Profile.row) (b : Profile.row) =
+    compare b.Profile.r_cycles a.Profile.r_cycles
+  in
+  render_rows buf ~total ~title:"opcode"
+    (List.sort by_cycles s.Profile.s_ops);
+  let ranked_blocks =
+    List.sort
+      (fun (a : Profile.block_row) b ->
+         compare b.Profile.b_cycles a.Profile.b_cycles)
+      s.Profile.s_blocks
+  in
+  let shown = List.filteri (fun i _ -> i < blocks) ranked_blocks in
+  if shown <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %-22s %12s %12s %7s\n" "block" "steps" "cycles" "%");
+    List.iter
+      (fun (b : Profile.block_row) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-22s %12d %12d %6.2f%%\n"
+              (Printf.sprintf "%s:b%d" b.Profile.b_func b.Profile.b_bid)
+              b.Profile.b_steps b.Profile.b_cycles
+              (pct total b.Profile.b_cycles)))
+      shown;
+    let omitted = List.length ranked_blocks - List.length shown in
+    if omitted > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  ... %d more blocks\n" omitted);
+    Buffer.add_char buf '\n'
+  end;
+  render_rows buf ~total ~title:"syscall" s.Profile.s_syscalls;
+  render_rows buf ~total ~title:"engine" s.Profile.s_engine
+
+let render ?(blocks = 20) d =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== ldx profile: wall %d cycles ===\n\n" d.d_wall);
+  render_side buf "master" d.d_master ~blocks;
+  render_side buf "slave" d.d_slave ~blocks;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let schema = "ldx-prof/1"
+
+let json_rows rows =
+  J.Arr
+    (List.map
+       (fun (r : Profile.row) ->
+          J.Obj
+            [ ("name", J.Str r.Profile.r_name);
+              ("steps", J.Int r.Profile.r_steps);
+              ("cycles", J.Int r.Profile.r_cycles) ])
+       rows)
+
+let json_side (s : Profile.snapshot) =
+  J.Obj
+    [ ("total_steps", J.Int s.Profile.s_total_steps);
+      ("total_cycles", J.Int s.Profile.s_total_cycles);
+      ("ops", json_rows s.Profile.s_ops);
+      ( "blocks",
+        J.Arr
+          (List.map
+             (fun (b : Profile.block_row) ->
+                J.Obj
+                  [ ("func", J.Str b.Profile.b_func);
+                    ("bid", J.Int b.Profile.b_bid);
+                    ("steps", J.Int b.Profile.b_steps);
+                    ("cycles", J.Int b.Profile.b_cycles) ])
+             s.Profile.s_blocks) );
+      ("syscalls", json_rows s.Profile.s_syscalls);
+      ("engine", json_rows s.Profile.s_engine) ]
+
+let to_json d =
+  J.Obj
+    [ ("schema", J.Str schema);
+      ("wall_cycles", J.Int d.d_wall);
+      ( "sides",
+        J.Obj
+          [ ("master", json_side d.d_master);
+            ("slave", json_side d.d_slave) ] ) ]
+
+let ( let* ) r f = Result.bind r f
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "profile json: missing %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match J.to_int v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "profile json: %S is not an int" name)
+
+let str_field name j =
+  let* v = field name j in
+  match J.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "profile json: %S is not a string" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let arr_field name j =
+  let* v = field name j in
+  match v with
+  | J.Arr l -> Ok l
+  | _ -> Error (Printf.sprintf "profile json: %S is not an array" name)
+
+let row_of_json j =
+  let* r_name = str_field "name" j in
+  let* r_steps = int_field "steps" j in
+  let* r_cycles = int_field "cycles" j in
+  Ok { Profile.r_name; r_steps; r_cycles }
+
+let block_of_json j =
+  let* b_func = str_field "func" j in
+  let* b_bid = int_field "bid" j in
+  let* b_steps = int_field "steps" j in
+  let* b_cycles = int_field "cycles" j in
+  Ok { Profile.b_func; b_bid; b_steps; b_cycles }
+
+let side_of_json j =
+  let* s_total_steps = int_field "total_steps" j in
+  let* s_total_cycles = int_field "total_cycles" j in
+  let* ops = arr_field "ops" j in
+  let* s_ops = map_result row_of_json ops in
+  let* blocks = arr_field "blocks" j in
+  let* s_blocks = map_result block_of_json blocks in
+  let* syscalls = arr_field "syscalls" j in
+  let* s_syscalls = map_result row_of_json syscalls in
+  let* engine = arr_field "engine" j in
+  let* s_engine = map_result row_of_json engine in
+  Ok
+    { Profile.s_ops;
+      s_blocks;
+      s_syscalls;
+      s_engine;
+      s_total_steps;
+      s_total_cycles }
+
+let of_json j =
+  let* s = str_field "schema" j in
+  if s <> schema then
+    Error (Printf.sprintf "profile json: schema %S, expected %S" s schema)
+  else
+    let* d_wall = int_field "wall_cycles" j in
+    let* sides = field "sides" j in
+    let* m = field "master" sides in
+    let* d_master = side_of_json m in
+    let* sl = field "slave" sides in
+    let* d_slave = side_of_json sl in
+    Ok { d_master; d_slave; d_wall }
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks                                                       *)
+
+let folded_side buf name (s : Profile.snapshot) =
+  List.iter
+    (fun (b : Profile.block_row) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%s;%s;b%d %d\n" name b.Profile.b_func
+            b.Profile.b_bid b.Profile.b_cycles))
+    s.Profile.s_blocks;
+  List.iter
+    (fun (r : Profile.row) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%s;engine;%s %d\n" name r.Profile.r_name
+            r.Profile.r_cycles))
+    s.Profile.s_engine
+
+let folded d =
+  let buf = Buffer.create 1024 in
+  folded_side buf "master" d.d_master;
+  folded_side buf "slave" d.d_slave;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                *)
+
+let assoc_rows rows =
+  List.map (fun (r : Profile.row) -> (r.Profile.r_name, r.Profile.r_cycles))
+    rows
+
+let assoc_blocks blocks =
+  List.map
+    (fun (b : Profile.block_row) ->
+       (Printf.sprintf "%s:b%d" b.Profile.b_func b.Profile.b_bid,
+        b.Profile.b_cycles))
+    blocks
+
+let diff_assoc buf ~title base cur =
+  let keys =
+    List.sort_uniq compare (List.map fst base @ List.map fst cur)
+  in
+  let deltas =
+    List.filter_map
+      (fun k ->
+         let v l = Option.value ~default:0 (List.assoc_opt k l) in
+         let d = v cur - v base in
+         if d = 0 then None else Some (k, v base, v cur, d))
+      keys
+  in
+  if deltas <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %-22s %12s %12s %12s\n" title "base" "cur" "delta");
+    List.iter
+      (fun (k, b, c, d) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-22s %12d %12d %+12d\n" k b c d))
+      (List.sort (fun (_, _, _, a) (_, _, _, b) -> compare (abs b) (abs a))
+         deltas);
+    Buffer.add_char buf '\n'
+  end
+
+let diff_side buf name (base : Profile.snapshot) (cur : Profile.snapshot) =
+  Buffer.add_string buf
+    (Printf.sprintf "-- %s: cycles %d -> %d (%+d) --\n" name
+       base.Profile.s_total_cycles cur.Profile.s_total_cycles
+       (cur.Profile.s_total_cycles - base.Profile.s_total_cycles));
+  diff_assoc buf ~title:"opcode"
+    (assoc_rows base.Profile.s_ops) (assoc_rows cur.Profile.s_ops);
+  diff_assoc buf ~title:"block"
+    (assoc_blocks base.Profile.s_blocks) (assoc_blocks cur.Profile.s_blocks);
+  diff_assoc buf ~title:"syscall"
+    (assoc_rows base.Profile.s_syscalls) (assoc_rows cur.Profile.s_syscalls);
+  diff_assoc buf ~title:"engine"
+    (assoc_rows base.Profile.s_engine) (assoc_rows cur.Profile.s_engine)
+
+let diff base cur =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== profile diff: wall %d -> %d (%+d) ===\n\n"
+       base.d_wall cur.d_wall (cur.d_wall - base.d_wall));
+  diff_side buf "master" base.d_master cur.d_master;
+  diff_side buf "slave" base.d_slave cur.d_slave;
+  Buffer.contents buf

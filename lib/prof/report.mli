@@ -1,0 +1,43 @@
+(** Profile report rendering: ranked text tables, a stable JSON form,
+    folded stacks for flamegraph tooling, and report-to-report diffs.
+
+    A dual run produces one {!Ldx_vm.Profile.snapshot} per side; this
+    module pairs them with the run's virtual wall ([max] of the two
+    side clocks) and renders the pair.  Everything here is derived from
+    the deterministic virtual-cycle model, so reports are
+    bit-reproducible for a given program, input and seed. *)
+
+type dual = {
+  d_master : Ldx_vm.Profile.snapshot;
+  d_slave : Ldx_vm.Profile.snapshot;
+  d_wall : int;  (** [max] of the two side totals: virtual wall time *)
+}
+
+(** Snapshot both sides of a finished run.  [d_wall] is the max of the
+    two [s_total_cycles]; a well-formed run has it equal to the
+    engine's [wall_cycles] (pinned by tests). *)
+val of_profiles :
+  master:Ldx_vm.Profile.t -> slave:Ldx_vm.Profile.t -> dual
+
+(** Ranked text report: per side, opcodes by descending cycles with
+    steps and share of the side clock, the top blocks, the per-syscall
+    breakdown and the engine coupling categories.  [blocks] bounds the
+    block table (default 20). *)
+val render : ?blocks:int -> dual -> string
+
+(** Stable JSON encoding, schema ["ldx-prof/1"]. *)
+val to_json : dual -> Ldx_obs.Json.t
+
+(** Inverse of {!to_json}; rejects other schemas. *)
+val of_json : Ldx_obs.Json.t -> (dual, string) result
+
+(** Folded-stack lines ([side;frame;leaf cycles], one per line) for
+    [flamegraph.pl] and compatible tooling: one line per CFG block
+    ([master;f;b3 120]) and one per engine coupling category
+    ([slave;engine;share_copy 24]).  Line totals sum to the two side
+    clocks. *)
+val folded : dual -> string
+
+(** Text diff of two reports (baseline first): wall delta, per-side
+    per-opcode and per-block cycle deltas, zero-delta rows dropped. *)
+val diff : dual -> dual -> string

@@ -24,6 +24,12 @@ let describe name =
   | "campaign.ok" -> "campaign tasks that completed"
   | "campaign.crashed" -> "campaign tasks whose slave pass raised"
   | "campaign.fuel-exhausted" -> "campaign tasks that ran out of fuel"
+  | "campaign.begun" -> "campaign tasks started"
+  | "campaign.progress_events" -> "campaign heartbeat events"
+  | "campaign.completed" -> "tasks done at the last heartbeat"
+  | "campaign.cycles_done" -> "virtual cycles done at the last heartbeat"
+  | "campaign.eta_cycles" ->
+    "mean-based remaining-cycles estimate at the last heartbeat"
   | _ ->
     let prefixed p =
       String.length name > String.length p

@@ -46,6 +46,9 @@ type frame = {
   locals : (string, Value.t) Hashtbl.t;
   ret_dst : string option;
   fresh : bool;                        (* pushed a counter segment *)
+  prof_base : int;
+  (* the function's base in the profile's flat block numbering (0 when
+     profiling is off); a block's flat index is [prof_base + bid] *)
 }
 
 type thread = {
@@ -116,6 +119,10 @@ type t = {
   mutable on_obs_barrier : (t -> thread -> barrier -> unit) option;
   mutable on_obs_cnt_sample : (t -> thread -> int -> unit) option;
   mutable on_obs_sched : (t -> Sched.decision -> unit) option;
+  prof : Profile.t option;
+  (* cost-attribution counters mirroring every virtual-clock charge;
+     [None] = off, same one-pointer-comparison discipline as the obs
+     hooks.  Never consulted by execution semantics. *)
 }
 
 type event =
@@ -132,15 +139,20 @@ let lock_key = function
   | Str s -> "s:" ^ s
   | Unit | Arr _ | Fptr _ -> trap "invalid lock id"
 
-let create ?(seed = 0) ?sched ?(max_steps = 30_000_000) (prog : Ir.program)
-    (os : Ldx_osim.Os.t) : t =
+let create ?(seed = 0) ?sched ?(max_steps = 30_000_000) ?prof
+    (prog : Ir.program) (os : Ldx_osim.Os.t) : t =
   let main = Ir.find_func_exn prog "main" in
   if main.Ir.params <> [] then invalid_arg "Machine.create: main takes no params";
+  (match prof with Some p -> Profile.attach p prog | None -> ());
+  let main_base =
+    match prof with Some p -> Profile.base_of p main.Ir.fname | None -> 0
+  in
   let main_thread =
     { tid = 0; spawn_index = 0;
       frames =
         [ { fn = main; bid = main.Ir.entry; idx = 0;
-            locals = Hashtbl.create 16; ret_dst = None; fresh = false } ];
+            locals = Hashtbl.create 16; ret_dst = None; fresh = false;
+            prof_base = main_base } ];
       segs = [ new_seg () ];
       status = Runnable;
       jmp_bufs = Hashtbl.create 4;
@@ -173,9 +185,22 @@ let create ?(seed = 0) ?sched ?(max_steps = 30_000_000) (prog : Ir.program)
     on_obs_syscall = None;
     on_obs_barrier = None;
     on_obs_cnt_sample = None;
-    on_obs_sched = None }
+    on_obs_sched = None;
+    prof }
 
 let main_thread t = List.hd t.threads
+
+(* Flat-block base of [fname] in the attached profile (0 when off). *)
+let prof_base_of t fname =
+  match t.prof with None -> 0 | Some p -> Profile.base_of p fname
+
+(* Charge [cost] cycles for a dispatch of opcode [op] in [frame]'s
+   current block.  The clock update is identical with profiling off. *)
+let[@inline] charge t (frame : frame) op cost =
+  t.cycles <- t.cycles + cost;
+  match t.prof with
+  | None -> ()
+  | Some p -> Profile.charge p ~op ~blk:(frame.prof_base + frame.bid) ~cost
 
 let cur_seg (th : thread) =
   match th.segs with
@@ -211,7 +236,8 @@ let spawn t (fname : string) (arg : Value.t) : int =
   let th =
     { tid; spawn_index;
       frames = [ { fn; bid = fn.Ir.entry; idx = 0; locals;
-                   ret_dst = None; fresh = false } ];
+                   ret_dst = None; fresh = false;
+                   prof_base = prof_base_of t fname } ];
       segs = [ new_seg () ];
       status = Runnable;
       jmp_bufs = Hashtbl.create 4;
@@ -332,6 +358,13 @@ let provide_result t (th : thread) (v : Value.t) =
      | Some d -> Hashtbl.replace (cur_frame th).locals d v
      | None -> ());
     t.cycles <- t.cycles + Cost.syscall;
+    (match t.prof with
+     | Some pr ->
+       let frame = cur_frame th in
+       Profile.charge_cycles pr ~op:Profile.op_syscall
+         ~blk:(frame.prof_base + frame.bid) ~cost:Cost.syscall;
+       Profile.charge_syscall pr ~sys:p.sys ~cost:Cost.syscall
+     | None -> ());
     (match t.on_obs_syscall with Some f -> f t th p | None -> ());
     th.status <- Runnable;
     (* signal delivery point: syscall return *)
@@ -348,6 +381,12 @@ let release_barrier t (th : thread) =
      | (l, i) :: rest when l = loop -> seg.loops <- (l, i + 1) :: rest
      | _ -> trap "loop_back L%d: loop stack mismatch" loop);
     t.cycles <- t.cycles + Cost.barrier;
+    (match t.prof with
+     | Some pr ->
+       let frame = cur_frame th in
+       Profile.charge_cycles pr ~op:Profile.op_loop_back
+         ~blk:(frame.prof_base + frame.bid) ~cost:Cost.barrier
+     | None -> ());
     (match t.on_obs_barrier with
      | Some f -> f t th { loop; dec }
      | None -> ());
@@ -365,7 +404,8 @@ let push_call t (th : thread) ~(callee : Ir.func) ~args ~dst ~fresh =
      trap "call %s: arity mismatch (%d args, %d params)" callee.Ir.fname
        (List.length args) (List.length callee.Ir.params));
   th.frames <-
-    { fn = callee; bid = callee.Ir.entry; idx = 0; locals; ret_dst = dst; fresh }
+    { fn = callee; bid = callee.Ir.entry; idx = 0; locals; ret_dst = dst;
+      fresh; prof_base = prof_base_of t callee.Ir.fname }
     :: th.frames;
   if fresh then begin
     th.segs <- new_seg () :: th.segs;
@@ -434,11 +474,11 @@ let step_thread t (th : thread) : event option =
     frame.idx <- frame.idx + 1;
     match instr with
     | Ir.Assign (x, e) ->
-      t.cycles <- t.cycles + Cost.instr;
+      charge t frame Profile.op_assign Cost.instr;
       Hashtbl.replace frame.locals x (Eval.eval frame.locals e);
       None
     | Ir.Store (a, i, e) ->
-      t.cycles <- t.cycles + Cost.instr;
+      charge t frame Profile.op_store Cost.instr;
       let va =
         match Hashtbl.find_opt frame.locals a with
         | Some v -> v
@@ -453,13 +493,13 @@ let step_thread t (th : thread) : event option =
        | _ -> trap "store into non-array %s" a);
       None
     | Ir.Call { dst; callee; args; fresh_frame } ->
-      t.cycles <- t.cycles + Cost.instr;
+      charge t frame Profile.op_call Cost.instr;
       let vargs = List.map (Eval.eval frame.locals) args in
       let fn = Ir.find_func_exn t.prog callee in
       push_call t th ~callee:fn ~args:vargs ~dst ~fresh:fresh_frame;
       None
     | Ir.Call_indirect { dst; fptr; args; site = _ } ->
-      t.cycles <- t.cycles + Cost.instr;
+      charge t frame Profile.op_call_indirect Cost.instr;
       let vf = Eval.eval frame.locals fptr in
       let vargs = List.map (Eval.eval frame.locals) args in
       (match vf with
@@ -481,25 +521,31 @@ let step_thread t (th : thread) : event option =
       seg.cnt <- seg.cnt + 1;
       record_cnt_sample t th;
       t.syscalls <- t.syscalls + 1;
+      (* step counted at dispatch; the Cost.syscall cycles land in the
+         same block at [provide_result] *)
+      charge t frame Profile.op_syscall 0;
       th.status <- Awaiting { sys; sysargs = vargs; dst; site };
       Some (Ev_syscall th)
     | Ir.Cnt_add k ->
-      t.cycles <- t.cycles + Cost.cnt_instr;
+      charge t frame Profile.op_cnt_add Cost.cnt_instr;
       t.instr_events <- t.instr_events + 1;
       (cur_seg th).cnt <- (cur_seg th).cnt + k;
       None
     | Ir.Loop_enter { loop } ->
-      t.cycles <- t.cycles + Cost.cnt_instr;
+      charge t frame Profile.op_loop_enter Cost.cnt_instr;
       t.instr_events <- t.instr_events + 1;
       let seg = cur_seg th in
       seg.loops <- (loop, 0) :: seg.loops;
       None
     | Ir.Loop_back { loop; dec } ->
       t.instr_events <- t.instr_events + 1;
+      (* step counted here; the Cost.barrier cycles land in the same
+         block at [release_barrier] *)
+      charge t frame Profile.op_loop_back 0;
       th.status <- At_barrier { loop; dec };
       Some (Ev_barrier th)
     | Ir.Loop_exit { pops; bump } ->
-      t.cycles <- t.cycles + Cost.cnt_instr;
+      charge t frame Profile.op_loop_exit Cost.cnt_instr;
       t.instr_events <- t.instr_events + 1;
       let seg = cur_seg th in
       List.iter
@@ -512,19 +558,22 @@ let step_thread t (th : thread) : event option =
       None
   end
   else begin
-    (* terminator *)
-    t.cycles <- t.cycles + Cost.instr;
+    (* terminator: charge before [frame.bid] moves so the attribution
+       lands in the block being left *)
     match block.Ir.term with
     | Ir.Jump l ->
+      charge t frame Profile.op_jump Cost.instr;
       frame.bid <- l;
       frame.idx <- 0;
       None
     | Ir.Branch (c, bt, bf) ->
+      charge t frame Profile.op_branch Cost.instr;
       let v = Eval.eval frame.locals c in
       frame.bid <- (if truthy v then bt else bf);
       frame.idx <- 0;
       None
     | Ir.Ret e ->
+      charge t frame Profile.op_ret Cost.instr;
       let v =
         match e with None -> Unit | Some e -> Eval.eval frame.locals e
       in

@@ -43,6 +43,10 @@ type frame = {
   locals : (string, Value.t) Hashtbl.t;
   ret_dst : string option;
   fresh : bool;              (** pushed a counter segment *)
+  prof_base : int;
+      (** the function's base in the profile's flat block numbering
+          (0 when profiling is off); a block's flat index is
+          [prof_base + bid] *)
 }
 
 type thread = {
@@ -114,6 +118,10 @@ type t = {
   mutable on_obs_sched : (t -> Sched.decision -> unit) option;
       (** fires at each scheduling decision, before the chosen thread's
           quantum runs *)
+  prof : Profile.t option;
+      (** cost-attribution counters mirroring every virtual-clock
+          charge ({!Profile}); [None] = off, one pointer comparison per
+          charge site.  Never consulted by execution semantics. *)
 }
 
 type event =
@@ -130,9 +138,13 @@ val lock_key : Value.t -> string
 (** [?sched] installs an instantiated scheduler state (one per machine:
     states are mutable and must not be shared between machines);
     without it the machine runs {!Sched.legacy} seeded with [?seed].
+    [?prof] attaches a cost-attribution profile ({!Profile}): the
+    machine mirrors every virtual-clock charge into it without
+    perturbing execution (one profile per program — do not share
+    between machines running different programs).
     @raise Invalid_argument if [main] is missing or takes parameters. *)
 val create :
-  ?seed:int -> ?sched:Sched.state -> ?max_steps:int ->
+  ?seed:int -> ?sched:Sched.state -> ?max_steps:int -> ?prof:Profile.t ->
   Ir.program -> Ldx_osim.Os.t -> t
 
 val main_thread : t -> thread

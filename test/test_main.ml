@@ -24,4 +24,5 @@ let () =
       ("store", Test_store.tests);
       ("fault", Test_fault.tests);
       ("sched", Test_sched.tests);
+      ("prof", Test_prof.tests);
       ("properties", Test_properties.tests) ]

@@ -76,6 +76,65 @@ let test_metrics_basics () =
     h.Metrics.h_buckets;
   check (Alcotest.float 1e-9) "hist mean" (10.0 /. 3.0) (Metrics.hist_mean h)
 
+(* Bucket edges are part of the metrics contract (profiling and the
+   percentile tooling read them back): bucket 0 holds all non-positive
+   samples, bucket b >= 1 exactly [2^(b-1), 2^b - 1]. *)
+let test_bucket_edges () =
+  check (Alcotest.pair int int) "bucket 0" (min_int, 0)
+    (Metrics.bucket_bounds 0);
+  check (Alcotest.pair int int) "bucket 1" (1, 1) (Metrics.bucket_bounds 1);
+  check (Alcotest.pair int int) "bucket 4" (8, 15) (Metrics.bucket_bounds 4);
+  (* percentile degenerate cases *)
+  let h =
+    { Metrics.h_count = 0; h_sum = 0; h_min = 0; h_max = 0; h_buckets = [] }
+  in
+  check bool "empty hist has no percentile" true
+    (Metrics.percentile h 50. = None)
+
+let hist_of_samples vs =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "h") vs;
+  List.assoc "h" (Metrics.snapshot m).Metrics.hists
+
+(* Property: every observed sample lands in a bucket whose inclusive
+   bounds contain it. *)
+let prop_bucket_contains =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"log2 bucket bounds contain the sample"
+       ~count:500
+       QCheck2.Gen.(int_range (-10) (1 lsl 40))
+       (fun v ->
+          let h = hist_of_samples [ v ] in
+          match h.Metrics.h_buckets with
+          | [ (b, 1) ] ->
+            let lo, hi = Metrics.bucket_bounds b in
+            lo <= v && v <= hi
+          | _ -> false))
+
+(* Property: [percentile] brackets the true nearest-rank percentile —
+   the p-th percentile of the raw samples falls inside the returned
+   inclusive range. *)
+let prop_percentile_brackets =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"percentile range brackets nearest-rank value"
+       ~count:500
+       QCheck2.Gen.(
+         pair
+           (list_size (int_range 1 40) (int_range 0 100_000))
+           (float_range 0. 100.))
+       (fun (vs, p) ->
+          let h = hist_of_samples vs in
+          match Metrics.percentile h p with
+          | None -> false
+          | Some (lo, hi) ->
+            let sorted = List.sort compare vs in
+            let n = List.length sorted in
+            let rank =
+              max 1 (min n (int_of_float (ceil (p /. 100. *. float_of_int n))))
+            in
+            let v = List.nth sorted (rank - 1) in
+            lo <= v && v <= hi))
+
 (* ------------------------------------------------------------------ *)
 (* Golden: Chrome trace export of a tiny synthetic dual run.           *)
 
@@ -261,6 +320,9 @@ let test_trace_shape_real_run () =
 let tests =
   [ Alcotest.test_case "json basics" `Quick test_json_basics;
     Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
+    Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+    prop_bucket_contains;
+    prop_percentile_brackets;
     Alcotest.test_case "chrome trace golden" `Quick test_trace_golden;
     Alcotest.test_case "metrics table golden" `Quick test_metrics_table_golden;
     Alcotest.test_case "observation is free" `Quick test_observation_is_free;
