@@ -121,13 +121,17 @@ let sink_pred = function
   | Custom_sinks f -> f
 
 let contains hay needle =
+  (* allocation-free char-compare scan: this runs per source spec at
+     every syscall, where a String.sub per offset was pure garbage *)
   let hn = String.length hay and nn = String.length needle in
   nn = 0
-  || (let found = ref false in
-      for i = 0 to hn - nn do
-        if (not !found) && String.sub hay i nn = needle then found := true
-      done;
-      !found)
+  || (let rec matches_at i j =
+        j >= nn || (hay.[i + j] = needle.[j] && matches_at i (j + 1))
+      in
+      let rec scan i =
+        i <= hn - nn && (matches_at i 0 || scan (i + 1))
+      in
+      scan 0)
 
 (* Stateful source predicate over one execution's dynamic syscall stream.
    The [src_nth] occurrence counters are keyed by each spec's INDEX in

@@ -280,3 +280,105 @@ let gen_any_fundef : Ast.fundef Gen.t =
      names are fine here *)
   let* body = gen_any_block 2 in
   return { Ast.fname = "f_" ^ name; params; body }
+
+(* ---------------- stress programs for differential VM testing ------- *)
+
+(* Programs that may trap, spawn threads, install signal handlers and
+   take one-shot setjmp/longjmp exits — every runtime feature the tree
+   and flat steppers implement separately, in one pot.  Used by the
+   tree-vs-flat differential property: both steppers must agree on all
+   observables (stdout, trap message, steps, cycles, syscalls).
+   Termination is still guaranteed (bounded loops, one-shot longjmp
+   guard); trapping is allowed and part of the point. *)
+let gen_stress_program : Ast.program Gen.t =
+  let open Gen in
+  counter := 0;
+  let* body1 = gen_block 2 in
+  let* body2 = gen_block 2 in
+  let* use_thread = bool in
+  let* use_signal = bool in
+  let* use_setjmp = bool in
+  let* use_trappy = bool in
+  let* divisor = int_range 0 2 in
+  let* index = int_range 0 5 in
+  let inits =
+    Ast.Let ("s", Ast.Call ("socket", [ Ast.Str "in" ]))
+    :: List.map (fun v -> Ast.Let (v, Ast.Int 1)) var_names
+  in
+  (* may divide by zero or index out of bounds — the trap must carry the
+     same message and land on the same step in both VMs *)
+  let trappy =
+    if not use_trappy then []
+    else
+      [ Ast.Let ("arr", Ast.Call ("mkarray", [ Ast.Int 4; Ast.Int 7 ]));
+        Ast.Assign
+          ("v0",
+           Ast.Binop
+             (Ast.Div, Ast.Var "v1",
+              Ast.Binop (Ast.Sub, Ast.Var "v2", Ast.Int divisor)));
+        Ast.Assign ("v1", Ast.Index (Ast.Var "arr", Ast.Int index)) ]
+  in
+  let sj body =
+    if not use_setjmp then body
+    else
+      (* one-shot: the longjmp retakes the setjmp exactly once *)
+      Ast.Let ("jumped", Ast.Int 0)
+      :: Ast.Let ("j", Ast.Call ("setjmp", [ Ast.Int 1 ]))
+      :: body
+      @ [ Ast.If
+            ( Ast.Binop
+                (Ast.And,
+                 Ast.Binop (Ast.Eq, Ast.Var "jumped", Ast.Int 0),
+                 Ast.Binop (Ast.Gt, Ast.Var "v0", Ast.Var "v3")),
+              [ Ast.Assign ("jumped", Ast.Int 1);
+                Ast.Expr (Ast.Call ("longjmp", [ Ast.Int 1 ])) ],
+              [] ) ]
+  in
+  let signals =
+    if not use_signal then []
+    else
+      [ Ast.Expr (Ast.Call ("signal", [ Ast.Int 10; Ast.Funref "on_sig" ]));
+        Ast.Expr (Ast.Call ("alarm", [ Ast.Int 2 ]));
+        Ast.Expr (Ast.Call ("signal", [ Ast.Int 14; Ast.Funref "on_sig" ]));
+        Ast.Expr (Ast.Call ("sigsend", [ Ast.Int 10 ])) ]
+  in
+  let thread_setup =
+    if not use_thread then []
+    else
+      [ Ast.Let ("t0", Ast.Call ("spawn", [ Ast.Funref "worker"; Ast.Int 2 ])) ]
+  in
+  let thread_join =
+    if not use_thread then []
+    else [ Ast.Expr (Ast.Call ("join", [ Ast.Var "t0" ])) ]
+  in
+  let handler =
+    { Ast.fname = "on_sig";
+      params = [ "signo" ];
+      body =
+        [ Ast.Expr
+            (Ast.Call ("print", [ Ast.Call ("itoa", [ Ast.Var "signo" ]) ]));
+          Ast.Return (Some (Ast.Int 0)) ] }
+  in
+  let worker =
+    { Ast.fname = "worker";
+      params = [ "wid" ];
+      body =
+        [ Ast.Let ("s", Ast.Call ("socket", [ Ast.Str "in" ]));
+          Ast.For
+            ( Some (Ast.Let ("k", Ast.Int 0)),
+              Some (Ast.Binop (Ast.Lt, Ast.Var "k", Ast.Int 3)),
+              Some (Ast.Assign ("k", Ast.Binop (Ast.Add, Ast.Var "k", Ast.Int 1))),
+              [ Ast.Expr
+                  (Ast.Call ("print", [ Ast.Call ("itoa", [ Ast.Var "k" ]) ])) ] );
+          Ast.Return (Some (Ast.Var "wid")) ] }
+  in
+  let main =
+    { Ast.fname = "main";
+      params = [];
+      body =
+        inits @ signals @ thread_setup
+        @ sj (body1 @ trappy)
+        @ body2 @ thread_join
+        @ [ Ast.Expr (Ast.Call ("print", [ Ast.Str "end" ])) ] }
+  in
+  return { Ast.funcs = [ handler; worker; main ] }

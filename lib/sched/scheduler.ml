@@ -27,7 +27,11 @@
      (decision index, thread) overrides on top of round-robin.  Because
      the base policy is deterministic, two runs sharing a forced prefix
      execute identically up to the first differing override — the
-     property the bounded enumerator ({!Explore}) rests on. *)
+     property the bounded enumerator ({!Explore}) rests on.
+   - [Pinned] always names one spawn index, with NO runnability check —
+     a deliberately hostile policy for testing the VM's pick validation
+     (the VM must trap cleanly, not crash, when a scheduler names a
+     blocked or nonexistent thread).  Not reachable from the CLI. *)
 
 type policy =
   | Round_robin
@@ -35,6 +39,7 @@ type policy =
   | Priority of (int * int) list    (* (spawn index, priority) *)
   | Replay of Schedule.t
   | Forced of (int * int) list      (* (decision index, forced thread) *)
+  | Pinned of int                   (* hostile: always this spawn index *)
 
 type spec = {
   policy : policy;
@@ -78,7 +83,7 @@ let instantiate ?(record = false) (s : spec) : state =
     replay_cursor =
       (match s.policy with
        | Replay sched -> Some (Schedule.start sched)
-       | Round_robin | Random | Priority _ | Forced _ -> None);
+       | Round_robin | Random | Priority _ | Forced _ | Pinned _ -> None);
     rev_log = [] }
 
 let spec_of (st : state) : spec = st.sspec
@@ -183,6 +188,10 @@ let pick (st : state) ~(runnable : int array) ~(steps : int) : decision =
          st.cursor <- st.cursor + 1;
          (t, default_quantum ())
        | Some _ | None -> (rr_pick st runnable, default_quantum ()))
+    | Pinned t ->
+      (* no [contains] check, by design: the point is to hand the VM a
+         pick it must validate *)
+      (t, default_quantum ())
   in
   let preempted = st.last >= 0 && st.last <> chosen && contains runnable st.last in
   if preempted then st.preemptions <- st.preemptions + 1;
@@ -208,6 +217,7 @@ let policy_name = function
   | Priority _ -> "prio"
   | Replay _ -> "replay"
   | Forced _ -> "forced"
+  | Pinned _ -> "pinned"
 
 let spec_to_string (s : spec) =
   let base =
@@ -223,6 +233,7 @@ let spec_to_string (s : spec) =
       "forced:"
       ^ String.concat ","
           (List.map (fun (i, t) -> Printf.sprintf "%d=%d" i t) forced)
+    | Pinned t -> Printf.sprintf "pinned:%d" t
   in
   Printf.sprintf "%s/seed=%d%s" base s.seed
     (match s.quantum_override with

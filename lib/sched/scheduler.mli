@@ -31,6 +31,11 @@ type policy =
           the bounded-exploration hook ({!Explore}): runs sharing a
           forced prefix execute identically up to the first differing
           override. *)
+  | Pinned of int
+      (** Hostile testing policy: always names this spawn index, with
+          no runnability check — exercises the VM's pick validation
+          (a bad pick must trap cleanly, not crash).  Not reachable
+          from the CLI. *)
 
 type spec = {
   policy : policy;

@@ -19,8 +19,19 @@ and base =
   | Arr of t array
   | Fptr of string
 
-let clean base = { base; taint = 0 }
-let with_taint taint base = { base; taint }
+(* Shared clean boxes for small ints, mirroring [Value.int]: shadow
+   arithmetic on untainted values (the overwhelmingly common case in the
+   Table 3 workloads) reuses one box per value instead of allocating a
+   record + Int block per operation. *)
+let small_clean = Array.init 257 (fun i -> { base = Int (i - 1); taint = 0 })
+
+let[@inline] with_taint taint base =
+  match base with
+  | Int n when taint = 0 && n >= -1 && n <= 255 ->
+    Array.unsafe_get small_clean (n + 1)
+  | _ -> { base; taint }
+
+let clean base = with_taint 0 base
 
 let truthy v =
   match v.base with
@@ -30,7 +41,7 @@ let truthy v =
 let rec to_value (v : t) : Value.t =
   match v.base with
   | Unit -> Value.Unit
-  | Int n -> Value.Int n
+  | Int n -> Value.int n
   | Str s -> Value.Str s
   | Fptr f -> Value.Fptr f
   | Arr a -> Value.Arr (Array.map to_value a)
@@ -77,10 +88,44 @@ let apply_builtin (model : model) (name : string) (args : t list) : t =
     let r = Ldx_vm.Eval.apply_builtin name vals in
     of_value ~taint:(builtin_taint model name args) r
 
+(* Int/Int is the hot case; computing it directly skips two [to_value]
+   and one [of_value] conversion per operation.  Semantics (including
+   trap messages and the shift/truthiness edge cases) mirror
+   {!Ldx_vm.Eval.apply_binop} exactly — the generic fallback below is
+   the reference. *)
 let apply_binop op a b =
-  let r = Ldx_vm.Eval.apply_binop op (to_value a) (to_value b) in
-  of_value ~taint:(a.taint lor b.taint) r
+  match (a.base, b.base) with
+  | Int x, Int y ->
+    let r =
+      match (op : Ast.binop) with
+      | Ast.Add -> x + y
+      | Ast.Sub -> x - y
+      | Ast.Mul -> x * y
+      | Ast.Div -> if y = 0 then Value.trap "division by zero" else x / y
+      | Ast.Mod -> if y = 0 then Value.trap "modulo by zero" else x mod y
+      | Ast.Eq -> if x = y then 1 else 0
+      | Ast.Ne -> if x <> y then 1 else 0
+      | Ast.Lt -> if x < y then 1 else 0
+      | Ast.Le -> if x <= y then 1 else 0
+      | Ast.Gt -> if x > y then 1 else 0
+      | Ast.Ge -> if x >= y then 1 else 0
+      | Ast.Band -> x land y
+      | Ast.Bor -> x lor y
+      | Ast.Bxor -> x lxor y
+      | Ast.Shl -> if y < 0 || y > 62 then 0 else x lsl y
+      | Ast.Shr -> if y < 0 || y > 62 then 0 else x asr y
+      | Ast.And -> if x <> 0 && y <> 0 then 1 else 0
+      | Ast.Or -> if x <> 0 || y <> 0 then 1 else 0
+    in
+    with_taint (a.taint lor b.taint) (Int r)
+  | _ ->
+    let r = Ldx_vm.Eval.apply_binop op (to_value a) (to_value b) in
+    of_value ~taint:(a.taint lor b.taint) r
 
 let apply_unop op a =
-  let r = Ldx_vm.Eval.apply_unop op (to_value a) in
-  of_value ~taint:a.taint r
+  match (a.base, (op : Ast.unop)) with
+  | Int x, Ast.Neg -> with_taint a.taint (Int (-x))
+  | Int x, Ast.Not -> with_taint a.taint (Int (if x = 0 then 1 else 0))
+  | _ ->
+    let r = Ldx_vm.Eval.apply_unop op (to_value a) in
+    of_value ~taint:a.taint r

@@ -16,11 +16,13 @@
    not depend on interleaving for our workloads. *)
 
 module Ir = Ldx_cfg.Ir
+module Flat = Ldx_cfg.Flat
 module Os = Ldx_osim.Os
 module Sval = Ldx_osim.Sval
 module World = Ldx_osim.World
 module Cost = Ldx_vm.Cost
 module Value = Ldx_vm.Value
+module Machine = Ldx_vm.Machine
 module Engine = Ldx_core.Engine
 open Ldx_lang
 
@@ -65,13 +67,14 @@ type st = {
 }
 
 let contains hay needle =
+  (* allocation-free scan, same as Engine.contains *)
   let hn = String.length hay and nn = String.length needle in
   nn = 0
-  || (let found = ref false in
-      for i = 0 to hn - nn do
-        if (not !found) && String.sub hay i nn = needle then found := true
-      done;
-      !found)
+  || (let rec matches_at i j =
+        j >= nn || (hay.[i + j] = needle.[j] && matches_at i (j + 1))
+      in
+      let rec scan i = i <= hn - nn && (matches_at i 0 || scan (i + 1)) in
+      scan 0)
 
 let is_source st ~sys ~site ~args ~resources =
   (* no short-circuit: every spec's occurrence counter must advance *)
@@ -106,7 +109,7 @@ let is_source st ~sys ~site ~args ~resources =
        hit || this)
     false st.config.sources
 
-let charge st =
+let[@inline] charge st =
   st.steps <- st.steps + 1;
   if st.steps > st.config.max_steps then Value.trap "fuel exhausted";
   st.cycles <- st.cycles + Cost.instr + Cost.taint_shadow
@@ -142,8 +145,11 @@ let rec eval st (locals : (string, Shadow.t) Hashtbl.t) (e : Ast.expr) :
     let vargs = List.map (eval st locals) args in
     Shadow.apply_builtin st.config.model name vargs
 
-let rec handle_syscall st locals ~sys ~site (vargs : Shadow.t list) : Shadow.t =
-  ignore locals;
+(* Syscall handling is shared by the tree and flat interpreters; [call]
+   is whichever function-call path the caller runs under (so spawned
+   workers execute in the same mode as their spawner). *)
+let handle_syscall st ~(call : string -> Shadow.t list -> Shadow.t) ~sys ~site
+    (vargs : Shadow.t list) : Shadow.t =
   match sys with
   | "lock" | "unlock" | "yield" -> Shadow.clean (Shadow.Int 0)
   | "spawn" ->
@@ -151,7 +157,7 @@ let rec handle_syscall st locals ~sys ~site (vargs : Shadow.t list) : Shadow.t =
      | [ { Shadow.base = Shadow.Fptr f; _ }; arg ] ->
        let tid = st.next_tid in
        st.next_tid <- tid + 1;
-       let r = call_function st f [ arg ] in
+       let r = call f [ arg ] in
        Hashtbl.replace st.thread_results tid r;
        Shadow.clean (Shadow.Int tid)
      | _ -> Value.trap "spawn: bad arguments")
@@ -182,7 +188,7 @@ let rec handle_syscall st locals ~sys ~site (vargs : Shadow.t list) : Shadow.t =
     st.cycles <- st.cycles + Cost.syscall;
     Shadow.of_sval ~taint r
 
-and call_function st (fname : string) (args : Shadow.t list) : Shadow.t =
+let rec call_function st (fname : string) (args : Shadow.t list) : Shadow.t =
   let fn = Ir.find_func_exn st.prog fname in
   let locals = Hashtbl.create 16 in
   (try List.iter2 (fun p a -> Hashtbl.replace locals p a) fn.Ir.params args
@@ -226,7 +232,7 @@ and exec_block st (fn : Ir.func) locals (bid : int) : Shadow.t =
           | _ -> Value.trap "indirect call through non-funptr")
        | Ir.Syscall { dst; sys; args; site } ->
          let vargs = List.map (eval st locals) args in
-         let r = handle_syscall st locals ~sys ~site vargs in
+         let r = handle_syscall st ~call:(call_function st) ~sys ~site vargs in
          (match dst with Some d -> Hashtbl.replace locals d r | None -> ())
        | Ir.Cnt_add _ | Ir.Loop_enter _ | Ir.Loop_back _ | Ir.Loop_exit _ ->
          (* the taint baselines run uninstrumented code; tolerate anyway *)
@@ -247,8 +253,202 @@ and exec_block st (fn : Ir.func) locals (bid : int) : Shadow.t =
   in
   instrs 0
 
-let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
+(* ------------------------------------------------------------------ *)
+(* Flat interpreter: the default hot path, over the same compiled form
+   as the VM ({!Ldx_cfg.Flat}) instantiated with shadow constants.
+   Instruction-for-instruction equivalent to the tree walker above
+   (every IR instruction and terminator is exactly one flat
+   instruction, so [steps] and [cycles] agree between modes); the
+   tracker-specific trap messages — which differ from the VM's — are
+   reproduced exactly.  Calls still use host recursion, preserving the
+   tree walker's stack-overflow behavior on deep recursion. *)
+
+let shadow_consts : Shadow.t Flat.consts =
+  { Flat.c_unit = Shadow.clean Shadow.Unit;
+    c_int = (fun n -> Shadow.clean (Shadow.Int n));
+    c_str = (fun s -> Shadow.clean (Shadow.Str s));
+    c_fun = (fun f -> Shadow.clean (Shadow.Fptr f)) }
+
+(* Unset-register sentinel (physical identity, like {!Value.undef}: the
+   record is a unique allocation, never program-reachable). *)
+let sh_undef : Shadow.t = Shadow.clean (Shadow.Arr [||])
+
+let rec eval_flat st (regs : Shadow.t array) (names : string array)
+    (e : Shadow.t Flat.fexpr) : Shadow.t =
+  match e with
+  | Flat.Const v -> v
+  | Flat.Reg i ->
+    (* unsafe: slots are lowering-assigned, always < Array.length regs *)
+    let v = Array.unsafe_get regs i in
+    if v == sh_undef then Value.trap "undefined variable %s" names.(i) else v
+  | Flat.Unop (op, a) -> Shadow.apply_unop op (eval_flat st regs names a)
+  | Flat.Binop (op, a, b) ->
+    let va = eval_flat st regs names a in
+    let vb = eval_flat st regs names b in
+    Shadow.apply_binop op va vb
+  | Flat.Index (a, i) ->
+    let va = eval_flat st regs names a in
+    let vi = eval_flat st regs names i in
+    (match (va.Shadow.base, vi.Shadow.base) with
+     | Shadow.Arr arr, Shadow.Int k ->
+       if k >= 0 && k < Array.length arr then arr.(k)
+       else Value.trap "index %d out of bounds (len %d)" k (Array.length arr)
+     | Shadow.Str s, Shadow.Int k ->
+       if k >= 0 && k < String.length s then
+         Shadow.with_taint va.Shadow.taint (Shadow.Int (Char.code s.[k]))
+       else Value.trap "string index %d out of bounds" k
+     | _ -> Value.trap "indexing non-array")
+  | Flat.Builtin (name, args) ->
+    let n = Array.length args in
+    let rec build i =
+      if i = n then []
+      else
+        let v = eval_flat st regs names args.(i) in
+        v :: build (i + 1)
+    in
+    Shadow.apply_builtin st.config.model name (build 0)
+  (* specialized shapes: same semantics as the general arms above, with
+     the leaf evaluations inlined (operand order preserved for traps) *)
+  | Flat.BinopRR (op, i, j) ->
+    let va = Array.unsafe_get regs i in
+    let vb = Array.unsafe_get regs j in
+    if va == sh_undef then Value.trap "undefined variable %s" names.(i)
+    else if vb == sh_undef then Value.trap "undefined variable %s" names.(j)
+    else Shadow.apply_binop op va vb
+  | Flat.BinopRC (op, i, v) ->
+    let va = Array.unsafe_get regs i in
+    if va == sh_undef then Value.trap "undefined variable %s" names.(i)
+    else Shadow.apply_binop op va v
+  | Flat.BinopCR (op, v, j) ->
+    let vb = Array.unsafe_get regs j in
+    if vb == sh_undef then Value.trap "undefined variable %s" names.(j)
+    else Shadow.apply_binop op v vb
+  | Flat.IndexRR (x, y) ->
+    let va = Array.unsafe_get regs x in
+    let vi = Array.unsafe_get regs y in
+    if va == sh_undef then Value.trap "undefined variable %s" names.(x)
+    else if vi == sh_undef then Value.trap "undefined variable %s" names.(y)
+    else
+      (match (va.Shadow.base, vi.Shadow.base) with
+       | Shadow.Arr arr, Shadow.Int k ->
+         if k >= 0 && k < Array.length arr then arr.(k)
+         else Value.trap "index %d out of bounds (len %d)" k (Array.length arr)
+       | Shadow.Str s, Shadow.Int k ->
+         if k >= 0 && k < String.length s then
+           Shadow.with_taint va.Shadow.taint (Shadow.Int (Char.code s.[k]))
+         else Value.trap "string index %d out of bounds" k
+       | _ -> Value.trap "indexing non-array")
+
+let rec exec_flat st (fprog : Shadow.t Flat.program)
+    (fl : Shadow.t Flat.func) (regs : Shadow.t array) : Shadow.t =
+  let code = fl.Flat.code in
+  let names = fl.Flat.slot_names in
+  let rec go pc : Shadow.t =
+    (* unsafe fetch: [go (pc + 1)] only runs after non-terminators, and
+       every block ends in a redirecting terminator, so pc stays in
+       bounds by construction *)
+    let ins = Array.unsafe_get code pc in
+    charge st;
+    match ins.Flat.op with
+    | 0 (* assign *) ->
+      Array.unsafe_set regs ins.Flat.dst (eval_flat st regs names ins.Flat.e1);
+      go (pc + 1)
+    | 1 (* store *) ->
+      let va = regs.(ins.Flat.a) in
+      if va == sh_undef then
+        Value.trap "undefined variable %s" ins.Flat.name;
+      let vi = eval_flat st regs names ins.Flat.e1 in
+      let ve = eval_flat st regs names ins.Flat.e2 in
+      (match (va.Shadow.base, vi.Shadow.base) with
+       | Shadow.Arr arr, Shadow.Int k ->
+         if k >= 0 && k < Array.length arr then arr.(k) <- ve
+         else Value.trap "store index %d out of bounds" k
+       | _ -> Value.trap "store into non-array %s" ins.Flat.name);
+      go (pc + 1)
+    | 2 (* call *) ->
+      let fl2 = fprog.Flat.funcs.(ins.Flat.a) in
+      let regs2 = Array.make fl2.Flat.nslots sh_undef in
+      let args = ins.Flat.args in
+      for i = 0 to Array.length args - 1 do
+        regs2.(i) <- eval_flat st regs names args.(i)
+      done;
+      let r = exec_flat st fprog fl2 regs2 in
+      if ins.Flat.dst >= 0 then regs.(ins.Flat.dst) <- r;
+      go (pc + 1)
+    | 3 (* call_indirect *) ->
+      let vf = eval_flat st regs names ins.Flat.e1 in
+      let args = ins.Flat.args in
+      let n = Array.length args in
+      let rec build i =
+        if i = n then []
+        else
+          let v = eval_flat st regs names args.(i) in
+          v :: build (i + 1)
+      in
+      let vargs = build 0 in
+      (match vf.Shadow.base with
+       | Shadow.Fptr name ->
+         let r = call_function_flat st fprog name vargs in
+         if ins.Flat.dst >= 0 then regs.(ins.Flat.dst) <- r;
+         go (pc + 1)
+       | _ -> Value.trap "indirect call through non-funptr")
+    | 4 (* syscall *) ->
+      let args = ins.Flat.args in
+      let n = Array.length args in
+      let rec build i =
+        if i = n then []
+        else
+          let v = eval_flat st regs names args.(i) in
+          v :: build (i + 1)
+      in
+      let r =
+        handle_syscall st ~call:(call_function_flat st fprog)
+          ~sys:ins.Flat.name ~site:ins.Flat.b (build 0)
+      in
+      if ins.Flat.dst >= 0 then regs.(ins.Flat.dst) <- r;
+      go (pc + 1)
+    | 5 | 6 | 7 | 8 (* instrumentation: tolerated, never interpreted *) ->
+      go (pc + 1)
+    | 9 (* jump *) -> go ins.Flat.a
+    | 10 (* branch: taint deliberately NOT propagated *) ->
+      let v = eval_flat st regs names ins.Flat.e1 in
+      go (if Shadow.truthy v then ins.Flat.a else ins.Flat.b)
+    | 11 (* ret *) -> eval_flat st regs names ins.Flat.e1
+    | 12 (* statically-diagnosed arity mismatch: args evaluate first *) ->
+      let args = ins.Flat.args in
+      for i = 0 to Array.length args - 1 do
+        ignore (eval_flat st regs names args.(i) : Shadow.t)
+      done;
+      Value.trap "call %s: arity mismatch" ins.Flat.name
+    | 13 (* statically-unknown callee *) ->
+      let args = ins.Flat.args in
+      for i = 0 to Array.length args - 1 do
+        ignore (eval_flat st regs names args.(i) : Shadow.t)
+      done;
+      ignore (Ir.find_func_exn st.prog ins.Flat.name : Ir.func);
+      assert false
+    | _ -> assert false
+  in
+  go fl.Flat.entry_pc
+
+and call_function_flat st (fprog : Shadow.t Flat.program) (fname : string)
+    (args : Shadow.t list) : Shadow.t =
+  match Hashtbl.find_opt fprog.Flat.fidx fname with
+  | None ->
+    (* same Invalid_argument as the tree walker's find_func_exn *)
+    ignore (Ir.find_func_exn st.prog fname : Ir.func);
+    assert false
+  | Some fi ->
+    let fl = fprog.Flat.funcs.(fi) in
+    if List.length args <> fl.Flat.nparams then
+      Value.trap "call %s: arity mismatch" fname;
+    let regs = Array.make fl.Flat.nslots sh_undef in
+    List.iteri (fun i a -> regs.(i) <- a) args;
+    exec_flat st fprog fl regs
+
+let run ?(config = default_config) ?vm (prog : Ir.program) (world : World.t) :
   result =
+  let vm = match vm with Some v -> v | None -> !Machine.default_vm in
   let os = Os.create ~pid:2000 world in
   let st =
     { prog; os; config;
@@ -261,7 +461,11 @@ let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
   in
   let trap =
     try
-      ignore (call_function st "main" []);
+      (match vm with
+       | Machine.Tree -> ignore (call_function st "main" [] : Shadow.t)
+       | Machine.Flat ->
+         let fprog = Flat.compile shadow_consts prog in
+         ignore (call_function_flat st fprog "main" [] : Shadow.t));
       None
     with
     | Program_exit -> None
@@ -276,5 +480,5 @@ let run ?(config = default_config) (prog : Ir.program) (world : World.t) :
     stdout = Os.stdout_contents os;
     trap }
 
-let run_source ?config src world =
-  run ?config (Ldx_cfg.Lower.lower_source src) world
+let run_source ?config ?vm src world =
+  run ?config ?vm (Ldx_cfg.Lower.lower_source src) world

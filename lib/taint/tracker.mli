@@ -29,8 +29,13 @@ type result = {
 }
 
 (** Run on an UNinstrumented program (counter instructions, if present,
-    are ignored). *)
+    are ignored).  [?vm] selects the interpreter form — flat bytecode
+    (default, {!Ldx_vm.Machine.default_vm}) or the original tree walk;
+    both produce identical verdicts, steps and cycles. *)
 val run :
-  ?config:config -> Ldx_cfg.Ir.program -> Ldx_osim.World.t -> result
+  ?config:config -> ?vm:Ldx_vm.Machine.vm_mode ->
+  Ldx_cfg.Ir.program -> Ldx_osim.World.t -> result
 
-val run_source : ?config:config -> string -> Ldx_osim.World.t -> result
+val run_source :
+  ?config:config -> ?vm:Ldx_vm.Machine.vm_mode ->
+  string -> Ldx_osim.World.t -> result

@@ -26,39 +26,40 @@ let apply_builtin name (args : t list) : t =
       else 0
     in
     let v = digits i0 0 false in
-    Int (if i0 = 1 && n > 0 && s.[0] = '-' then -v else v)
-  | "atoi", [ Int n ] -> Int n
-  | "strlen", [ Str s ] -> Int (String.length s)
+    int (if i0 = 1 && n > 0 && s.[0] = '-' then -v else v)
+  | "atoi", [ Int n ] -> int n
+  | "strlen", [ Str s ] -> int (String.length s)
   | "substr", [ Str s; Int start; Int len ] ->
     let n = String.length s in
     let start = max 0 (min start n) in
     let len = max 0 (min len (n - start)) in
     Str (String.sub s start len)
   | "char_at", [ Str s; Int i ] ->
-    if i >= 0 && i < String.length s then Int (Char.code s.[i]) else Int (-1)
+    if i >= 0 && i < String.length s then int (Char.code s.[i]) else int (-1)
   | "chr", [ Int c ] -> Str (String.make 1 (Char.chr (c land 255)))
   | "find", [ Str hay; Str needle ] ->
+    (* allocation-free char-compare scan (a String.sub per candidate
+       offset was O(n*m) garbage on the hot path) *)
     let hn = String.length hay and nn = String.length needle in
-    if nn = 0 then Int 0
+    if nn = 0 then int 0
     else begin
-      let res = ref (-1) in
-      (try
-         for i = 0 to hn - nn do
-           if String.sub hay i nn = needle then begin
-             res := i;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      Int !res
+      let rec matches_at i j =
+        j >= nn || (hay.[i + j] = needle.[j] && matches_at i (j + 1))
+      in
+      let rec scan i =
+        if i > hn - nn then -1
+        else if matches_at i 0 then i
+        else scan (i + 1)
+      in
+      int (scan 0)
     end
   | "hash", [ Str s ] -> Int (string_hash s)
   | "hash", [ Int n ] -> Int (string_hash (string_of_int n))
-  | "min", [ Int a; Int b ] -> Int (min a b)
-  | "max", [ Int a; Int b ] -> Int (max a b)
-  | "abs", [ Int a ] -> Int (abs a)
-  | "len", [ Arr a ] -> Int (Array.length a)
-  | "len", [ Str s ] -> Int (String.length s)
+  | "min", [ Int a; Int b ] -> int (min a b)
+  | "max", [ Int a; Int b ] -> int (max a b)
+  | "abs", [ Int a ] -> int (abs a)
+  | "len", [ Arr a ] -> int (Array.length a)
+  | "len", [ Str s ] -> int (String.length s)
   | "mkarray", [ Int n; init ] ->
     if n < 0 || n > 1_000_000 then trap "mkarray: bad size %d" n
     else Arr (Array.make n init)
@@ -77,48 +78,48 @@ let apply_builtin name (args : t list) : t =
       Str (Buffer.contents buf)
     end
   | "bit", [ Int x; Int i ] ->
-    if i < 0 || i > 62 then Int 0 else Int ((x lsr i) land 1)
+    if i < 0 || i > 62 then int 0 else int ((x lsr i) land 1)
   | _ ->
     trap "builtin %s: bad arguments (%s)" name
       (String.concat ", " (List.map to_string args))
 
 let apply_binop (op : Ast.binop) (a : t) (b : t) : t =
   match (op, a, b) with
-  | Ast.Add, Int x, Int y -> Int (x + y)
+  | Ast.Add, Int x, Int y -> int (x + y)
   | Ast.Add, Str x, Str y -> Str (x ^ y)
   | Ast.Add, Str x, Int y -> Str (x ^ string_of_int y)
   | Ast.Add, Int x, Str y -> Str (string_of_int x ^ y)
-  | Ast.Sub, Int x, Int y -> Int (x - y)
-  | Ast.Mul, Int x, Int y -> Int (x * y)
+  | Ast.Sub, Int x, Int y -> int (x - y)
+  | Ast.Mul, Int x, Int y -> int (x * y)
   | Ast.Div, Int _, Int 0 -> trap "division by zero"
-  | Ast.Div, Int x, Int y -> Int (x / y)
+  | Ast.Div, Int x, Int y -> int (x / y)
   | Ast.Mod, Int _, Int 0 -> trap "modulo by zero"
-  | Ast.Mod, Int x, Int y -> Int (x mod y)
-  | Ast.Eq, x, y -> Int (if equal x y then 1 else 0)
-  | Ast.Ne, x, y -> Int (if equal x y then 0 else 1)
-  | Ast.Lt, Int x, Int y -> Int (if x < y then 1 else 0)
-  | Ast.Le, Int x, Int y -> Int (if x <= y then 1 else 0)
-  | Ast.Gt, Int x, Int y -> Int (if x > y then 1 else 0)
-  | Ast.Ge, Int x, Int y -> Int (if x >= y then 1 else 0)
-  | Ast.Lt, Str x, Str y -> Int (if String.compare x y < 0 then 1 else 0)
-  | Ast.Le, Str x, Str y -> Int (if String.compare x y <= 0 then 1 else 0)
-  | Ast.Gt, Str x, Str y -> Int (if String.compare x y > 0 then 1 else 0)
-  | Ast.Ge, Str x, Str y -> Int (if String.compare x y >= 0 then 1 else 0)
-  | Ast.Band, Int x, Int y -> Int (x land y)
-  | Ast.Bor, Int x, Int y -> Int (x lor y)
-  | Ast.Bxor, Int x, Int y -> Int (x lxor y)
-  | Ast.Shl, Int x, Int y -> Int (if y < 0 || y > 62 then 0 else x lsl y)
-  | Ast.Shr, Int x, Int y -> Int (if y < 0 || y > 62 then 0 else x asr y)
-  | Ast.And, x, y -> Int (if truthy x && truthy y then 1 else 0)
-  | Ast.Or, x, y -> Int (if truthy x || truthy y then 1 else 0)
+  | Ast.Mod, Int x, Int y -> int (x mod y)
+  | Ast.Eq, x, y -> int (if equal x y then 1 else 0)
+  | Ast.Ne, x, y -> int (if equal x y then 0 else 1)
+  | Ast.Lt, Int x, Int y -> int (if x < y then 1 else 0)
+  | Ast.Le, Int x, Int y -> int (if x <= y then 1 else 0)
+  | Ast.Gt, Int x, Int y -> int (if x > y then 1 else 0)
+  | Ast.Ge, Int x, Int y -> int (if x >= y then 1 else 0)
+  | Ast.Lt, Str x, Str y -> int (if String.compare x y < 0 then 1 else 0)
+  | Ast.Le, Str x, Str y -> int (if String.compare x y <= 0 then 1 else 0)
+  | Ast.Gt, Str x, Str y -> int (if String.compare x y > 0 then 1 else 0)
+  | Ast.Ge, Str x, Str y -> int (if String.compare x y >= 0 then 1 else 0)
+  | Ast.Band, Int x, Int y -> int (x land y)
+  | Ast.Bor, Int x, Int y -> int (x lor y)
+  | Ast.Bxor, Int x, Int y -> int (x lxor y)
+  | Ast.Shl, Int x, Int y -> int (if y < 0 || y > 62 then 0 else x lsl y)
+  | Ast.Shr, Int x, Int y -> int (if y < 0 || y > 62 then 0 else x asr y)
+  | Ast.And, x, y -> int (if truthy x && truthy y then 1 else 0)
+  | Ast.Or, x, y -> int (if truthy x || truthy y then 1 else 0)
   | op, a, b ->
     trap "binop %s: bad operands %s, %s" (Ast.binop_to_string op)
       (to_string a) (to_string b)
 
 let apply_unop (op : Ast.unop) (a : t) : t =
   match (op, a) with
-  | Ast.Neg, Int x -> Int (-x)
-  | Ast.Not, x -> Int (if truthy x then 0 else 1)
+  | Ast.Neg, Int x -> int (-x)
+  | Ast.Not, x -> int (if truthy x then 0 else 1)
   | Ast.Neg, (Str _ | Arr _ | Fptr _ | Unit) -> trap "negation of non-int"
 
 (* Evaluate a pure expression against locals. *)
@@ -144,9 +145,113 @@ let rec eval (locals : (string, t) Hashtbl.t) (e : Ast.expr) : t =
        if k >= 0 && k < Array.length arr then arr.(k)
        else trap "index %d out of bounds (len %d)" k (Array.length arr)
      | Str s, Int k ->
-       if k >= 0 && k < String.length s then Int (Char.code s.[k])
+       if k >= 0 && k < String.length s then int (Char.code s.[k])
        else trap "string index %d out of bounds (len %d)" k (String.length s)
      | _ -> trap "indexing non-array")
   | Ast.Call (name, args) ->
     let vargs = List.map (eval locals) args in
     apply_builtin name vargs
+
+(* Evaluate a pure expression against register slots, resolving names
+   through the flat symbol table (the tree-mode VM path: same Ast walk
+   as [eval], same traps, register-file storage). *)
+let rec eval_reg (slot_of : (string, int) Hashtbl.t) (regs : t array)
+    (e : Ast.expr) : t =
+  match e with
+  | Ast.Int n -> Int n
+  | Ast.Str s -> Str s
+  | Ast.Var x ->
+    (match Hashtbl.find_opt slot_of x with
+     | Some i ->
+       let v = regs.(i) in
+       if v == undef then trap "undefined variable %s" x else v
+     | None -> trap "undefined variable %s" x)
+  | Ast.Funref f -> Fptr f
+  | Ast.Unop (op, a) -> apply_unop op (eval_reg slot_of regs a)
+  | Ast.Binop (op, a, b) ->
+    let va = eval_reg slot_of regs a in
+    let vb = eval_reg slot_of regs b in
+    apply_binop op va vb
+  | Ast.Index (a, i) ->
+    let va = eval_reg slot_of regs a in
+    let vi = eval_reg slot_of regs i in
+    (match (va, vi) with
+     | Arr arr, Int k ->
+       if k >= 0 && k < Array.length arr then arr.(k)
+       else trap "index %d out of bounds (len %d)" k (Array.length arr)
+     | Str s, Int k ->
+       if k >= 0 && k < String.length s then int (Char.code s.[k])
+       else trap "string index %d out of bounds (len %d)" k (String.length s)
+     | _ -> trap "indexing non-array")
+  | Ast.Call (name, args) ->
+    let vargs = List.map (eval_reg slot_of regs) args in
+    apply_builtin name vargs
+
+(* Evaluate a compiled flat expression: constants preallocated, variable
+   reads are array loads (undefined slots trap through the sentinel).
+   [names] maps slots back to source names for the trap message. *)
+module Flat = Ldx_cfg.Flat
+
+let rec eval_flat (regs : t array) (names : string array)
+    (e : t Flat.fexpr) : t =
+  match e with
+  | Flat.Const v -> v
+  | Flat.Reg i ->
+    (* unsafe: slots are lowering-assigned, always < Array.length regs *)
+    let v = Array.unsafe_get regs i in
+    if v == undef then trap "undefined variable %s" names.(i) else v
+  | Flat.Unop (op, a) -> apply_unop op (eval_flat regs names a)
+  | Flat.Binop (op, a, b) ->
+    let va = eval_flat regs names a in
+    let vb = eval_flat regs names b in
+    apply_binop op va vb
+  | Flat.Index (a, i) ->
+    let va = eval_flat regs names a in
+    let vi = eval_flat regs names i in
+    (match (va, vi) with
+     | Arr arr, Int k ->
+       if k >= 0 && k < Array.length arr then arr.(k)
+       else trap "index %d out of bounds (len %d)" k (Array.length arr)
+     | Str s, Int k ->
+       if k >= 0 && k < String.length s then int (Char.code s.[k])
+       else trap "string index %d out of bounds (len %d)" k (String.length s)
+     | _ -> trap "indexing non-array")
+  | Flat.Builtin (name, args) ->
+    let n = Array.length args in
+    let rec build i =
+      if i = n then []
+      else
+        let v = eval_flat regs names args.(i) in
+        v :: build (i + 1)
+    in
+    apply_builtin name (build 0)
+  (* specialized shapes: same semantics as the general arms above, with
+     the leaf evaluations inlined (operand order preserved for traps) *)
+  | Flat.BinopRR (op, i, j) ->
+    let va = Array.unsafe_get regs i in
+    let vb = Array.unsafe_get regs j in
+    if va == undef then trap "undefined variable %s" names.(i)
+    else if vb == undef then trap "undefined variable %s" names.(j)
+    else apply_binop op va vb
+  | Flat.BinopRC (op, i, v) ->
+    let va = Array.unsafe_get regs i in
+    if va == undef then trap "undefined variable %s" names.(i)
+    else apply_binop op va v
+  | Flat.BinopCR (op, v, j) ->
+    let vb = Array.unsafe_get regs j in
+    if vb == undef then trap "undefined variable %s" names.(j)
+    else apply_binop op v vb
+  | Flat.IndexRR (x, y) ->
+    let va = Array.unsafe_get regs x in
+    let vi = Array.unsafe_get regs y in
+    if va == undef then trap "undefined variable %s" names.(x)
+    else if vi == undef then trap "undefined variable %s" names.(y)
+    else
+      (match (va, vi) with
+       | Arr arr, Int k ->
+         if k >= 0 && k < Array.length arr then arr.(k)
+         else trap "index %d out of bounds (len %d)" k (Array.length arr)
+       | Str s, Int k ->
+         if k >= 0 && k < String.length s then int (Char.code s.[k])
+         else trap "string index %d out of bounds (len %d)" k (String.length s)
+       | _ -> trap "indexing non-array")

@@ -17,3 +17,15 @@ val apply_unop : Ldx_lang.Ast.unop -> Value.t -> Value.t
 (** Evaluate a pure expression against the locals table.
     @raise Value.Trap on undefined variables or dynamic type errors. *)
 val eval : (string, Value.t) Hashtbl.t -> Ldx_lang.Ast.expr -> Value.t
+
+(** Same walk over register-file storage, resolving names through the
+    flat symbol table (the VM's tree-mode path).  Slots holding
+    {!Value.undef} trap as undefined variables. *)
+val eval_reg :
+  (string, int) Hashtbl.t -> Value.t array -> Ldx_lang.Ast.expr -> Value.t
+
+(** Evaluate a compiled flat expression ({!Ldx_cfg.Flat}): constants are
+    preallocated, variable reads are array loads.  [names] maps slots
+    back to source names for trap messages. *)
+val eval_flat :
+  Value.t array -> string array -> Value.t Ldx_cfg.Flat.fexpr -> Value.t

@@ -13,11 +13,45 @@
    segments; a segment has the current counter value and a stack of
    (loop id, iteration) pairs maintained by the Loop_enter / Loop_back /
    Loop_exit instrumentation.  Fresh-frame calls (indirect calls and calls
-   to recursive functions) push a segment. *)
+   to recursive functions) push a segment.
+
+   Execution form: [create] compiles the program once to flat bytecode
+   (Ldx_cfg.Flat) — integer opcodes, register slots, resolved jumps —
+   and the default stepper dispatches over that with no per-instruction
+   hashing or allocation.  The original tree walker survives as the
+   [Tree] mode (same frames, name lookups through the flat symbol
+   tables) so the two paths can be differentially tested; both charge
+   the virtual clock and the profile identically. *)
 
 module Ir = Ldx_cfg.Ir
+module Flat = Ldx_cfg.Flat
 module Sched = Ldx_sched.Scheduler
 open Value
+
+(* The two steppers must agree on opcode numbering with the profile. *)
+let () =
+  assert (
+    Flat.op_assign = Profile.op_assign
+    && Flat.op_store = Profile.op_store
+    && Flat.op_call = Profile.op_call
+    && Flat.op_call_indirect = Profile.op_call_indirect
+    && Flat.op_syscall = Profile.op_syscall
+    && Flat.op_cnt_add = Profile.op_cnt_add
+    && Flat.op_loop_enter = Profile.op_loop_enter
+    && Flat.op_loop_back = Profile.op_loop_back
+    && Flat.op_loop_exit = Profile.op_loop_exit
+    && Flat.op_jump = Profile.op_jump
+    && Flat.op_branch = Profile.op_branch
+    && Flat.op_ret = Profile.op_ret
+    && Flat.op_call_arity = 12
+    && Flat.op_call_missing = 13)
+
+type vm_mode = Tree | Flat
+
+(* Session-wide default stepper; [LDX_VM=tree] keeps the legacy tree
+   walker (parity smoke, differential tests). *)
+let default_vm : vm_mode ref =
+  ref (match Sys.getenv_opt "LDX_VM" with Some "tree" -> Tree | _ -> Flat)
 
 type seg = {
   mutable cnt : int;
@@ -28,6 +62,7 @@ type pending = {
   sys : string;
   sysargs : Value.t list;
   dst : string option;
+  dst_slot : int;                     (* resolved register slot; -1 = none *)
   site : int;
 }
 
@@ -41,10 +76,13 @@ type status =
 
 type frame = {
   fn : Ir.func;
+  fl : Value.t Flat.func;
   mutable bid : int;
   mutable idx : int;
-  locals : (string, Value.t) Hashtbl.t;
-  ret_dst : string option;
+  (* [idx] is the flat pc in Flat mode, the in-block instruction index
+     in Tree mode; [bid] is the current block in both *)
+  regs : Value.t array;                (* slots; [Value.undef] = unset *)
+  ret_dst : int;                       (* caller slot for the result; -1 *)
   fresh : bool;                        (* pushed a counter segment *)
   prof_base : int;
   (* the function's base in the profile's flat block numbering (0 when
@@ -64,14 +102,14 @@ type thread = {
 }
 
 (* setjmp/longjmp (Sec. 6): the buffer snapshots the frame stack shape,
-   the resume point, the destination register of the setjmp, and — the
+   the resume point, the destination slot of the setjmp, and — the
    paper's key detail — a deep copy of the counter-segment stack, which
    longjmp restores so alignment survives non-local control flow. *)
 and jmp_buf = {
   j_frames : frame list;               (* frame list at the setjmp *)
   j_bid : int;                         (* resume point (after setjmp) *)
   j_idx : int;
-  j_dst : string option;
+  j_dst : int;                         (* slot the setjmp writes; -1 = none *)
   j_segs : (int * (int * int) list) list;  (* snapshot: (cnt, loops) *)
 }
 
@@ -82,10 +120,14 @@ type lock_state = {
 
 type t = {
   prog : Ir.program;
+  fprog : Value.t Flat.program;        (* the compiled execution form *)
+  vm : vm_mode;
   os : Ldx_osim.Os.t;
   mutable threads : thread list;       (* creation order *)
+  mutable by_spawn : thread array;     (* index = spawn_index (O(1) picks) *)
   mutable next_tid : int;
   mutable spawn_count : int;
+  mutable scratch : int array array;   (* exact-size runnable-set buffers *)
   locks : (string, lock_state) Hashtbl.t;
   sig_handlers : (int, string) Hashtbl.t;    (* signo -> handler function *)
   mutable lock_trace : (string * int) list;  (* (lock, spawn_index), reversed *)
@@ -139,30 +181,50 @@ let lock_key = function
   | Str s -> "s:" ^ s
   | Unit | Arr _ | Fptr _ -> trap "invalid lock id"
 
-let create ?(seed = 0) ?sched ?(max_steps = 30_000_000) ?prof
+(* Constant injections for the VM's instantiation of the flat form:
+   each literal is boxed once, at compile time. *)
+let value_consts : Value.t Flat.consts =
+  { Flat.c_unit = Unit;
+    c_int = (fun n -> Int n);
+    c_str = (fun s -> Str s);
+    c_fun = (fun f -> Fptr f) }
+
+(* Fresh frame for [fl]; regs start as the undef sentinel. *)
+let new_frame vm (fl : Value.t Flat.func) ~ret_dst ~fresh ~prof_base =
+  let fn = fl.Flat.f_ir in
+  { fn; fl;
+    bid = fn.Ir.entry;
+    idx = (match vm with Tree -> 0 | Flat -> fl.Flat.entry_pc);
+    regs = Array.make fl.Flat.nslots undef;
+    ret_dst; fresh; prof_base }
+
+let create ?(seed = 0) ?sched ?(max_steps = 30_000_000) ?prof ?vm
     (prog : Ir.program) (os : Ldx_osim.Os.t) : t =
+  let vm = match vm with Some v -> v | None -> !default_vm in
   let main = Ir.find_func_exn prog "main" in
   if main.Ir.params <> [] then invalid_arg "Machine.create: main takes no params";
   (match prof with Some p -> Profile.attach p prog | None -> ());
   let main_base =
     match prof with Some p -> Profile.base_of p main.Ir.fname | None -> 0
   in
+  let fprog = Flat.compile value_consts prog in
+  let main_fl = fprog.Flat.funcs.(Hashtbl.find fprog.Flat.fidx "main") in
   let main_thread =
     { tid = 0; spawn_index = 0;
-      frames =
-        [ { fn = main; bid = main.Ir.entry; idx = 0;
-            locals = Hashtbl.create 16; ret_dst = None; fresh = false;
-            prof_base = main_base } ];
+      frames = [ new_frame vm main_fl ~ret_dst:(-1) ~fresh:false
+                   ~prof_base:main_base ];
       segs = [ new_seg () ];
       status = Runnable;
       jmp_bufs = Hashtbl.create 4;
       alarm = None;
       pending_signals = [] }
   in
-  { prog; os;
+  { prog; fprog; vm; os;
     threads = [ main_thread ];
+    by_spawn = Array.make 4 main_thread;
     next_tid = 1;
     spawn_count = 1;
+    scratch = [||];
     locks = Hashtbl.create 8;
     sig_handlers = Hashtbl.create 4;
     lock_trace = [];
@@ -222,12 +284,31 @@ let counter_of (th : thread) = (cur_seg th).cnt
 (* ------------------------------------------------------------------ *)
 (* Thread primitives (used by the driver to service thread syscalls).  *)
 
+(* Register a thread under its spawn index (grow-by-doubling). *)
+let register_thread t (th : thread) =
+  let n = Array.length t.by_spawn in
+  if th.spawn_index >= n then begin
+    let a = Array.make (max 4 (2 * n)) th in
+    Array.blit t.by_spawn 0 a 0 n;
+    t.by_spawn <- a
+  end;
+  t.by_spawn.(th.spawn_index) <- th
+
 let spawn t (fname : string) (arg : Value.t) : int =
-  let fn = Ir.find_func_exn t.prog fname in
-  let locals = Hashtbl.create 16 in
-  (match fn.Ir.params with
-   | [] -> ()
-   | [ p ] -> Hashtbl.replace locals p arg
+  let fl =
+    match Hashtbl.find_opt t.fprog.Flat.fidx fname with
+    | Some fi -> t.fprog.Flat.funcs.(fi)
+    | None ->
+      ignore (Ir.find_func_exn t.prog fname : Ir.func);
+      assert false
+  in
+  let frame =
+    new_frame t.vm fl ~ret_dst:(-1) ~fresh:false
+      ~prof_base:(prof_base_of t fname)
+  in
+  (match fl.Flat.nparams with
+   | 0 -> ()
+   | 1 -> frame.regs.(0) <- arg
    | _ -> trap "spawn: %s must take at most one parameter" fname);
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
@@ -235,9 +316,7 @@ let spawn t (fname : string) (arg : Value.t) : int =
   t.spawn_count <- spawn_index + 1;
   let th =
     { tid; spawn_index;
-      frames = [ { fn; bid = fn.Ir.entry; idx = 0; locals;
-                   ret_dst = None; fresh = false;
-                   prof_base = prof_base_of t fname } ];
+      frames = [ frame ];
       segs = [ new_seg () ];
       status = Runnable;
       jmp_bufs = Hashtbl.create 4;
@@ -245,6 +324,7 @@ let spawn t (fname : string) (arg : Value.t) : int =
       pending_signals = [] }
   in
   t.threads <- t.threads @ [ th ];
+  register_thread t th;
   tid
 
 let find_thread t tid = List.find_opt (fun th -> th.tid = tid) t.threads
@@ -300,11 +380,19 @@ let do_setjmp t (th : thread) (bufv : Value.t) ~(dst : string option) : unit =
   ignore t;
   let key = lock_key bufv in
   let frame = cur_frame th in
+  let j_dst =
+    match dst with
+    | None -> -1
+    | Some d ->
+      (match Hashtbl.find_opt frame.fl.Flat.slot_of d with
+       | Some i -> i
+       | None -> -1)
+  in
   Hashtbl.replace th.jmp_bufs key
     { j_frames = th.frames;
       j_bid = frame.bid;
       j_idx = frame.idx;
-      j_dst = dst;
+      j_dst;
       j_segs = List.map (fun s -> (s.cnt, s.loops)) th.segs }
 
 (* longjmp: unwind to the saved frame list, restore the counter stack,
@@ -320,9 +408,7 @@ let do_longjmp t (th : thread) (bufv : Value.t) : bool =
     frame.bid <- buf.j_bid;
     frame.idx <- buf.j_idx;
     th.segs <- List.map (fun (cnt, loops) -> { cnt; loops }) buf.j_segs;
-    (match buf.j_dst with
-     | Some d -> Hashtbl.replace frame.locals d (Int 1)
-     | None -> ());
+    if buf.j_dst >= 0 then frame.regs.(buf.j_dst) <- Int 1;
     true
 
 (* Signals (Sec. 7).  Handlers are invoked like indirect calls: a fresh
@@ -346,17 +432,86 @@ let raise_signal (th : thread) (signo : int) : unit =
   th.pending_signals <- th.pending_signals @ [ signo ]
 
 (* ------------------------------------------------------------------ *)
+(* Calls.                                                              *)
+
+let push_seg t (th : thread) =
+  th.segs <- new_seg () :: th.segs;
+  let depth = List.length th.segs in
+  if depth > t.max_seg_depth then t.max_seg_depth <- depth
+
+(* Generic call path (tree mode, indirect calls, signal handlers):
+   args arrive as a list, arity is checked at runtime with the
+   historical trap message. *)
+let push_call t (th : thread) ~(fl : Value.t Flat.func) ~(vargs : Value.t list)
+    ~(ret_dst : int) ~fresh =
+  let nargs = List.length vargs in
+  if nargs <> fl.Flat.nparams then
+    trap "call %s: arity mismatch (%d args, %d params)" fl.Flat.f_ir.Ir.fname
+      nargs fl.Flat.nparams;
+  let frame =
+    new_frame t.vm fl ~ret_dst ~fresh
+      ~prof_base:(prof_base_of t fl.Flat.f_ir.Ir.fname)
+  in
+  List.iteri (fun i a -> frame.regs.(i) <- a) vargs;
+  th.frames <- frame :: th.frames;
+  if fresh then push_seg t th
+
+let func_by_name t name =
+  match Hashtbl.find_opt t.fprog.Flat.fidx name with
+  | Some fi -> Some t.fprog.Flat.funcs.(fi)
+  | None -> None
+
+(* Push handler frames for every pending signal (oldest runs first, so
+   push in reverse order).  Unhandled signals are ignored (the default
+   disposition). *)
+let deliver_signals t (th : thread) =
+  match th.pending_signals with
+  | [] -> ()
+  | pending ->
+    th.pending_signals <- [];
+    List.iter
+      (fun signo ->
+         match Hashtbl.find_opt t.sig_handlers signo with
+         | None -> ()
+         | Some h ->
+           (match func_by_name t h with
+            | Some fl ->
+              push_call t th ~fl ~vargs:[ Int signo ] ~ret_dst:(-1)
+                ~fresh:true
+            | None -> trap "signal handler %s is not a function" h))
+      (List.rev pending)
+
+let pop_frame t (th : thread) (retval : Value.t) =
+  match th.frames with
+  | [] -> trap "return with empty frame stack"
+  | frame :: rest ->
+    th.frames <- rest;
+    if frame.fresh then begin
+      (match th.segs with
+       | _ :: outer :: _ as segs ->
+         th.segs <- List.tl segs;
+         (* the call site contributes a fixed +1 (Sec. 6) *)
+         outer.cnt <- outer.cnt + 1
+       | _ -> trap "fresh frame without outer counter segment")
+    end;
+    (match rest with
+     | [] -> th.status <- Finished retval
+     | caller :: _ ->
+       if frame.ret_dst >= 0 then caller.regs.(frame.ret_dst) <- retval);
+    ignore t
+
+(* ------------------------------------------------------------------ *)
 (* Driver interface for pending events.                                 *)
 
 let provide_result_hook :
   (t -> thread -> unit) ref = ref (fun _ _ -> ())
 
+let () = provide_result_hook := deliver_signals
+
 let provide_result t (th : thread) (v : Value.t) =
   match th.status with
   | Awaiting p ->
-    (match p.dst with
-     | Some d -> Hashtbl.replace (cur_frame th).locals d v
-     | None -> ());
+    if p.dst_slot >= 0 then (cur_frame th).regs.(p.dst_slot) <- v;
     t.cycles <- t.cycles + Cost.syscall;
     (match t.prof with
      | Some pr ->
@@ -394,68 +549,6 @@ let release_barrier t (th : thread) =
   | Runnable | Awaiting _ | Finished _ ->
     invalid_arg "Machine.release_barrier: thread not at barrier"
 
-(* ------------------------------------------------------------------ *)
-(* Instruction execution.                                              *)
-
-let push_call t (th : thread) ~(callee : Ir.func) ~args ~dst ~fresh =
-  let locals = Hashtbl.create 16 in
-  (try List.iter2 (fun p a -> Hashtbl.replace locals p a) callee.Ir.params args
-   with Invalid_argument _ ->
-     trap "call %s: arity mismatch (%d args, %d params)" callee.Ir.fname
-       (List.length args) (List.length callee.Ir.params));
-  th.frames <-
-    { fn = callee; bid = callee.Ir.entry; idx = 0; locals; ret_dst = dst;
-      fresh; prof_base = prof_base_of t callee.Ir.fname }
-    :: th.frames;
-  if fresh then begin
-    th.segs <- new_seg () :: th.segs;
-    let depth = List.length th.segs in
-    if depth > t.max_seg_depth then t.max_seg_depth <- depth
-  end
-
-(* Push handler frames for every pending signal (oldest runs first, so
-   push in reverse order).  Unhandled signals are ignored (the default
-   disposition). *)
-let deliver_signals t (th : thread) =
-  match th.pending_signals with
-  | [] -> ()
-  | pending ->
-    th.pending_signals <- [];
-    List.iter
-      (fun signo ->
-         match Hashtbl.find_opt t.sig_handlers signo with
-         | None -> ()
-         | Some h ->
-           (match Ir.find_func t.prog h with
-            | Some fn ->
-              push_call t th ~callee:fn ~args:[ Int signo ] ~dst:None
-                ~fresh:true
-            | None -> trap "signal handler %s is not a function" h))
-      (List.rev pending)
-
-let () = provide_result_hook := deliver_signals
-
-let pop_frame t (th : thread) (retval : Value.t) =
-  match th.frames with
-  | [] -> trap "return with empty frame stack"
-  | frame :: rest ->
-    th.frames <- rest;
-    if frame.fresh then begin
-      (match th.segs with
-       | _ :: outer :: _ as segs ->
-         th.segs <- List.tl segs;
-         (* the call site contributes a fixed +1 (Sec. 6) *)
-         outer.cnt <- outer.cnt + 1
-       | _ -> trap "fresh frame without outer counter segment")
-    end;
-    (match rest with
-     | [] -> th.status <- Finished retval
-     | caller :: _ ->
-       (match frame.ret_dst with
-        | Some d -> Hashtbl.replace caller.locals d retval
-        | None -> ()));
-    ignore t
-
 let record_cnt_sample t (th : thread) =
   let c = (cur_seg th).cnt in
   t.cnt_sum <- t.cnt_sum + c;
@@ -463,29 +556,242 @@ let record_cnt_sample t (th : thread) =
   if c > t.cnt_max then t.cnt_max <- c;
   match t.on_obs_cnt_sample with Some f -> f t th c | None -> ()
 
-(* Execute one instruction or terminator step of [th].  Returns an event
-   if the driver must intervene. *)
-let step_thread t (th : thread) : event option =
+(* Common syscall dispatch tail: alarm countdown, counter bump, event. *)
+let syscall_event t (th : thread) (frame : frame) (p : pending) : event option =
+  (match th.alarm with
+   | Some (1, signo) ->
+     th.alarm <- None;
+     raise_signal th signo
+   | Some (k, signo) -> th.alarm <- Some (k - 1, signo)
+   | None -> ());
+  let seg = cur_seg th in
+  seg.cnt <- seg.cnt + 1;
+  record_cnt_sample t th;
+  t.syscalls <- t.syscalls + 1;
+  (* step counted at dispatch; the Cost.syscall cycles land in the
+     same block at [provide_result] *)
+  charge t frame Profile.op_syscall 0;
+  th.status <- Awaiting p;
+  Some (Ev_syscall th)
+
+(* ------------------------------------------------------------------ *)
+(* Flat quantum runner: the hot loop.                                  *)
+
+exception Trapped of string
+
+(* Execute up to [q0] instructions of [th] (which must be Runnable).
+   Returns the event that ended the quantum early, or [None] when the
+   quantum (or the thread's runnability) ran out.  The current frame's
+   code/regs/names are held in locals and refetched only when the frame
+   stack changes (call/ret), so the per-instruction cost is one int
+   match plus field loads — no hashing, no list traversal, and no
+   allocation beyond what the semantics demand (syscall argument lists,
+   loop-stack conses, callee register files).  Reads through
+   lowering-produced indices are unchecked: pc targets and register
+   slots are in range by construction (every block ends in a
+   redirecting terminator, slots are assigned below [nslots]);
+   program-controlled indices — array loads/stores — keep their
+   checks. *)
+let run_quantum_flat t (th : thread) (q0 : int) : event option =
+  let rec enter q =
+    match th.frames with
+    | [] -> None
+    | frame :: _ ->
+      run frame frame.fl.Flat.code frame.regs frame.fl.Flat.slot_names q
+  and run frame code regs names q =
+    if q = 0 then None
+    else if t.steps >= t.max_steps then raise (Trapped "fuel exhausted")
+    else begin
+      let ins = Array.unsafe_get code frame.idx in
+      t.steps <- t.steps + 1;
+      frame.idx <- frame.idx + 1;
+      frame.bid <- ins.Flat.i_bid;
+      match ins.Flat.op with
+      | 0 (* assign *) ->
+        charge t frame Profile.op_assign Cost.instr;
+        Array.unsafe_set regs ins.Flat.dst
+          (Eval.eval_flat regs names ins.Flat.e1);
+        run frame code regs names (q - 1)
+      | 1 (* store *) ->
+        charge t frame Profile.op_store Cost.instr;
+        let va = Array.unsafe_get regs ins.Flat.a in
+        if va == undef then trap "undefined variable %s" ins.Flat.name;
+        let vi = Eval.eval_flat regs names ins.Flat.e1 in
+        let ve = Eval.eval_flat regs names ins.Flat.e2 in
+        (match (va, vi) with
+         | Arr arr, Int k ->
+           if k >= 0 && k < Array.length arr then arr.(k) <- ve
+           else
+             trap "store index %d out of bounds (len %d)" k (Array.length arr)
+         | _ -> trap "store into non-array %s" ins.Flat.name);
+        run frame code regs names (q - 1)
+      | 2 (* call: resolved callee, arity known-good — args evaluate
+             straight into the callee's register file *) ->
+        charge t frame Profile.op_call Cost.instr;
+        let fl = Array.unsafe_get t.fprog.Flat.funcs ins.Flat.a in
+        let callee_regs = Array.make fl.Flat.nslots undef in
+        let args = ins.Flat.args in
+        for i = 0 to Array.length args - 1 do
+          Array.unsafe_set callee_regs i
+            (Eval.eval_flat regs names (Array.unsafe_get args i))
+        done;
+        let fn = fl.Flat.f_ir in
+        th.frames <-
+          { fn; fl; bid = fn.Ir.entry; idx = fl.Flat.entry_pc;
+            regs = callee_regs; ret_dst = ins.Flat.dst;
+            fresh = ins.Flat.fresh;
+            prof_base = prof_base_of t fn.Ir.fname }
+          :: th.frames;
+        if ins.Flat.fresh then push_seg t th;
+        enter (q - 1)
+      | 3 (* call_indirect *) ->
+        charge t frame Profile.op_call_indirect Cost.instr;
+        let vf = Eval.eval_flat regs names ins.Flat.e1 in
+        let args = ins.Flat.args in
+        let n = Array.length args in
+        let rec build i =
+          if i = n then []
+          else
+            let v = Eval.eval_flat regs names args.(i) in
+            v :: build (i + 1)
+        in
+        let vargs = build 0 in
+        (match vf with
+         | Fptr name ->
+           (match func_by_name t name with
+            | Some fl ->
+              push_call t th ~fl ~vargs ~ret_dst:ins.Flat.dst ~fresh:true
+            | None -> trap "indirect call to unknown function %s" name)
+         | v -> trap "indirect call through non-funptr %s" (to_string v));
+        enter (q - 1)
+      | 4 (* syscall *) ->
+        let args = ins.Flat.args in
+        let n = Array.length args in
+        let rec build i =
+          if i = n then []
+          else
+            let v = Eval.eval_flat regs names args.(i) in
+            v :: build (i + 1)
+        in
+        let vargs = build 0 in
+        syscall_event t th frame
+          { sys = ins.Flat.name; sysargs = vargs; dst = ins.Flat.dst_name;
+            dst_slot = ins.Flat.dst; site = ins.Flat.b }
+      | 5 (* cnt_add *) ->
+        charge t frame Profile.op_cnt_add Cost.cnt_instr;
+        t.instr_events <- t.instr_events + 1;
+        (cur_seg th).cnt <- (cur_seg th).cnt + ins.Flat.a;
+        run frame code regs names (q - 1)
+      | 6 (* loop_enter *) ->
+        charge t frame Profile.op_loop_enter Cost.cnt_instr;
+        t.instr_events <- t.instr_events + 1;
+        let seg = cur_seg th in
+        seg.loops <- (ins.Flat.a, 0) :: seg.loops;
+        run frame code regs names (q - 1)
+      | 7 (* loop_back *) ->
+        t.instr_events <- t.instr_events + 1;
+        (* step counted here; the Cost.barrier cycles land in the same
+           block at [release_barrier] *)
+        charge t frame Profile.op_loop_back 0;
+        th.status <- At_barrier { loop = ins.Flat.a; dec = ins.Flat.b };
+        Some (Ev_barrier th)
+      | 8 (* loop_exit *) ->
+        charge t frame Profile.op_loop_exit Cost.cnt_instr;
+        t.instr_events <- t.instr_events + 1;
+        let seg = cur_seg th in
+        let pops = ins.Flat.pops in
+        for pi = 0 to Array.length pops - 1 do
+          let l = Array.unsafe_get pops pi in
+          match seg.loops with
+          | (l', _) :: rest when l' = l -> seg.loops <- rest
+          | _ -> trap "loop_exit L%d: loop stack mismatch" l
+        done;
+        seg.cnt <- seg.cnt + ins.Flat.b;
+        run frame code regs names (q - 1)
+      | 9 (* jump *) ->
+        charge t frame Profile.op_jump Cost.instr;
+        frame.idx <- ins.Flat.a;
+        run frame code regs names (q - 1)
+      | 10 (* branch *) ->
+        charge t frame Profile.op_branch Cost.instr;
+        let v = Eval.eval_flat regs names ins.Flat.e1 in
+        frame.idx <- (if truthy v then ins.Flat.a else ins.Flat.b);
+        run frame code regs names (q - 1)
+      | 11 (* ret *) ->
+        charge t frame Profile.op_ret Cost.instr;
+        let v = Eval.eval_flat regs names ins.Flat.e1 in
+        pop_frame t th v;
+        (match th.status with
+         | Runnable -> enter (q - 1)
+         | Awaiting _ | At_barrier _ | Finished _ -> None)
+      | 12 (* call with statically-known arity mismatch: args still
+              evaluate first (their traps take precedence), then the
+              historical runtime message *) ->
+        charge t frame Profile.op_call Cost.instr;
+        let args = ins.Flat.args in
+        for i = 0 to Array.length args - 1 do
+          ignore (Eval.eval_flat regs names args.(i) : Value.t)
+        done;
+        trap "call %s: arity mismatch (%d args, %d params)" ins.Flat.name
+          ins.Flat.a ins.Flat.b
+      | 13 (* call to a statically-unknown callee: same evaluation
+              order, then the historical Invalid_argument from the name
+              lookup *) ->
+        charge t frame Profile.op_call Cost.instr;
+        let args = ins.Flat.args in
+        for i = 0 to Array.length args - 1 do
+          ignore (Eval.eval_flat regs names args.(i) : Value.t)
+        done;
+        ignore (Ir.find_func_exn t.prog ins.Flat.name : Ir.func);
+        run frame code regs names (q - 1)
+      | _ -> assert false
+    end
+  in
+  enter q0
+
+(* ------------------------------------------------------------------ *)
+(* Tree stepper: the original walk over the block-structured IR, kept
+   as the differential-testing reference ([LDX_VM=tree]).  Locals live
+   in the same register file; names resolve through the flat symbol
+   table.                                                              *)
+
+let lookup_tree (frame : frame) (x : string) : Value.t =
+  match Hashtbl.find_opt frame.fl.Flat.slot_of x with
+  | Some i ->
+    let v = frame.regs.(i) in
+    if v == undef then trap "undefined variable %s" x else v
+  | None -> trap "undefined variable %s" x
+
+let set_tree (frame : frame) (x : string) (v : Value.t) : unit =
+  match Hashtbl.find_opt frame.fl.Flat.slot_of x with
+  | Some i -> frame.regs.(i) <- v
+  | None -> assert false (* every name in the function's code has a slot *)
+
+let slot_of_opt (frame : frame) = function
+  | None -> -1
+  | Some d ->
+    (match Hashtbl.find_opt frame.fl.Flat.slot_of d with
+     | Some i -> i
+     | None -> assert false)
+
+let step_tree t (th : thread) : event option =
   let frame = cur_frame th in
   let block = frame.fn.Ir.blocks.(frame.bid) in
   t.steps <- t.steps + 1;
+  let eval e = Eval.eval_reg frame.fl.Flat.slot_of frame.regs e in
   if frame.idx < Array.length block.Ir.instrs then begin
     let instr = block.Ir.instrs.(frame.idx) in
     frame.idx <- frame.idx + 1;
     match instr with
     | Ir.Assign (x, e) ->
       charge t frame Profile.op_assign Cost.instr;
-      Hashtbl.replace frame.locals x (Eval.eval frame.locals e);
+      set_tree frame x (eval e);
       None
     | Ir.Store (a, i, e) ->
       charge t frame Profile.op_store Cost.instr;
-      let va =
-        match Hashtbl.find_opt frame.locals a with
-        | Some v -> v
-        | None -> trap "undefined variable %s" a
-      in
-      let vi = Eval.eval frame.locals i in
-      let ve = Eval.eval frame.locals e in
+      let va = lookup_tree frame a in
+      let vi = eval i in
+      let ve = eval e in
       (match (va, vi) with
        | Arr arr, Int k ->
          if k >= 0 && k < Array.length arr then arr.(k) <- ve
@@ -494,38 +800,32 @@ let step_thread t (th : thread) : event option =
       None
     | Ir.Call { dst; callee; args; fresh_frame } ->
       charge t frame Profile.op_call Cost.instr;
-      let vargs = List.map (Eval.eval frame.locals) args in
-      let fn = Ir.find_func_exn t.prog callee in
-      push_call t th ~callee:fn ~args:vargs ~dst ~fresh:fresh_frame;
+      let vargs = List.map eval args in
+      (match func_by_name t callee with
+       | Some fl ->
+         push_call t th ~fl ~vargs ~ret_dst:(slot_of_opt frame dst)
+           ~fresh:fresh_frame
+       | None ->
+         ignore (Ir.find_func_exn t.prog callee : Ir.func);
+         ());
       None
     | Ir.Call_indirect { dst; fptr; args; site = _ } ->
       charge t frame Profile.op_call_indirect Cost.instr;
-      let vf = Eval.eval frame.locals fptr in
-      let vargs = List.map (Eval.eval frame.locals) args in
+      let vf = eval fptr in
+      let vargs = List.map eval args in
       (match vf with
        | Fptr name ->
-         (match Ir.find_func t.prog name with
-          | Some fn -> push_call t th ~callee:fn ~args:vargs ~dst ~fresh:true
+         (match func_by_name t name with
+          | Some fl ->
+            push_call t th ~fl ~vargs ~ret_dst:(slot_of_opt frame dst)
+              ~fresh:true
           | None -> trap "indirect call to unknown function %s" name)
        | v -> trap "indirect call through non-funptr %s" (to_string v));
       None
     | Ir.Syscall { dst; sys; args; site } ->
-      let vargs = List.map (Eval.eval frame.locals) args in
-      (match th.alarm with
-       | Some (1, signo) ->
-         th.alarm <- None;
-         raise_signal th signo
-       | Some (k, signo) -> th.alarm <- Some (k - 1, signo)
-       | None -> ());
-      let seg = cur_seg th in
-      seg.cnt <- seg.cnt + 1;
-      record_cnt_sample t th;
-      t.syscalls <- t.syscalls + 1;
-      (* step counted at dispatch; the Cost.syscall cycles land in the
-         same block at [provide_result] *)
-      charge t frame Profile.op_syscall 0;
-      th.status <- Awaiting { sys; sysargs = vargs; dst; site };
-      Some (Ev_syscall th)
+      let vargs = List.map eval args in
+      syscall_event t th frame
+        { sys; sysargs = vargs; dst; dst_slot = slot_of_opt frame dst; site }
     | Ir.Cnt_add k ->
       charge t frame Profile.op_cnt_add Cost.cnt_instr;
       t.instr_events <- t.instr_events + 1;
@@ -539,8 +839,6 @@ let step_thread t (th : thread) : event option =
       None
     | Ir.Loop_back { loop; dec } ->
       t.instr_events <- t.instr_events + 1;
-      (* step counted here; the Cost.barrier cycles land in the same
-         block at [release_barrier] *)
       charge t frame Profile.op_loop_back 0;
       th.status <- At_barrier { loop; dec };
       Some (Ev_barrier th)
@@ -568,86 +866,155 @@ let step_thread t (th : thread) : event option =
       None
     | Ir.Branch (c, bt, bf) ->
       charge t frame Profile.op_branch Cost.instr;
-      let v = Eval.eval frame.locals c in
+      let v = eval c in
       frame.bid <- (if truthy v then bt else bf);
       frame.idx <- 0;
       None
     | Ir.Ret e ->
       charge t frame Profile.op_ret Cost.instr;
-      let v =
-        match e with None -> Unit | Some e -> Eval.eval frame.locals e
-      in
+      let v = match e with None -> Unit | Some e -> eval e in
       pop_frame t th v;
       None
   end
+
+(* Tree quantum runner: per-step loop over [step_tree], same contract
+   as [run_quantum_flat]. *)
+let run_quantum_tree t (th : thread) (q : int) : event option =
+  let result = ref None in
+  let go = ref true in
+  let i = ref 0 in
+  while !go && !i < q do
+    if t.steps >= t.max_steps then raise (Trapped "fuel exhausted");
+    incr i;
+    match step_tree t th with
+    | None ->
+      (match th.status with
+       | Runnable -> ()
+       | Awaiting _ | At_barrier _ | Finished _ -> go := false)
+    | Some e ->
+      result := Some e;
+      go := false
+  done;
+  !result
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling.                                                         *)
 
 let runnable_threads t =
-  List.filter (fun th -> th.status = Runnable) t.threads
+  List.filter
+    (fun th -> match th.status with Runnable -> true | _ -> false)
+    t.threads
 
-exception Trapped of string
+(* Exact-size runnable-set buffer for [Sched.pick] (which sizes the
+   choice set by [Array.length]); cached per size, reused across
+   decisions.  The scheduler copies the array if it retains it. *)
+let scratch_of t (n : int) : int array =
+  if Array.length t.scratch < n then begin
+    let old = t.scratch in
+    let no = Array.length old in
+    t.scratch <-
+      Array.init (max n 4) (fun i ->
+          if i < no then old.(i) else Array.make (i + 1) 0)
+  end;
+  t.scratch.(n - 1)
 
 let run_until_event (t : t) : event =
   if t.finished then Ev_done
   else begin
     try
-      let ev = ref None in
-      while !ev = None do
+      let result = ref Ev_idle in
+      let running = ref true in
+      while !running do
         if Ldx_osim.Os.exited t.os then begin
           t.finished <- true;
-          ev := Some Ev_done
+          result := Ev_done;
+          running := false
         end
-        else if t.steps > t.max_steps then raise (Trapped "fuel exhausted")
+        (* exact fuel bound: trap *before* the step that would exceed
+           max_steps, so exactly max_steps steps execute *)
+        else if t.steps >= t.max_steps then raise (Trapped "fuel exhausted")
         else begin
-          match (main_thread t).status with
+          match t.by_spawn.(0).status with
           | Finished _ ->
             t.finished <- true;
-            ev := Some Ev_done
+            result := Ev_done;
+            running := false
           | Runnable | Awaiting _ | At_barrier _ ->
-            let rs = runnable_threads t in
-            (match rs with
-             | [] ->
-               if List.exists
-                   (fun th ->
-                      match th.status with
-                      | Awaiting _ | At_barrier _ -> true
-                      | Runnable | Finished _ -> false)
-                   t.threads
-               then ev := Some Ev_idle
-               else begin
-                 t.finished <- true;
-                 ev := Some Ev_done
-               end
-             | _ :: _ ->
-               (* delegate the pick to the pluggable scheduler; threads
-                  are identified by spawn index (the dual-execution
-                  pairing key), which is unique per thread *)
-               let runnable =
-                 Array.of_list (List.map (fun th -> th.spawn_index) rs)
-               in
-               let d = Sched.pick t.sched ~runnable ~steps:t.steps in
-               let th =
-                 List.find (fun th -> th.spawn_index = d.Sched.d_chosen) rs
-               in
-               (match t.on_obs_sched with Some f -> f t d | None -> ());
-               let q = d.Sched.d_quantum in
-               (try
-                  let i = ref 0 in
-                  while !i < q && !ev = None && th.status = Runnable do
-                    (* in-quantum fuel check: without it an execution
-                       could overshoot max_steps by a full quantum
-                       before the outer check fires *)
-                    if t.steps > t.max_steps then
-                      raise (Trapped "fuel exhausted");
-                    incr i;
-                    ev := step_thread t th
-                  done
-                with Trap msg -> raise (Trapped msg)))
+            let nthreads = t.spawn_count in
+            let nr = ref 0 in
+            for i = 0 to nthreads - 1 do
+              match t.by_spawn.(i).status with
+              | Runnable -> incr nr
+              | _ -> ()
+            done;
+            if !nr = 0 then begin
+              let waiting = ref false in
+              for i = 0 to nthreads - 1 do
+                match t.by_spawn.(i).status with
+                | Awaiting _ | At_barrier _ -> waiting := true
+                | Runnable | Finished _ -> ()
+              done;
+              if !waiting then begin
+                result := Ev_idle;
+                running := false
+              end
+              else begin
+                t.finished <- true;
+                result := Ev_done;
+                running := false
+              end
+            end
+            else begin
+              (* delegate the pick to the pluggable scheduler; threads
+                 are identified by spawn index (the dual-execution
+                 pairing key), which doubles as the [by_spawn] index *)
+              let runnable = scratch_of t !nr in
+              let j = ref 0 in
+              for i = 0 to nthreads - 1 do
+                match t.by_spawn.(i).status with
+                | Runnable ->
+                  runnable.(!j) <- i;
+                  incr j
+                | _ -> ()
+              done;
+              let d = Sched.pick t.sched ~runnable ~steps:t.steps in
+              let c = d.Sched.d_chosen in
+              (* validate the pick: a hostile or buggy scheduler naming
+                 a non-runnable (or unknown) spawn index is a clean
+                 trap, not an escaped Not_found *)
+              if c < 0 || c >= nthreads then
+                raise
+                  (Trapped
+                     (Printf.sprintf
+                        "scheduler pick: no thread with spawn index %d" c));
+              let th = t.by_spawn.(c) in
+              (match th.status with
+               | Runnable -> ()
+               | Awaiting _ | At_barrier _ | Finished _ ->
+                 raise
+                   (Trapped
+                      (Printf.sprintf
+                         "scheduler pick: thread %d is not runnable" c)));
+              (match t.on_obs_sched with Some f -> f t d | None -> ());
+              let q = d.Sched.d_quantum in
+              (* the quantum runners re-check fuel before every step:
+                 without that an execution could overshoot max_steps by
+                 a full quantum before the outer check fires *)
+              (try
+                 match
+                   (match t.vm with
+                    | Flat -> run_quantum_flat t th q
+                    | Tree -> run_quantum_tree t th q)
+                 with
+                 | Some e ->
+                   result := e;
+                   running := false
+                 | None -> ()
+               with Trap msg -> raise (Trapped msg))
+            end
         end
       done;
-      match !ev with Some e -> e | None -> assert false
+      !result
     with Trapped msg ->
       t.trap <- Some msg;
       t.finished <- true;

@@ -11,10 +11,27 @@
     counter segments; a segment holds the counter value and the stack of
     (loop id, iteration) pairs maintained by the instrumentation.
     Fresh-frame calls (indirect calls, calls to recursive functions) push
-    a segment. *)
+    a segment.
+
+    Execution form: {!create} compiles the program once to flat bytecode
+    ({!Ldx_cfg.Flat}) — integer opcodes, register slots, resolved jump
+    targets — and the default stepper dispatches over that form.  The
+    original tree walker survives as {!Tree} mode (selected with
+    [LDX_VM=tree] or the [?vm] argument) for differential testing; both
+    modes charge the virtual clock and the profile identically. *)
 
 module Ir = Ldx_cfg.Ir
+module Flat = Ldx_cfg.Flat
 module Sched = Ldx_sched.Scheduler
+
+(** Which stepper executes instructions.  Same semantics, same costs;
+    [Flat] is the fast path. *)
+type vm_mode = Tree | Flat
+
+(** Session default, from the [LDX_VM] environment variable at module
+    init ("tree" selects the tree walker; anything else, [Flat]).
+    Differential tests flip this around {!create} calls. *)
+val default_vm : vm_mode ref
 
 type seg = {
   mutable cnt : int;
@@ -24,7 +41,8 @@ type seg = {
 type pending = {
   sys : string;
   sysargs : Value.t list;
-  dst : string option;
+  dst : string option;       (** destination name (driver surface) *)
+  dst_slot : int;            (** resolved register slot; -1 = none *)
   site : int;
 }
 
@@ -38,10 +56,12 @@ type status =
 
 type frame = {
   fn : Ir.func;
-  mutable bid : int;
+  fl : Value.t Flat.func;    (** the function's compiled form *)
+  mutable bid : int;         (** current block (both modes) *)
   mutable idx : int;
-  locals : (string, Value.t) Hashtbl.t;
-  ret_dst : string option;
+      (** [Flat]: pc into [fl.code]; [Tree]: in-block instruction index *)
+  regs : Value.t array;      (** register slots; {!Value.undef} = unset *)
+  ret_dst : int;             (** caller slot for the result; -1 = none *)
   fresh : bool;              (** pushed a counter segment *)
   prof_base : int;
       (** the function's base in the profile's flat block numbering
@@ -67,7 +87,7 @@ and jmp_buf = {
   j_frames : frame list;
   j_bid : int;
   j_idx : int;
-  j_dst : string option;
+  j_dst : int;               (** slot the setjmp writes; -1 = none *)
   j_segs : (int * (int * int) list) list;
 }
 
@@ -78,10 +98,16 @@ type lock_state = {
 
 type t = {
   prog : Ir.program;
+  fprog : Value.t Flat.program;  (** compiled once at {!create} *)
+  vm : vm_mode;
   os : Ldx_osim.Os.t;
-  mutable threads : thread list;
+  mutable threads : thread list;  (** creation order *)
+  mutable by_spawn : thread array;
+      (** spawn_index -> thread (only indexes < [spawn_count] valid) *)
   mutable next_tid : int;
   mutable spawn_count : int;
+  mutable scratch : int array array;
+      (** exact-size runnable-set buffers, reused across picks *)
   locks : (string, lock_state) Hashtbl.t;
   sig_handlers : (int, string) Hashtbl.t;
       (** signal number -> handler function name *)
@@ -142,10 +168,11 @@ val lock_key : Value.t -> string
     machine mirrors every virtual-clock charge into it without
     perturbing execution (one profile per program — do not share
     between machines running different programs).
+    [?vm] selects the stepper; default {!default_vm}.
     @raise Invalid_argument if [main] is missing or takes parameters. *)
 val create :
   ?seed:int -> ?sched:Sched.state -> ?max_steps:int -> ?prof:Profile.t ->
-  Ir.program -> Ldx_osim.Os.t -> t
+  ?vm:vm_mode -> Ir.program -> Ldx_osim.Os.t -> t
 
 val main_thread : t -> thread
 val cur_seg : thread -> seg
@@ -209,7 +236,9 @@ val provide_result : t -> thread -> Value.t -> unit
 val release_barrier : t -> thread -> unit
 
 (** Run until the next event (see module doc).  Traps become [Ev_trap]
-    and finish the machine. *)
+    and finish the machine; a scheduler pick naming an unknown or
+    non-runnable spawn index traps rather than escaping as a raw
+    exception. *)
 val run_until_event : t -> event
 
 val runnable_threads : t -> thread list

@@ -116,11 +116,15 @@ let base_of (p : t) (fname : string) : int =
 
 (* One dispatch: a step (and [cost] cycles) attributed to opcode [op]
    and flat block [blk]. *)
+(* Unchecked accesses: [op] is a dense opcode id (< n_ops) and [blk] is
+   [base_of fname + bid] against the attached layout — both in range by
+   construction at every call site ([attach] runs in [Machine.create]
+   before any charge).  This runs once per interpreted instruction. *)
 let[@inline] charge (p : t) ~op ~blk ~cost =
-  p.op_steps.(op) <- p.op_steps.(op) + 1;
-  p.op_cycles.(op) <- p.op_cycles.(op) + cost;
-  p.blk_steps.(blk) <- p.blk_steps.(blk) + 1;
-  p.blk_cycles.(blk) <- p.blk_cycles.(blk) + cost
+  Array.unsafe_set p.op_steps op (Array.unsafe_get p.op_steps op + 1);
+  Array.unsafe_set p.op_cycles op (Array.unsafe_get p.op_cycles op + cost);
+  Array.unsafe_set p.blk_steps blk (Array.unsafe_get p.blk_steps blk + 1);
+  Array.unsafe_set p.blk_cycles blk (Array.unsafe_get p.blk_cycles blk + cost)
 
 (* Cycles charged after the dispatch step was already counted (syscall
    service at [provide_result], barrier release): cycles only, no step. *)

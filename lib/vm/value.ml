@@ -13,6 +13,23 @@ exception Trap of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
+(* Physical-identity sentinel for uninitialized register slots (the flat
+   VM's stand-in for "name absent from the locals table").  The [Arr]
+   block here is a unique allocation, so [v == undef] can never be true
+   of a program-constructed value — including [mkarray(0, _)], whose
+   [Arr] constructor block is fresh even though zero-length arrays
+   themselves are shared atoms.  Never expose it to programs. *)
+let undef = Arr [||]
+
+(* Shared boxes for common ints.  Interpreter arithmetic results land in
+   [-1, 255] most of the time (loop counters, comparison results, flags);
+   returning one shared box per value keeps the hot loops allocation-free.
+   Safe because values are immutable. *)
+let small_ints = Array.init 257 (fun i -> Int (i - 1))
+
+let[@inline] int n =
+  if n >= -1 && n <= 255 then Array.unsafe_get small_ints (n + 1) else Int n
+
 let rec equal a b =
   match (a, b) with
   | Unit, Unit -> true

@@ -14,6 +14,16 @@ exception Trap of string
 (** [trap fmt ...] raises {!Trap} with a formatted message. *)
 val trap : ('a, unit, string, 'b) format4 -> 'a
 
+(** Physical-identity sentinel marking an uninitialized register slot in
+    the flat VM (compare with [==] only).  Never a program value; a read
+    of it traps with "undefined variable". *)
+val undef : t
+
+(** [int n] is [Int n], drawn from a table of shared boxes for small
+    values ([-1..255]) so interpreter arithmetic stays allocation-free
+    on the common range. *)
+val int : int -> t
+
 (** Deep structural equality (arrays by contents). *)
 val equal : t -> t -> bool
 

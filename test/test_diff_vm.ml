@@ -1,0 +1,116 @@
+(* Differential testing of the two VM steppers: the tree walker and the
+   flat-bytecode interpreter must be observationally identical — same
+   stdout, same trap message, same step/cycle/syscall counts, same
+   syscall trace (with alignment counters), same scheduling decisions,
+   same taint verdicts, same dual-execution result and same cost
+   profiles.  Quantifies over random structured programs, random
+   threaded programs, and "stress" programs that mix threads, signals,
+   setjmp/longjmp and deliberate traps. *)
+
+module Driver = Ldx_vm.Driver
+module Machine = Ldx_vm.Machine
+module Profile = Ldx_vm.Profile
+module Engine = Ldx_core.Engine
+module Tracker = Ldx_taint.Tracker
+module World = Ldx_osim.World
+module Sched = Ldx_sched.Scheduler
+module Gen_minic = Ldx_genprog.Gen_minic
+
+let test_world =
+  World.(
+    empty
+    |> with_endpoint "in" [ "3"; "14"; "15"; "9"; "2"; "6"; "5"; "35"; "8" ])
+
+(* Everything a native run exposes, normalized for comparison. *)
+type obs = {
+  o_stdout : string;
+  o_trap : string option;
+  o_steps : int;
+  o_cycles : int;
+  o_syscalls : int;
+  o_exit : int option;
+  o_trace :
+    (string * Ldx_osim.Sval.t list * Ldx_osim.Sval.t * int * int * int) list;
+  o_sched : (int * int * int) list;
+}
+
+let observe ~vm ~seed src : obs =
+  let sched = Sched.instantiate ~record:true (Sched.legacy ~seed) in
+  let o =
+    Driver.run_source ~instrument:true ~seed ~sched ~record_trace:true ~vm src
+      test_world
+  in
+  { o_stdout = o.Driver.stdout;
+    o_trap = o.Driver.trap;
+    o_steps = o.Driver.steps;
+    o_cycles = o.Driver.cycles;
+    o_syscalls = o.Driver.syscalls;
+    o_exit = o.Driver.exit_code;
+    o_trace =
+      List.map
+        (fun (t : Driver.trace_entry) ->
+           (t.Driver.sys, t.Driver.args, t.Driver.result, t.Driver.counter,
+            t.Driver.site, t.Driver.tid))
+        o.Driver.trace;
+    o_sched =
+      Array.to_list
+        (Array.map
+           (fun (d : Sched.decision) ->
+              (d.Sched.d_index, d.Sched.d_chosen, d.Sched.d_quantum))
+           (Sched.trace sched)) }
+
+let prop_native_equivalent (p, seed) =
+  let src = Gen_minic.print_program p in
+  observe ~vm:Machine.Tree ~seed src = observe ~vm:Machine.Flat ~seed src
+
+(* The tainting baselines share the flat lowering: tree and flat runs
+   must produce the same verdicts, sites, clocks and output. *)
+let prop_tracker_equivalent (p : Ldx_lang.Ast.program) =
+  let src = Gen_minic.print_program p in
+  Tracker.run_source ~vm:Machine.Tree src test_world
+  = Tracker.run_source ~vm:Machine.Flat src test_world
+
+(* Full dual execution, selected through the env-driven default
+   ([Engine] has no ?vm: it inherits [Machine.default_vm]), with cost
+   profiles attached: the entire result record and both per-side
+   profile snapshots must be bit-identical. *)
+let engine_obs vm src =
+  let saved = !Machine.default_vm in
+  Fun.protect
+    ~finally:(fun () -> Machine.default_vm := saved)
+    (fun () ->
+       Machine.default_vm := vm;
+       let prof = Engine.fresh_profiles () in
+       let r = Engine.run_source ~prof src test_world in
+       (r, Profile.snapshot prof.Engine.prof_master,
+        Profile.snapshot prof.Engine.prof_slave))
+
+let prop_engine_equivalent (p : Ldx_lang.Ast.program) =
+  let src = Gen_minic.print_program p in
+  engine_obs Machine.Tree src = engine_obs Machine.Flat src
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:Gen_minic.print_program gen prop)
+
+let with_seed gen =
+  QCheck2.Gen.pair gen (QCheck2.Gen.int_range 0 1000)
+
+let print_pair (p, seed) =
+  Printf.sprintf "seed %d\n%s" seed (Gen_minic.print_program p)
+
+let qtest_seeded ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:print_pair (with_seed gen) prop)
+
+let tests =
+  [ qtest_seeded "D1 native tree=flat (structured)" Gen_minic.gen_program
+      prop_native_equivalent;
+    qtest_seeded "D2 native tree=flat (threads)" Gen_minic.gen_conc_program
+      prop_native_equivalent;
+    qtest_seeded ~count:120 "D3 native tree=flat (stress)"
+      Gen_minic.gen_stress_program prop_native_equivalent;
+    qtest ~count:40 "D4 tracker tree=flat" Gen_minic.gen_program
+      prop_tracker_equivalent;
+    qtest ~count:30 "D5 engine+profiles tree=flat"
+      Gen_minic.gen_stress_program prop_engine_equivalent ]

@@ -144,6 +144,26 @@ let test_eval_env () =
   Hashtbl.replace locals "s" (vs "xyz");
   expect_int "string index" 121 (Eval.eval locals (Ast.Index (Ast.Var "s", Ast.Int 1)))
 
+(* Regression: builtin "find" used String.sub per candidate offset —
+   O(|hay|*|needle|) garbage on a hot path.  The scan must now be
+   allocation-free: minor-heap usage must not scale with the haystack.
+   (The result box and qcheck bookkeeping allow a small constant.) *)
+let test_find_allocation_free () =
+  let hay = String.make 200_000 'a' in
+  let needle = "ab" in               (* never matches: worst-case scan *)
+  let args = [ Value.Str hay; Value.Str needle ] in
+  (* warm up so any one-time setup is off the meter *)
+  ignore (Eval.apply_builtin "find" args : Value.t);
+  let before = Gc.minor_words () in
+  let r = Eval.apply_builtin "find" args in
+  let allocated = Gc.minor_words () -. before in
+  expect_int "no match" (-1) r;
+  check bool
+    (Printf.sprintf "allocation independent of haystack (%.0f words)"
+       allocated)
+    true
+    (allocated < 1_000.)
+
 let tests =
   [ Alcotest.test_case "itoa/atoi" `Quick test_itoa_atoi;
     Alcotest.test_case "string builtins" `Quick test_string_builtins;
@@ -156,4 +176,6 @@ let tests =
     Alcotest.test_case "equality" `Quick test_binops_eq;
     Alcotest.test_case "binop traps" `Quick test_binop_traps;
     Alcotest.test_case "truthiness" `Quick test_truthiness;
-    Alcotest.test_case "eval env" `Quick test_eval_env ]
+    Alcotest.test_case "eval env" `Quick test_eval_env;
+    Alcotest.test_case "find is allocation-free" `Quick
+      test_find_allocation_free ]

@@ -133,6 +133,56 @@ let test_fuel_budget_respected () =
   check bool "fuel trap" true (o.Driver.trap <> None);
   check bool "stopped promptly" true (o.Driver.steps <= 600)
 
+(* Regression: a scheduler that names a spawn index with no runnable
+   thread behind it must trap cleanly ("scheduler pick: ..."), not
+   escape as Not_found from the runnable-set lookup (the pre-fix
+   behavior).  Scheduler.Pinned is the hostile policy built for exactly
+   this: it never checks runnability. *)
+let test_hostile_scheduler_traps () =
+  (* pinned to a spawn index that never exists *)
+  let sched = Machine.Sched.(instantiate (spec (Pinned 5))) in
+  let o =
+    Driver.run_source ~sched
+      {| fn main() { print("hi"); } |}
+      World.empty
+  in
+  (match o.Driver.trap with
+   | Some msg ->
+     check bool "names the bad index"
+       true
+       (msg = "scheduler pick: no thread with spawn index 5")
+   | None -> Alcotest.fail "expected a trap, got none");
+  (* pinned to a real thread that stops being runnable: main blocks on
+     join while the worker still runs *)
+  let sched = Machine.Sched.(instantiate (spec (Pinned 0))) in
+  let o =
+    Driver.run_source ~sched
+      {| fn w(x) { for (let k = 0; k < 50; k = k + 1) { yield(); } return x; }
+         fn main() { let t = spawn(@w, 1); join(t); } |}
+      World.empty
+  in
+  (match o.Driver.trap with
+   | Some msg ->
+     check string "names the blocked thread"
+       "scheduler pick: thread 0 is not runnable" msg
+   | None -> Alcotest.fail "expected a trap, got none")
+
+(* Regression: the fuel check used [>], so an execution got max_steps+1
+   steps before trapping.  Pin the exact count: an infinite loop under
+   a budget of 100 must execute exactly 100 steps, in both steppers. *)
+let test_fuel_exact_step_count () =
+  List.iter
+    (fun vm ->
+       let o =
+         Driver.run_source ~max_steps:100 ~vm
+           {| fn main() { let i = 0; while (i >= 0) { i = i + 1; } } |}
+           World.empty
+       in
+       check (Alcotest.option string) "fuel trap" (Some "fuel exhausted")
+         o.Driver.trap;
+       check int "exactly max_steps steps" 100 o.Driver.steps)
+    [ Machine.Tree; Machine.Flat ]
+
 let tests =
   [ Alcotest.test_case "scheduler deterministic per seed" `Quick
       test_scheduler_deterministic_per_seed;
@@ -145,4 +195,8 @@ let tests =
     Alcotest.test_case "os bad fd paths" `Quick test_os_bad_fd_paths;
     Alcotest.test_case "os dir errors" `Quick test_os_dir_errors;
     Alcotest.test_case "resource keys" `Quick test_resource_keys;
-    Alcotest.test_case "fuel budget respected" `Quick test_fuel_budget_respected ]
+    Alcotest.test_case "fuel budget respected" `Quick test_fuel_budget_respected;
+    Alcotest.test_case "hostile scheduler pick traps cleanly" `Quick
+      test_hostile_scheduler_traps;
+    Alcotest.test_case "fuel exhausts at exactly max_steps" `Quick
+      test_fuel_exact_step_count ]

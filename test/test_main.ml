@@ -25,4 +25,5 @@ let () =
       ("fault", Test_fault.tests);
       ("sched", Test_sched.tests);
       ("prof", Test_prof.tests);
-      ("properties", Test_properties.tests) ]
+      ("properties", Test_properties.tests);
+      ("diff-vm", Test_diff_vm.tests) ]
