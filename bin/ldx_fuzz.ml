@@ -228,7 +228,12 @@ let decode_outcome payload : failure option option =
    journaling fresh ones write-through; stops at the earliest failure
    (exactly [check_sequential]'s semantics, so the reported
    counterexample is independent of where previous runs were killed). *)
-let check_durable ~path ~resume ~fp (tasks : task array) :
+(* raised between checks when a drain was requested; every completed
+   check is already journaled write-through, so --resume continues
+   from exactly the interruption point *)
+exception Drained
+
+let check_durable ~path ~resume ~stop ~fp (tasks : task array) :
   ((int * failure) option, string) result =
   let n = Array.length tasks in
   let pre =
@@ -276,6 +281,7 @@ let check_durable ~path ~resume ~fp (tasks : task array) :
           match Hashtbl.find_opt replayed i with
           | Some o -> o
           | None ->
+            if stop () then raise Drained;
             let o = check_task tasks.(i) in
             Store.append store i (encode_outcome o);
             o
@@ -380,6 +386,16 @@ let fuzz runs seed jobs chaos sched_explore journal resume =
   match sched_explore with
   | Some bound -> explore_schedules bound
   | None ->
+  (* graceful drain for journaled runs: SIGTERM/SIGINT finish the
+     in-flight check (already journaled write-through) and exit 21;
+     --resume picks up from the interruption point.  Installed before
+     generation so a drain during it is honoured too. *)
+  let draining = Atomic.make false in
+  (if journal <> None then begin
+     let h = Sys.Signal_handle (fun _ -> Atomic.set draining true) in
+     Sys.set_signal Sys.sigterm h;
+     Sys.set_signal Sys.sigint h
+   end);
   let rand = Random.State.make [| seed |] in
   let tasks =
     if chaos then make_chaos_tasks runs rand else make_tasks runs rand
@@ -389,8 +405,16 @@ let fuzz runs seed jobs chaos sched_explore journal resume =
     | Some path ->
       if jobs > 1 then
         prerr_endline "ldx_fuzz: --journal checks sequentially (--jobs ignored)";
-      check_durable ~path ~resume ~fp:(fuzz_fingerprint ~runs ~seed ~chaos)
-        tasks
+      (match
+         check_durable ~path ~resume
+           ~stop:(fun () -> Atomic.get draining)
+           ~fp:(fuzz_fingerprint ~runs ~seed ~chaos) tasks
+       with
+       | outcome -> outcome
+       | exception Drained ->
+         Printf.eprintf
+           "ldx_fuzz: drained on signal, progress journaled to %s\n%!" path;
+         exit 21)
     | None ->
       if resume then Error "--resume requires --journal"
       else

@@ -84,6 +84,14 @@ let sweep_strategies =
                mutation strategy and print the comparison table \
                (Sec. 8.3 study).")
 
+let sweep_seeds =
+  Arg.(value & opt (some int) None
+       & info [ "sweep-seeds" ] ~docv:"N"
+         ~doc:"Record one master pass, then run one slave pass per \
+               slave scheduler seed 0..N-1 and print the comparison \
+               table.  The single-process reference for the \
+               ldx_campaignd service (identical task list and table).")
+
 let jobs =
   Arg.(value & opt int 1
        & info [ "jobs"; "j" ] ~docv:"N"
@@ -239,6 +247,14 @@ let abort_after =
                the campaign starts its (N+1)-th slave pass, leaving \
                exactly the completed outcomes in the --journal.")
 
+let sync_flag =
+  Arg.(value & flag
+       & info [ "sync" ]
+         ~doc:"With --journal: fsync the journal on checkpoint and \
+               every outcome append.  The default (off) survives \
+               process crashes; --sync also survives power loss, at \
+               one disk round-trip per task.")
+
 let build_world files endpoints =
   let w = ref World.empty in
   List.iter
@@ -276,10 +292,10 @@ let parse_strategy = function
   | s -> Error (Printf.sprintf "unknown strategy %S" s)
 
 let run prog_file workload files endpoints sources sink strategy verbose trace
-    dot attribute sweep_strategies jobs final_state trace_out metrics
-    metrics_json profile_flag profile_json profile_folded progress faults
-    fault_seed sched_policy sched_seed sched_replay sched_record journal
-    resume task_deadline max_retries backoff retry_budget abort_after
+    dot attribute sweep_strategies sweep_seeds jobs final_state trace_out
+    metrics metrics_json profile_flag profile_json profile_folded progress
+    faults fault_seed sched_policy sched_seed sched_replay sched_record journal
+    resume task_deadline max_retries backoff retry_budget abort_after sync
   =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
@@ -490,14 +506,30 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
       print_string (Ldx_core.Attribute.render attrs);
       emit_observability ()
   end
-  else if sweep_strategies then begin
+  else if sweep_strategies || sweep_seeds <> None then begin
     match lowered () with
     | Error msg -> `Error (false, msg)
     | Ok prog ->
       let params =
-        Ldx_core.Campaign.of_strategies config
-          Ldx_core.Mutation.all_strategies
+        match sweep_seeds with
+        | Some n ->
+          Ldx_core.Campaign.of_seeds config (List.init (max 0 n) Fun.id)
+        | None ->
+          Ldx_core.Campaign.of_strategies config
+            Ldx_core.Mutation.all_strategies
       in
+      (* graceful drain for journaled campaigns: the handler flips a
+         flag, the campaign stops claiming new tasks (in-flight tasks
+         finish and are journaled), and we exit 21 — a later --resume
+         picks up exactly the missing tasks.  Without a journal the
+         default signal behaviour (die, lose the run) is unchanged. *)
+      let draining = Atomic.make false in
+      if journal <> None then begin
+        let h = Sys.Signal_handle (fun _ -> Atomic.set draining true) in
+        Sys.set_signal Sys.sigterm h;
+        Sys.set_signal Sys.sigint h
+      end;
+      let stop () = Atomic.get draining in
       let outs =
         match (journal, resume) with
         | None, true -> Error "--resume requires --journal"
@@ -505,7 +537,7 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
           (match
              Ldx_core.Campaign.resume ~jobs ?obs ?retry
                ?deadline:task_deadline ?runner:abort_runner ~journal:path
-               ~config prog world params
+               ~stop ~sync ~config prog world params
            with
            | Ok outs ->
              Printf.eprintf "resumed campaign from %s\n%!" path;
@@ -514,11 +546,18 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
         | _, false ->
           Ok
             (Ldx_core.Campaign.run ~jobs ?obs ?retry ?deadline:task_deadline
-               ?runner:abort_runner ?journal ~config prog world params)
+               ?runner:abort_runner ?journal ~stop ~sync ~config prog world
+               params)
       in
       (match outs with
        | Error e -> `Error (false, e)
        | Ok outs ->
+         if Atomic.get draining then begin
+           Printf.eprintf
+             "ldx_run: drained on signal, progress journaled to %s\n%!"
+             (Option.value journal ~default:"-");
+           exit 21
+         end;
          print_string (Ldx_core.Campaign.render outs);
          (match journal with
           | Some path -> Printf.eprintf "campaign journal: %s\n%!" path
@@ -600,11 +639,11 @@ let cmd =
       ret
         (const run $ prog_file $ workload_arg $ files $ endpoints $ sources
          $ sink $ strategy $ verbose $ trace $ dot $ attribute
-         $ sweep_strategies $ jobs $ final_state $ trace_out $ metrics
-         $ metrics_json $ profile_flag $ profile_json $ profile_folded
-         $ progress $ faults $ fault_seed $ sched_policy $ sched_seed
-         $ sched_replay $ sched_record $ journal_arg $ resume_arg
+         $ sweep_strategies $ sweep_seeds $ jobs $ final_state $ trace_out
+         $ metrics $ metrics_json $ profile_flag $ profile_json
+         $ profile_folded $ progress $ faults $ fault_seed $ sched_policy
+         $ sched_seed $ sched_replay $ sched_record $ journal_arg $ resume_arg
          $ task_deadline $ max_retries $ backoff $ retry_budget
-         $ abort_after))
+         $ abort_after $ sync_flag))
 
 let () = exit (Cmd.eval cmd)

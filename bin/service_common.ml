@@ -1,0 +1,246 @@
+(* Shared campaign-spec CLI for the service binaries.
+
+   ldx_worker and ldx_campaignd must agree BYTE-FOR-BYTE on the campaign
+   they describe: a worker validates the journal's fingerprint against
+   the spec it was launched with, so the supervisor rebuilds each
+   worker's argv from its own spec ([to_argv]) rather than trusting two
+   hand-written command lines to stay in sync. *)
+
+open Cmdliner
+module Engine = Ldx_core.Engine
+module Campaign = Ldx_core.Campaign
+module Mutation = Ldx_core.Mutation
+module World = Ldx_osim.World
+
+type spec = {
+  prog_file : string option;
+  workload : string option;
+  files : string list;
+  endpoints : string list;
+  sources : string list;
+  sink : string;
+  strategy : string;
+  sweep : [ `Strategies | `Seeds of int ];
+  task_deadline : int option;
+  max_retries : int;
+  backoff : int;
+  retry_budget : int option;
+  sync : bool;
+}
+
+(* ---------- terms ---------- *)
+
+let term : spec Term.t =
+  let prog_file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM.minic")
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Run a registry workload instead of a program file.")
+  in
+  let files =
+    Arg.(value & opt_all string []
+         & info [ "file" ] ~docv:"PATH=DATA"
+           ~doc:"Add a file to the simulated world (repeatable).")
+  in
+  let endpoints =
+    Arg.(value & opt_all string []
+         & info [ "endpoint" ] ~docv:"NAME=MSGS"
+           ~doc:"Add a network endpoint (repeatable).")
+  in
+  let sources =
+    Arg.(value & opt_all string [ "recv" ]
+         & info [ "source" ] ~docv:"SPEC"
+           ~doc:"Source syscalls to mutate in the slave (repeatable).")
+  in
+  let sink =
+    Arg.(value & opt string "outputs"
+         & info [ "sink" ] ~docv:"KIND"
+           ~doc:"Sink set: network | files | outputs | attack.")
+  in
+  let strategy =
+    Arg.(value & opt string "off-by-one"
+         & info [ "strategy" ] ~docv:"NAME"
+           ~doc:"Mutation strategy: off-by-one | bitflip | zero | random.")
+  in
+  let sweep_strategies =
+    Arg.(value & flag
+         & info [ "sweep-strategies" ]
+           ~doc:"One task per mutation strategy (the default sweep).")
+  in
+  let sweep_seeds =
+    Arg.(value & opt (some int) None
+         & info [ "sweep-seeds" ] ~docv:"N"
+           ~doc:"One task per slave scheduler seed 0..N-1.")
+  in
+  let task_deadline =
+    Arg.(value & opt (some int) None
+         & info [ "task-deadline" ] ~docv:"STEPS"
+           ~doc:"Cap each slave task at $(docv) VM steps.")
+  in
+  let max_retries =
+    Arg.(value & opt int 0
+         & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Retry failed tasks up to $(docv) times (jittered seeds).")
+  in
+  let backoff =
+    Arg.(value & opt int 1
+         & info [ "backoff" ] ~docv:"BASE"
+           ~doc:"Retry seed-jitter growth base (1 = linear).")
+  in
+  let retry_budget =
+    Arg.(value & opt (some int) None
+         & info [ "retry-fuel-budget" ] ~docv:"STEPS"
+           ~doc:"Cumulative VM-step budget per task across attempts.")
+  in
+  let sync =
+    Arg.(value & flag
+         & info [ "sync" ]
+           ~doc:"fsync the journal on every append (power-loss \
+                 durability; measured overhead in bench).")
+  in
+  let make prog_file workload files endpoints sources sink strategy
+      sweep_strategies sweep_seeds task_deadline max_retries backoff
+      retry_budget sync =
+    let sweep =
+      match (sweep_strategies, sweep_seeds) with
+      | _, Some n -> `Seeds n
+      | _, None -> ignore sweep_strategies; `Strategies
+    in
+    { prog_file; workload; files; endpoints; sources; sink; strategy; sweep;
+      task_deadline; max_retries; backoff; retry_budget; sync }
+  in
+  Term.(const make $ prog_file $ workload $ files $ endpoints $ sources $ sink
+        $ strategy $ sweep_strategies $ sweep_seeds $ task_deadline
+        $ max_retries $ backoff $ retry_budget $ sync)
+
+(* ---------- spec -> campaign ---------- *)
+
+let split_once ch s =
+  match String.index_opt s ch with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let build_world files endpoints =
+  let w = ref World.empty in
+  List.iter
+    (fun spec ->
+       let path, data = split_once '=' spec in
+       w := World.with_file path data !w)
+    files;
+  List.iter
+    (fun spec ->
+       let name, msgs = split_once '=' spec in
+       let script = if msgs = "" then [] else String.split_on_char ',' msgs in
+       w := World.with_endpoint name script !w)
+    endpoints;
+  !w
+
+let parse_sources specs =
+  List.map
+    (fun spec ->
+       let sys, arg = split_once '@' spec in
+       Engine.source ~sys ?arg:(if arg = "" then None else Some arg) ())
+    specs
+
+let parse_sinks = function
+  | "network" -> Ok Engine.Network_outputs
+  | "files" -> Ok Engine.File_outputs
+  | "outputs" -> Ok Engine.Output_syscalls
+  | "attack" -> Ok Engine.Attack_sinks
+  | s -> Error (Printf.sprintf "unknown sink set %S" s)
+
+let parse_strategy = function
+  | "off-by-one" -> Ok Mutation.Off_by_one
+  | "bitflip" -> Ok Mutation.Bitflip
+  | "zero" -> Ok Mutation.Zero
+  | "random" -> Ok (Mutation.Random_replace 7)
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+type campaign = {
+  config : Engine.config;
+  prog : Ldx_cfg.Ir.program;
+  world : World.t;
+  params : Campaign.slave_params list;
+  retry : Campaign.retry_policy option;
+  deadline : int option;
+}
+
+(* the exact config/params derivation ldx_run's sweep modes use — both
+   sides of the fingerprint handshake come through here *)
+let resolve (s : spec) : (campaign, string) result =
+  let ( let* ) = Result.bind in
+  let* sinks = parse_sinks s.sink in
+  let* strategy = parse_strategy s.strategy in
+  let* input =
+    match (s.workload, s.prog_file) with
+    | Some _, Some _ -> Error "give PROGRAM.minic or --workload, not both"
+    | None, None -> Error "a PROGRAM.minic argument or --workload is required"
+    | None, Some path ->
+      (match In_channel.with_open_text path In_channel.input_all with
+       | src -> Ok (`Src src)
+       | exception Sys_error e -> Error e)
+    | Some name, None ->
+      (match Ldx_workloads.Registry.find name with
+       | Some w -> Ok (`Workload w)
+       | None -> Error (Printf.sprintf "unknown workload %S" name))
+  in
+  let world =
+    match input with
+    | `Workload w -> w.Ldx_workloads.Workload.world
+    | `Src _ -> build_world s.files s.endpoints
+  in
+  let config =
+    match input with
+    | `Workload w -> Ldx_workloads.Workload.leak_config w
+    | `Src _ ->
+      { Engine.default_config with
+        Engine.sources = parse_sources s.sources;
+        sinks;
+        strategy }
+  in
+  let* prog =
+    match input with
+    | `Workload w -> Ok (fst (Ldx_workloads.Workload.instrumented w))
+    | `Src src ->
+      (match Ldx_cfg.Lower.lower_source src with
+       | exception Failure msg -> Error msg
+       | prog -> Ok (fst (Ldx_instrument.Counter.instrument prog)))
+  in
+  let params =
+    match s.sweep with
+    | `Strategies -> Campaign.of_strategies config Mutation.all_strategies
+    | `Seeds n -> Campaign.of_seeds config (List.init (max 0 n) Fun.id)
+  in
+  let retry =
+    if s.max_retries = 0 && s.retry_budget = None then None
+    else
+      Some
+        { Campaign.no_retries with
+          Campaign.max_retries = s.max_retries;
+          backoff = s.backoff;
+          fuel_budget = s.retry_budget;
+          quarantine = s.max_retries > 0 }
+  in
+  Ok { config; prog; world; params; retry; deadline = s.task_deadline }
+
+(* ---------- spec -> argv (supervisor respawning workers) ---------- *)
+
+let to_argv (s : spec) : string list =
+  let opt flag = function None -> [] | Some v -> [ flag; v ] in
+  let rep flag vs = List.concat_map (fun v -> [ flag; v ]) vs in
+  (match s.prog_file with Some p -> [ p ] | None -> [])
+  @ opt "--workload" s.workload
+  @ rep "--file" s.files
+  @ rep "--endpoint" s.endpoints
+  @ rep "--source" s.sources
+  @ [ "--sink"; s.sink; "--strategy"; s.strategy ]
+  @ (match s.sweep with
+     | `Strategies -> [ "--sweep-strategies" ]
+     | `Seeds n -> [ "--sweep-seeds"; string_of_int n ])
+  @ opt "--task-deadline" (Option.map string_of_int s.task_deadline)
+  @ [ "--max-retries"; string_of_int s.max_retries;
+      "--backoff"; string_of_int s.backoff ]
+  @ opt "--retry-fuel-budget" (Option.map string_of_int s.retry_budget)
+  @ (if s.sync then [ "--sync" ] else [])

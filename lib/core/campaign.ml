@@ -228,6 +228,10 @@ let decode_status (payload : string) : (status * int) option =
       | _ -> None)
   | _ -> None
 
+(* the service worker protocol moves these across process boundaries *)
+let encode_outcome = encode_status
+let decode_outcome = decode_status
+
 (* The configuration fingerprint a journal stores and [resume] checks.
    Slave params, faults and scheduler specs are plain data (audited, as
    for outcomes) and are hashed via [Marshal]; the one config field
@@ -408,7 +412,7 @@ let domain_break_even = 20_000
 
    This lean path carries no sink and no journal; when either is
    present [run_collected] is used instead. *)
-let run_parallel ~retry ?deadline ~runner ~jobs (config : Engine.config)
+let run_parallel ~retry ?deadline ~runner ~jobs ~stop (config : Engine.config)
     (prog : Ir.program) (world : World.t) (mo : Engine.master_out)
     (tasks : slave_params array) (idxs : int array)
     (results : (status * int) option array) : unit =
@@ -417,17 +421,23 @@ let run_parallel ~retry ?deadline ~runner ~jobs (config : Engine.config)
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
-      let lo = Atomic.fetch_and_add next chunk in
-      if lo < k then begin
-        let hi = min k (lo + chunk) in
-        for j = lo to hi - 1 do
-          let i = idxs.(j) in
-          results.(i) <-
-            Some (run_task ~retry ?deadline ~runner config prog world mo
-                    tasks.(i))
-        done;
-        loop ()
-      end
+      (* drain check between chunk claims: [stop] must be domain-safe
+         (it reads a flag a signal handler sets) *)
+      if stop () then ()
+      else
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < k then begin
+          let hi = min k (lo + chunk) in
+          let j = ref lo in
+          while !j < hi && not (stop ()) do
+            let i = idxs.(!j) in
+            results.(i) <-
+              Some (run_task ~retry ?deadline ~runner config prog world mo
+                      tasks.(i));
+            incr j
+          done;
+          loop ()
+        end
     in
     loop ()
   in
@@ -464,7 +474,7 @@ let run_parallel ~retry ?deadline ~runner ~jobs (config : Engine.config)
    ARRIVES — so a kill at any point loses at most the in-flight tasks —
    and, after the joins, drains the event buffers into the real sink in
    task order.  Workers never touch the sink or the store. *)
-let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal ~t0
+let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal ~t0 ~stop
     (config : Engine.config) (prog : Ir.program) (world : World.t)
     (mo : Engine.master_out) (tasks : slave_params array) (idxs : int array)
     (results : (status * int) option array) : unit =
@@ -491,24 +501,30 @@ let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal ~t0
   let buffered = obs <> None in
   let worker () =
     let rec loop () =
-      let lo = Atomic.fetch_and_add next chunk in
-      if lo < k then begin
-        let hi = min k (lo + chunk) in
-        for j = lo to hi - 1 do
-          let i = idxs.(j) in
-          let buf = ref [] in
-          let task_obs =
-            if buffered then Some (Obs.Sink.of_fn (fun ev -> buf := ev :: !buf))
-            else None
-          in
-          let s, a =
-            run_task_telemetry ~retry ?deadline ?obs:task_obs ~runner ~index:i
-              ~t0 config prog world mo tasks.(i)
-          in
-          send (`Result (i, s, a, List.rev !buf))
-        done;
-        loop ()
-      end
+      (* drain check between tasks: the in-flight task always finishes *)
+      if stop () then ()
+      else
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < k then begin
+          let hi = min k (lo + chunk) in
+          let j = ref lo in
+          while !j < hi && not (stop ()) do
+            let i = idxs.(!j) in
+            let buf = ref [] in
+            let task_obs =
+              if buffered then
+                Some (Obs.Sink.of_fn (fun ev -> buf := ev :: !buf))
+              else None
+            in
+            let s, a =
+              run_task_telemetry ~retry ?deadline ?obs:task_obs ~runner
+                ~index:i ~t0 config prog world mo tasks.(i)
+            in
+            send (`Result (i, s, a, List.rev !buf));
+            incr j
+          done;
+          loop ()
+        end
     in
     (* a worker that dies outside the per-task containment must still
        announce itself, or the collector would wait forever *)
@@ -570,7 +586,7 @@ let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal ~t0
 
 (* ---------- the campaign ---------- *)
 
-let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal
+let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~stop ~sync
     ~(pre : (int * (status * int)) list) ~(pre_raw : (int * string) list)
     ~(config : Engine.config) (prog : Ir.program) (world : World.t)
     (params : slave_params list) : outcome list =
@@ -596,7 +612,7 @@ let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal
           meta = [ ("tasks", string_of_int n) ];
           tasks = Array.to_list (Array.map (fun p -> p.label) tasks) }
       in
-      let t = Store.checkpoint ~path manifest pre_raw in
+      let t = Store.checkpoint ~path ~sync manifest pre_raw in
       Obs.Sink.emit_opt obs
         (Obs.Event.Checkpoint
            { path; tasks = n; journaled = List.length pre_raw });
@@ -640,40 +656,54 @@ let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal
      if not parallel then begin
        let completed = ref 0 in
        let cycles_done = ref 0 in
+       let drained = ref false in
        Array.iter
          (fun i ->
-            let s, a =
-              run_task_telemetry ~retry ?deadline ?obs ~runner ~index:i ~t0
-                config prog world mo tasks.(i)
-            in
-            results.(i) <- Some (s, a);
-            Option.iter (fun t -> Store.append t i (encode_status s a)) store;
-            incr completed;
-            cycles_done := !cycles_done + wall_cycles_of s;
-            Obs.Sink.emit_opt obs
-              (Obs.Event.Campaign_progress
-                 { completed = !completed;
-                   total = nmiss;
-                   cycles_done = !cycles_done;
-                   eta_cycles =
-                     eta_cycles ~completed:!completed ~total:nmiss
-                       ~cycles_done:!cycles_done }))
+            (* drain check between tasks: the in-flight task finishes,
+               its outcome is journaled, and we exit the loop *)
+            if !drained || stop () then drained := true
+            else begin
+              let s, a =
+                run_task_telemetry ~retry ?deadline ?obs ~runner ~index:i ~t0
+                  config prog world mo tasks.(i)
+              in
+              results.(i) <- Some (s, a);
+              Option.iter (fun t -> Store.append t i (encode_status s a)) store;
+              incr completed;
+              cycles_done := !cycles_done + wall_cycles_of s;
+              Obs.Sink.emit_opt obs
+                (Obs.Event.Campaign_progress
+                   { completed = !completed;
+                     total = nmiss;
+                     cycles_done = !cycles_done;
+                     eta_cycles =
+                       eta_cycles ~completed:!completed ~total:nmiss
+                         ~cycles_done:!cycles_done })
+            end)
          idxs
      end
      else if obs = None && store = None then
-       run_parallel ~retry ?deadline ~runner ~jobs config prog world mo tasks
-         idxs results
+       run_parallel ~retry ?deadline ~runner ~jobs ~stop config prog world mo
+         tasks idxs results
      else
        run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal:store ~t0
-         config prog world mo tasks idxs results;
+         ~stop config prog world mo tasks idxs results;
      Array.iter (fun i -> fresh.(i) <- true) idxs
    end);
+  let drained = stop () in
   let outs =
     Array.to_list
       (Array.mapi
          (fun i p ->
             match results.(i) with
             | Some (status, attempts) -> { params = p; status; attempts }
+            | None when drained ->
+              (* a drain stopped the campaign before this task was
+                 claimed; the journal (if any) holds every finished
+                 outcome, so a later [resume] re-runs exactly these *)
+              { params = p;
+                status = Crashed { exn = "drained (not run)"; backtrace = "" };
+                attempts = 0 }
             | None ->
               (* unreachable when the claims above completed; defensive
                  so a future bug degrades to a recorded failure, not an
@@ -687,37 +717,43 @@ let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal
   (* task fates are emitted from the calling domain, after collection,
      so the sink never sees concurrent emissions; [Quarantine] fires
      only for freshly-parked tasks (replayed ones announced it in the
-     run that journaled them) *)
+     run that journaled them).  Tasks a drain never ran emit nothing —
+     they have no fate yet. *)
   List.iteri
     (fun i o ->
-       Obs.Sink.emit_opt obs
-         (Obs.Event.Task_done
-            { label = o.params.label;
-              status = status_class o.status;
-              attempts = o.attempts;
-              exn =
-                (match o.status with
-                 | Crashed { exn; _ } | Quarantined { exn; _ } -> Some exn
-                 | Ok _ | Fuel_exhausted _ | Timed_out _ -> None) });
-       match o.status with
-       | Quarantined { exn; _ } when fresh.(i) ->
+       if not (drained && o.attempts = 0) then begin
          Obs.Sink.emit_opt obs
-           (Obs.Event.Quarantine
-              { label = o.params.label; attempts = o.attempts; exn })
-       | _ -> ())
+           (Obs.Event.Task_done
+              { label = o.params.label;
+                status = status_class o.status;
+                attempts = o.attempts;
+                exn =
+                  (match o.status with
+                   | Crashed { exn; _ } | Quarantined { exn; _ } -> Some exn
+                   | Ok _ | Fuel_exhausted _ | Timed_out _ -> None) });
+         match o.status with
+         | Quarantined { exn; _ } when fresh.(i) ->
+           Obs.Sink.emit_opt obs
+             (Obs.Event.Quarantine
+                { label = o.params.label; attempts = o.attempts; exn })
+         | _ -> ()
+       end)
     outs;
   outs
 
+let never_stop () = false
+
 let run ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
-    ?runner ?journal ~(config : Engine.config) (prog : Ir.program)
-    (world : World.t) (params : slave_params list) : outcome list =
-  run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~pre:[]
-    ~pre_raw:[] ~config prog world params
+    ?runner ?journal ?(stop = never_stop) ?(sync = false)
+    ~(config : Engine.config) (prog : Ir.program) (world : World.t)
+    (params : slave_params list) : outcome list =
+  run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~stop ~sync
+    ~pre:[] ~pre_raw:[] ~config prog world params
 
 let resume ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
-    ?runner ~journal ~(config : Engine.config) (prog : Ir.program)
-    (world : World.t) (params : slave_params list) :
-  (outcome list, string) result =
+    ?runner ~journal ?(stop = never_stop) ?(sync = false)
+    ~(config : Engine.config) (prog : Ir.program) (world : World.t)
+    (params : slave_params list) : (outcome list, string) result =
   match Store.load ~path:journal with
   | Error e -> Error e
   | Ok loaded ->
@@ -752,8 +788,155 @@ let resume ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
              torn = loaded.Store.l_torn });
       Ok
         (run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner
-           ~journal:(Some journal) ~pre ~pre_raw ~config prog world params)
+           ~journal:(Some journal) ~stop ~sync ~pre ~pre_raw ~config prog
+           world params)
     end
+
+(* ---------- the cross-process campaign service ---------- *)
+
+(* A service campaign is the same campaign run by N PROCESSES instead
+   of N domains: the v2 store file is both the journal and the work
+   queue (see [Ldx_queue.Queue] for the lease protocol), and every
+   worker independently records its own master pass — the recording is
+   deterministic, so all workers hold byte-identical masters and any of
+   them can run any task.  Outcomes are the same [encode_outcome]
+   payloads [?journal] writes, which is why the collected table is
+   byte-identical to a single-process run: same payloads, first-wins
+   dedup, task order. *)
+module Service = struct
+  module Q = Ldx_queue.Queue
+
+  let init ?(sync = false) ?(retry = no_retries) ?deadline ~path
+      ~(config : Engine.config) (prog : Ir.program) (world : World.t)
+      (params : slave_params list) : unit =
+    let fp = fingerprint ~retry ?deadline ~config prog world params in
+    let fresh () =
+      let manifest =
+        { Store.fingerprint = fp;
+          meta = [ ("tasks", string_of_int (List.length params)) ];
+          tasks = List.map (fun p -> p.label) params }
+      in
+      Store.close (Store.checkpoint_entries ~path ~sync manifest [])
+    in
+    match Store.load ~path with
+    | Error _ -> fresh ()
+    | Ok loaded ->
+      if loaded.Store.l_manifest.Store.fingerprint = fp then
+        (* same campaign: keep the journal (outcomes and all) and heal
+           any torn records on disk — this is what makes restarting the
+           supervisor a resume instead of a redo *)
+        Store.close
+          (Store.checkpoint_entries ~path ~sync loaded.Store.l_manifest
+             loaded.Store.l_entries)
+      else fresh ()
+
+  let worker ?obs ?stop ?(sync = false) ?(retry = no_retries) ?deadline
+      ?runner ?master ~path ~owner ~ttl_us ~heartbeat_us ~poll_us
+      ~(config : Engine.config) (prog : Ir.program) (world : World.t)
+      (params : slave_params list) :
+    ([ `Complete | `Drained ], string) result =
+    match Store.load ~path with
+    | Error e -> Error e
+    | Ok loaded ->
+      let fp = fingerprint ~retry ?deadline ~config prog world params in
+      if loaded.Store.l_manifest.Store.fingerprint <> fp then
+        Error
+          (Printf.sprintf
+             "%s: fingerprint mismatch (journal %s, campaign %s): this \
+              worker was launched with a different campaign spec"
+             path loaded.Store.l_manifest.Store.fingerprint fp)
+      else begin
+        let runner = Option.value runner ~default:default_runner in
+        let tasks = Array.of_list params in
+        (* each worker records its own master pass — deterministic, so
+           every worker's copy is byte-identical — but lazily: a worker
+           joining a drained queue pays nothing.  [?master] lets
+           in-process callers (bench, tests) share one recording. *)
+        let mo =
+          lazy
+            (match master with
+             | Some m -> m
+             | None -> Engine.master_pass ?obs config prog world)
+        in
+        let t0 = now_us () in
+        let task i =
+          if i < 0 || i >= Array.length tasks then
+            invalid_arg (Printf.sprintf "service task index %d out of range" i);
+          let s, a =
+            run_task_telemetry ~retry ?deadline ?obs ~runner ~index:i ~t0
+              config prog world (Lazy.force mo) tasks.(i)
+          in
+          encode_outcome s a
+        in
+        match
+          Q.Worker.run ?obs ?stop ~sync ~path ~owner ~ttl_us ~heartbeat_us
+            ~poll_us task
+        with
+        | Q.Worker.Complete -> Ok `Complete
+        | Q.Worker.Drained -> Ok `Drained
+      end
+
+  let escalate ?(sync = false) ~path ~kills () : (int, string) result =
+    match Q.load ~path with
+    | Error e -> Error e
+    | Ok v ->
+      let n = ref 0 in
+      Array.iteri
+        (fun i owners ->
+           match v.Q.states.(i) with
+           | Q.Done _ -> ()
+           | Q.Free _ | Q.Leased _ ->
+             if List.length owners >= kills then begin
+               (* the task has eaten [kills] distinct workers: park it
+                  as a cross-process quarantine so the fleet moves on.
+                  The outcome record retires the task (Done wins over
+                  any lease), exactly-once still holds. *)
+               let exn =
+                 Printf.sprintf "killed %d workers (%s)" (List.length owners)
+                   (String.concat "," owners)
+               in
+               Q.complete ~path ~index:i
+                 ~payload:
+                   (encode_outcome
+                      (Quarantined { exn; backtrace = "" })
+                      (List.length owners))
+                 ~sync ();
+               incr n
+             end)
+        v.Q.expired_owners;
+      Ok !n
+
+  let collect ~path (params : slave_params list) :
+    (outcome list, string) result =
+    match Q.load ~path with
+    | Error e -> Error e
+    | Ok v ->
+      let n = List.length params in
+      if Array.length v.Q.states <> n then
+        Error
+          (Printf.sprintf "%s: journal has %d tasks, campaign has %d" path
+             (Array.length v.Q.states) n)
+      else if not (Q.is_complete v) then
+        Error
+          (Printf.sprintf "%s: campaign incomplete (%d tasks remaining)" path
+             (Q.remaining v))
+      else begin
+        let arr = Array.of_list params in
+        (* [Result.Ok]: the campaign's own [Ok of Engine.result] status
+           constructor shadows the stdlib's here *)
+        let rec decode_all acc : _ -> (outcome list, string) result = function
+          | [] -> Result.Ok (List.rev acc)
+          | (i, payload) :: rest ->
+            (match decode_outcome payload with
+             | Some (status, attempts) ->
+               decode_all ({ params = arr.(i); status; attempts } :: acc) rest
+             | None ->
+               Error
+                 (Printf.sprintf "%s: task %d outcome failed to decode" path i))
+        in
+        decode_all [] (Q.outcomes v)
+      end
+end
 
 let render (outs : outcome list) : string =
   let buf = Buffer.create 256 in

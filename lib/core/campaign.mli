@@ -178,11 +178,25 @@ type runner =
     joins, so the sink needs no domain safety and still sees every
     slave-pass event.  Task fates are emitted as [Task_done] (and
     [Quarantine]) events from the collecting domain, per task, in
-    task order. *)
+    task order.
+
+    [?stop] is the graceful-drain hook: it is polled between tasks (in
+    every execution path — it must be domain-safe, e.g. read a flag a
+    signal handler sets) and once it returns [true] no further task is
+    {e started}; in-flight tasks finish and are journaled.  Outcomes of
+    tasks a drain never ran come back as [Crashed] with exn
+    ["drained (not run)"] and [attempts = 0], and emit no [Task_done] —
+    with [?journal] the drained campaign is exactly a killed campaign
+    with a healthy tail, so {!resume} picks it up.
+
+    [?sync] (default off) makes the journal [fsync] on checkpoint and
+    every append — power-loss durability at one disk round-trip per
+    task (overhead measured in bench, "durable" entry). *)
 val run :
   ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
   ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?deadline:int ->
   ?runner:runner -> ?journal:string ->
+  ?stop:(unit -> bool) -> ?sync:bool ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   outcome list
@@ -208,6 +222,7 @@ val resume :
   ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
   ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?deadline:int ->
   ?runner:runner -> journal:string ->
+  ?stop:(unit -> bool) -> ?sync:bool ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   (outcome list, string) result
@@ -221,6 +236,78 @@ val fingerprint :
   ?retry:retry_policy -> ?deadline:int ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list -> string
+
+(** Encode a task's fate as the single-line journal payload {!run}'s
+    [?journal] writes and the service workers exchange — the inverse of
+    {!decode_outcome}.  Payloads are [Marshal]ed [Engine.result]s in
+    hex, so they are only meaningful under the {!fingerprint} that
+    guarded them. *)
+val encode_outcome : status -> int -> string
+
+val decode_outcome : string -> (status * int) option
+
+(** {1 The cross-process campaign service}
+
+    The same campaign run by N {e processes} instead of N domains: the
+    journal (a v2 store file) doubles as a lease-based work queue
+    ([Ldx_queue.Queue]), each worker process claims tasks, heartbeats,
+    executes through the exact {!run} task runner (containment, retry,
+    deadline and quarantine all apply per attempt), and appends
+    outcomes.  Every worker records its own master pass — the recording
+    is deterministic, so all copies are byte-identical and any worker
+    can run any task.  Outcome payloads and first-wins dedup make the
+    collected table byte-identical to a single-process [--jobs 1] run,
+    which the test suite pins under SIGKILL at arbitrary points.
+
+    [ldx_worker] wraps {!Service.worker} in a binary; [ldx_campaignd]
+    supervises a fleet of them (spawn, missed-heartbeat detection,
+    respawn with backoff, {!Service.escalate}, then
+    {!Service.collect} + {!render}). *)
+module Service : sig
+  (** [init ~path ~config prog world params] checkpoints a fresh v2
+      journal (manifest only, no outcomes).  Idempotent restart: if
+      [path] already holds a journal with the {e same} fingerprint, its
+      entries are kept (outcomes and leases) and its torn records are
+      healed on disk — restarting the supervisor resumes the campaign;
+      a fingerprint mismatch re-initializes from scratch. *)
+  val init :
+    ?sync:bool -> ?retry:retry_policy -> ?deadline:int -> path:string ->
+    config:Engine.config ->
+    Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list -> unit
+
+  (** One worker process's whole life: validate the journal fingerprint
+      against the spec this worker was launched with, then claim /
+      heartbeat / execute / journal until the queue drains
+      ([`Complete]) or [stop] turns true ([`Drained] — the in-flight
+      task finishes first; see [Ldx_queue.Queue.Worker.run] for
+      [ttl_us]/[heartbeat_us]/[poll_us]).  [?master] shares a
+      pre-recorded master pass (in-process callers: bench, tests);
+      without it the worker records its own, lazily, so joining a
+      drained queue costs nothing. *)
+  val worker :
+    ?obs:Ldx_obs.Sink.t -> ?stop:(unit -> bool) -> ?sync:bool ->
+    ?retry:retry_policy -> ?deadline:int -> ?runner:runner ->
+    ?master:Engine.master_out ->
+    path:string -> owner:string -> ttl_us:int -> heartbeat_us:int ->
+    poll_us:int ->
+    config:Engine.config ->
+    Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
+    ([ `Complete | `Drained ], string) result
+
+  (** [escalate ~path ~kills ()] parks every unfinished task whose
+      lease has expired under [kills] or more {e distinct} owners as a
+      cross-process [Quarantined] outcome ("this task keeps killing
+      workers") and returns how many were parked.  Run by the
+      supervisor after it buries a worker. *)
+  val escalate : ?sync:bool -> path:string -> kills:int -> unit ->
+    (int, string) result
+
+  (** Decode a {e complete} service campaign back into outcomes, in
+      task order — feed to {!render}.  [Error] if any task is
+      unfinished or fails to decode. *)
+  val collect :
+    path:string -> slave_params list -> (outcome list, string) result
+end
 
 (** Fixed-width summary table of a campaign's outcomes, including each
     task's final status, attempt count and per-side failure classes

@@ -246,6 +246,29 @@ let of_events (events : Event.t list) : Json.t =
        (* Campaign_progress payloads are arrival-ordered and mean-based
           (nondeterministic at jobs>1) — excluded from traces *)
        | Event.Campaign_progress _ -> ()
+       | Event.Lease_claim { index; owner; epoch; reclaimed } ->
+         lane pid_engine tid_journal;
+         emit
+           (obj
+              ~name:(Printf.sprintf "lease #%d e%d" index epoch)
+              ~cat:"queue" ~ph:"i" ~ts:!now ~pid:pid_engine ~tid:tid_journal
+              (("s", Json.Str "t")
+               :: args
+                    [ ("owner", Json.Str owner);
+                      ("reclaimed", Json.Bool reclaimed) ]))
+       | Event.Lease_expired { index; owner; epoch } ->
+         lane pid_engine tid_journal;
+         emit
+           (obj
+              ~name:(Printf.sprintf "lease-expired #%d e%d" index epoch)
+              ~cat:"queue" ~ph:"i" ~ts:!now ~pid:pid_engine ~tid:tid_journal
+              (("s", Json.Str "t") :: args [ ("owner", Json.Str owner) ]))
+       | Event.Worker_event { owner; kind } ->
+         lane pid_engine tid_journal;
+         emit
+           (obj ~name:("worker " ^ kind) ~cat:"service" ~ph:"i" ~ts:!now
+              ~pid:pid_engine ~tid:tid_journal
+              (("s", Json.Str "t") :: args [ ("owner", Json.Str owner) ]))
        | Event.Os_call _ | Event.Cnt_sample _ -> ()
        | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
          ->

@@ -136,6 +136,14 @@ type t =
           (* estimated remaining virtual cycles (mean-based; at jobs>1
              the completion order makes this nondeterministic) *)
     }
+  | Lease_claim of {
+      index : int;
+      owner : string;
+      epoch : int;
+      reclaimed : bool;   (* taken over from an expired lease *)
+    }
+  | Lease_expired of { index : int; owner : string; epoch : int }
+  | Worker_event of { owner : string; kind : string }
 
 let to_string = function
   | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
@@ -194,3 +202,9 @@ let to_string = function
   | Campaign_progress { completed; total; cycles_done; eta_cycles } ->
     Printf.sprintf "progress %d/%d cycles=%d eta=%d" completed total
       cycles_done eta_cycles
+  | Lease_claim { index; owner; epoch; reclaimed } ->
+    Printf.sprintf "lease #%d %s e%d%s" index owner epoch
+      (if reclaimed then " reclaimed" else "")
+  | Lease_expired { index; owner; epoch } ->
+    Printf.sprintf "lease-expired #%d %s e%d" index owner epoch
+  | Worker_event { owner; kind } -> Printf.sprintf "worker %s %s" owner kind

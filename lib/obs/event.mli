@@ -194,6 +194,23 @@ type t =
           (** estimated remaining virtual cycles (mean-based; at
               jobs>1 completion order makes this nondeterministic) *)
     }
+  | Lease_claim of {
+      index : int;             (** task index in the campaign manifest *)
+      owner : string;          (** worker identity that won the claim *)
+      epoch : int;             (** lease generation (0 = first claim) *)
+      reclaimed : bool;        (** taken over from an expired lease *)
+    }
+  | Lease_expired of {
+      index : int;
+      owner : string;          (** the dead owner charged with the expiry *)
+      epoch : int;             (** the epoch that expired *)
+    }
+  | Worker_event of {
+      owner : string;
+      kind : string;
+          (** ["start"], ["drain"], ["complete"], ["spawned"],
+              ["exited"], ["respawned"] or ["killed"] *)
+    }
 
 (** Short human-readable rendering (debug sinks, logs). *)
 val to_string : t -> string

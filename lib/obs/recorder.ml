@@ -94,6 +94,11 @@ let absorb t (ev : Event.t) =
     Metrics.set m "campaign.completed" completed;
     Metrics.set m "campaign.cycles_done" cycles_done;
     Metrics.set m "campaign.eta_cycles" eta_cycles
+  | Event.Lease_claim { reclaimed; _ } ->
+    Metrics.incr m "queue.claims";
+    if reclaimed then Metrics.incr m "queue.reclaims"
+  | Event.Lease_expired _ -> Metrics.incr m "queue.expiries"
+  | Event.Worker_event { kind; _ } -> Metrics.incr m ("service.worker." ^ kind)
 
 let sink t =
   Sink.of_fn

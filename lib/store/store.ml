@@ -2,6 +2,7 @@
    grammar and the checkpoint/append durability discipline. *)
 
 let header = "ldx-store/1"
+let header_v2 = "ldx-store/2"
 
 (* ------------------------------------------------------------------ *)
 (* Checksums and fingerprints.                                         *)
@@ -54,9 +55,36 @@ let record tag rest = Printf.sprintf "%c %s %s\n" tag (hash_hex rest) rest
 let outcome_line index payload =
   record 'o' (Printf.sprintf "%d %s" index (escape payload))
 
-let manifest_lines (m : manifest) : string =
+(* Journal entries.  Owners ride unescaped inside space-separated
+   fields, so they must be flat tokens — they are machine-generated
+   worker identities ("w0-12345"), not user text. *)
+type entry =
+  | Outcome of { index : int; payload : string }
+  | Lease of { index : int; owner : string; epoch : int; deadline_us : int }
+  | Heartbeat of { owner : string; deadline_us : int }
+  | Release of { index : int; owner : string; epoch : int }
+
+let check_owner owner =
+  if owner = ""
+     || String.exists (fun c -> c = ' ' || c = '\n' || c = '\r') owner
+  then invalid_arg ("Store: bad owner token " ^ String.escaped owner)
+
+let entry_line = function
+  | Outcome { index; payload } -> outcome_line index payload
+  | Lease { index; owner; epoch; deadline_us } ->
+    check_owner owner;
+    record 'l' (Printf.sprintf "%d %s %d %d" index owner epoch deadline_us)
+  | Heartbeat { owner; deadline_us } ->
+    check_owner owner;
+    record 'h' (Printf.sprintf "%s %d" owner deadline_us)
+  | Release { index; owner; epoch } ->
+    check_owner owner;
+    record 'r' (Printf.sprintf "%d %s %d" index owner epoch)
+
+let manifest_lines ~version (m : manifest) : string =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf ("# " ^ header ^ "\n");
+  Buffer.add_string buf
+    ("# " ^ (if version >= 2 then header_v2 else header) ^ "\n");
   Buffer.add_string buf ("f " ^ m.fingerprint ^ "\n");
   List.iter
     (fun (k, v) ->
@@ -75,30 +103,69 @@ let manifest_lines (m : manifest) : string =
 
 type t = {
   path : string;
+  version : int;
+  sync : bool;
   mutable oc : out_channel option;
 }
 
-let checkpoint ~path (m : manifest) (outcomes : (int * string) list) : t =
+let fsync_oc oc =
+  (* flush first: fsync pushes the KERNEL's buffers to the platter, the
+     channel's userspace buffer is on this side of that boundary *)
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let checkpoint_gen ~path ~version ~sync (m : manifest) (lines : string list) : t =
   let tmp = path ^ ".tmp" in
   Out_channel.with_open_bin tmp (fun oc ->
-      output_string oc (manifest_lines m);
-      List.iter
-        (fun (i, payload) -> output_string oc (outcome_line i payload))
-        outcomes;
+      output_string oc (manifest_lines ~version m);
+      List.iter (output_string oc) lines;
       (* the rename publishes whatever made it to disk; flush first so
          "whatever" is the whole checkpoint *)
-      flush oc);
+      flush oc;
+      if sync then fsync_oc oc);
   Sys.rename tmp path;
-  { path; oc = Some (Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path) }
+  (* with [sync] the rename itself must survive power loss too: fsync
+     the containing directory (best-effort — some filesystems refuse
+     fsync on a directory fd) *)
+  if sync then begin
+    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+    | exception Unix.Unix_error _ -> ()
+  end;
+  { path; version; sync;
+    oc = Some (Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path) }
 
-let append (t : t) (index : int) (payload : string) : unit =
+let checkpoint ~path ?(sync = false) (m : manifest)
+    (outcomes : (int * string) list) : t =
+  checkpoint_gen ~path ~version:1 ~sync m
+    (List.map (fun (i, payload) -> outcome_line i payload) outcomes)
+
+let checkpoint_entries ~path ?(sync = false) (m : manifest)
+    (entries : entry list) : t =
+  checkpoint_gen ~path ~version:2 ~sync m (List.map entry_line entries)
+
+let append_line (t : t) (line : string) : unit =
   match t.oc with
   | None -> invalid_arg "Store.append: store is closed"
   | Some oc ->
-    output_string oc (outcome_line index payload);
+    output_string oc line;
     (* flush per record: a crash after [append] returns must find the
        record on the other side of the channel buffer *)
-    flush oc
+    flush oc;
+    if t.sync then fsync_oc oc
+
+let append (t : t) (index : int) (payload : string) : unit =
+  append_line t (outcome_line index payload)
+
+let append_entry (t : t) (e : entry) : unit =
+  (match e with
+   | Outcome _ -> ()
+   | Lease _ | Heartbeat _ | Release _ ->
+     if t.version < 2 then
+       invalid_arg "Store.append_entry: lease records need a v2 store");
+  append_line t (entry_line e)
 
 let path_of t = t.path
 
@@ -114,6 +181,8 @@ let close (t : t) : unit =
 
 type loaded = {
   l_manifest : manifest;
+  l_version : int;
+  l_entries : entry list;
   l_outcomes : (int * string) list;
   l_torn : int;
 }
@@ -132,6 +201,35 @@ let parse_record (line : string) : (char * string) option =
     | Some (crc, rest) when crc = hash_hex rest -> Some (line.[0], rest)
     | _ -> None
 
+(* Decode the checksummed [rest] of a journal record; [None] = a
+   malformed body under a VALID checksum, which the torn-tail rule
+   treats like any other damage. *)
+let parse_entry (tag : char) (rest : string) : entry option =
+  let fields = String.split_on_char ' ' rest in
+  match (tag, fields) with
+  | 'o', index :: payload ->
+    (match (int_of_string_opt index, unescape (String.concat " " payload)) with
+     | Some index, Ok payload -> Some (Outcome { index; payload })
+     | _ -> None)
+  | 'l', [ index; owner; epoch; deadline ] ->
+    (match
+       (int_of_string_opt index, int_of_string_opt epoch,
+        int_of_string_opt deadline)
+     with
+     | Some index, Some epoch, Some deadline_us when owner <> "" ->
+       Some (Lease { index; owner; epoch; deadline_us })
+     | _ -> None)
+  | 'h', [ owner; deadline ] ->
+    (match int_of_string_opt deadline with
+     | Some deadline_us when owner <> "" -> Some (Heartbeat { owner; deadline_us })
+     | _ -> None)
+  | 'r', [ index; owner; epoch ] ->
+    (match (int_of_string_opt index, int_of_string_opt epoch) with
+     | Some index, Some epoch when owner <> "" ->
+       Some (Release { index; owner; epoch })
+     | _ -> None)
+  | _ -> None
+
 let load ~path : (loaded, string) result =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error m -> Error m
@@ -141,11 +239,17 @@ let load ~path : (loaded, string) result =
        blank-line filter below drops it; a file NOT ending in '\n' has
        its (possibly torn) final line carried as-is, and the checksum
        decides its fate *)
+    let version =
+      match lines with
+      | first :: _ when first = "# " ^ header_v2 -> 2
+      | _ -> 1
+    in
+    let journal_tag c = c = 'o' || (version >= 2 && (c = 'l' || c = 'h' || c = 'r')) in
     let err = ref None in
     let fingerprint = ref None in
     let meta = ref [] in
     let tasks = ref [] in       (* (index, label) *)
-    let outcomes = ref [] in
+    let entries = ref [] in
     let torn = ref 0 in
     let in_journal = ref false in
     let fail lineno msg =
@@ -160,31 +264,35 @@ let load ~path : (loaded, string) result =
          | _ -> None)
       | None -> None
     in
+    let expected_header = "# " ^ (if version >= 2 then header_v2 else header) in
     List.iteri
       (fun lineno line ->
-         if !err = None && line <> "" && (lineno > 0 || line = "# " ^ header)
+         if !err = None && line <> "" && (lineno > 0 || line = expected_header)
          then
            match line.[0] with
            | '#' -> ()
-           | 'o' ->
+           | c when journal_tag c ->
              in_journal := true;
-             (* the journal tail is where torn writes live: a record
-                that fails its checksum (or was cut short) is dropped —
-                along with everything after it, because a write that
-                tore mid-file means the file is not append-only and
-                nothing downstream can be trusted *)
-             if !torn > 0 then incr torn
+             (* the journal is where torn writes live.  v1 files have
+                one writer, so a record that fails its checksum (or was
+                cut short) is dropped along with everything after it — a
+                tear mid-file means the file is not append-only and
+                nothing downstream can be trusted.  v2 files have many
+                [O_APPEND] writers, each prefixing its record with a
+                newline: a peer killed mid-write(2) leaves a damaged
+                record in the MIDDLE of the file while later appends are
+                intact, so v2 drops bad records individually — each one
+                still vouched for (or condemned) by its own checksum. *)
+             if version < 2 && !torn > 0 then incr torn
              else
                (match parse_record line with
-                | Some ('o', rest) ->
-                  (match
-                     int_field rest (fun i v -> Some (i, v))
-                   with
-                   | Some o -> outcomes := o :: !outcomes
+                | Some (tag, rest) ->
+                  (match parse_entry tag rest with
+                   | Some e -> entries := e :: !entries
                    | None -> incr torn)
-                | _ -> incr torn)
+                | None -> incr torn)
            | _ when !in_journal ->
-             (* non-'o' junk after the journal started: same torn-tail
+             (* junk after the journal started: same torn-record
                 treatment *)
              incr torn
            | 'f' ->
@@ -210,9 +318,9 @@ let load ~path : (loaded, string) result =
                  | None -> fail lineno "malformed task record")
               | _ -> fail lineno "task record failed its checksum")
            | _ -> fail lineno (Printf.sprintf "unknown record %S" line)
-         else if !err = None && lineno = 0 && line <> "# " ^ header then
+         else if !err = None && lineno = 0 && line <> expected_header then
            fail lineno
-             (Printf.sprintf "expected header %S" ("# " ^ header)))
+             (Printf.sprintf "expected header %S" expected_header))
       lines;
     (match (!err, !fingerprint) with
      | Some e, _ -> Error e
@@ -224,8 +332,16 @@ let load ~path : (loaded, string) result =
          List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !tasks)
          |> List.map snd
        in
+       let entries = List.rev !entries in
        Ok
          { l_manifest =
              { fingerprint = fp; meta = List.rev !meta; tasks };
-           l_outcomes = List.rev !outcomes;
+           l_version = version;
+           l_entries = entries;
+           l_outcomes =
+             List.filter_map
+               (function
+                 | Outcome { index; payload } -> Some (index, payload)
+                 | Lease _ | Heartbeat _ | Release _ -> None)
+               entries;
            l_torn = !torn })

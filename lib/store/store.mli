@@ -32,7 +32,25 @@
     v}
     where [<crc>] is the FNV-1a 64-bit hash of everything after the
     "[X <crc> ]" prefix, in lower-case hex.  Blank lines are ignored.
-    ['#'] lines are comments (only the header is meaningful). *)
+    ['#'] lines are comments (only the header is meaningful).
+
+    {b # ldx-store/2} extends the journal section with {e lease}
+    bookkeeping for the cross-process campaign service: besides [o]
+    records, a v2 journal may carry
+    {v
+    l <crc> <index> <owner> <epoch> <deadline_us>   (lease claim)
+    h <crc> <owner> <deadline_us>                   (worker heartbeat)
+    r <crc> <index> <owner> <epoch>                 (lease release)
+    v}
+    Owners are opaque space-free worker identities; [epoch] counts how
+    many times the task's lease has changed hands (claim arbitration:
+    the {e first} record in file order for a given [(index, epoch)]
+    wins); [deadline_us] is a wall-clock µs-since-epoch expiry.  Lease
+    records are pure scheduling state — they never affect what a
+    campaign's outcomes {e mean}, so a v2 reader can always ignore them
+    and recover exactly the v1 outcome journal ({!loaded.l_outcomes}).
+    A v1 reader, by design, refuses the v2 header rather than
+    misparse it. *)
 
 (** {1 Checksums and fingerprints} *)
 
@@ -62,6 +80,33 @@ type manifest = {
   tasks : string list;            (** task labels, in task order *)
 }
 
+(** {1 Journal entries}
+
+    A v1 journal holds only {!Outcome} entries; a v2 journal
+    additionally interleaves the lease-queue records. *)
+
+type entry =
+  | Outcome of { index : int; payload : string }
+  | Lease of {
+      index : int;
+      owner : string;   (** space-free worker identity *)
+      epoch : int;      (** lease generation; first (index, epoch) wins *)
+      deadline_us : int;  (** wall-clock µs-since-epoch expiry *)
+    }
+  | Heartbeat of { owner : string; deadline_us : int }
+      (** extends every lease [owner] holds to [deadline_us] *)
+  | Release of { index : int; owner : string; epoch : int }
+      (** clean hand-back (graceful drain): the task is free again and
+          the owner is {e not} charged with an expiry *)
+
+(** The checksummed single-line rendering of an entry (trailing
+    newline included) — exactly what {!append_entry} writes.  Exposed
+    so multi-process writers can append with one [write(2)] on an
+    [O_APPEND] descriptor (the atomicity the lease-claim arbitration
+    relies on).
+    @raise Invalid_argument if an owner contains a space or newline. *)
+val entry_line : entry -> string
+
 (** {1 Writing} *)
 
 type t
@@ -69,11 +114,28 @@ type t
 (** [checkpoint ~path manifest outcomes] atomically replaces [path]
     with a store holding [manifest] and the given [(index, payload)]
     outcome records, then leaves the store open for {!append}.
-    @raise Sys_error on I/O failure. *)
-val checkpoint : path:string -> manifest -> (int * string) list -> t
 
-(** Append one outcome record and flush. *)
+    [sync] (default [false]) additionally [fsync]s the file on
+    checkpoint and after {e every} append: the flush-per-record
+    default survives process crashes (the OS holds the data), [sync]
+    survives power loss, at the cost of one disk round-trip per
+    record (measured in bench, "durable" entry).
+    @raise Sys_error on I/O failure. *)
+val checkpoint : path:string -> ?sync:bool -> manifest -> (int * string) list -> t
+
+(** [checkpoint_entries] is {!checkpoint} for a v2 store: the journal
+    section is seeded with arbitrary entries (outcomes {e and} lease
+    records) and the file carries the [# ldx-store/2] header. *)
+val checkpoint_entries : path:string -> ?sync:bool -> manifest -> entry list -> t
+
+(** Append one outcome record and flush (and [fsync] when the store
+    was opened with [~sync:true]). *)
 val append : t -> int -> string -> unit
+
+(** Append any journal entry.  Non-[Outcome] entries require a store
+    written by {!checkpoint_entries} (v2).
+    @raise Invalid_argument on a lease record in a v1 store. *)
+val append_entry : t -> entry -> unit
 
 val path_of : t -> string
 
@@ -83,16 +145,24 @@ val close : t -> unit
 
 type loaded = {
   l_manifest : manifest;
-  l_outcomes : (int * string) list;  (** valid records, file order *)
+  l_version : int;                   (** 1 or 2, from the header *)
+  l_entries : entry list;            (** valid journal entries, file order *)
+  l_outcomes : (int * string) list;
+      (** the [Outcome] projection of [l_entries], file order — exactly
+          the v1 view, whatever the file version *)
   l_torn : int;
-      (** records (or partial lines) dropped from the tail because a
-          checksum failed or the line was cut short — [> 0] means the
-          writer died mid-append *)
+      (** records (or partial lines) dropped because a checksum failed
+          or the line was cut short — [> 0] means a writer died
+          mid-append.  v1 (single writer): the first bad record
+          condemns everything after it.  v2 (many [O_APPEND] writers,
+          each prefixing its record with a newline): bad records are
+          dropped {e individually} — a peer killed mid-[write(2)]
+          damages only its own record, later appends are intact. *)
 }
 
-(** Parse a store file, recovering the longest valid prefix of the
-    outcome journal.  [Error] on a missing/renamed header or a corrupt
-    {e manifest} section (the manifest is only ever written by an
-    atomic checkpoint, so damage there is real corruption, not a torn
-    append). *)
+(** Parse a store file (either version), recovering the longest valid
+    prefix of the journal.  [Error] on a missing/renamed header or a
+    corrupt {e manifest} section (the manifest is only ever written by
+    an atomic checkpoint, so damage there is real corruption, not a
+    torn append). *)
 val load : path:string -> (loaded, string) result

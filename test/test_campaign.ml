@@ -671,6 +671,70 @@ let test_campaign_resume_fingerprint_mismatch () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "matching config rejected: %s" e
 
+(* Graceful drain: a [stop] that turns true mid-campaign finishes the
+   in-flight task, journals it, marks the unclaimed rest as drained
+   placeholders, and a later resume re-runs exactly those — rendering
+   byte-identically to the uninterrupted run. *)
+let test_campaign_drain_and_resume () =
+  let prog = instrumented attribution_src in
+  let config = attribution_config in
+  let params = campaign_params config in
+  let reference =
+    Campaign.render (Campaign.run ~jobs:1 ~config prog attribution_world params)
+  in
+  with_journal @@ fun path ->
+  let done_tasks = ref 0 in
+  let counting_runner ?obs cfg prog world mo =
+    incr done_tasks;
+    let r = Engine.run_with_master ?obs cfg prog world mo in
+    r
+  in
+  (* stop after the first task completes *)
+  let outs =
+    Campaign.run ~journal:path ~runner:counting_runner
+      ~stop:(fun () -> !done_tasks >= 1)
+      ~config prog attribution_world params
+  in
+  let drained, finished =
+    List.partition
+      (fun (o : Campaign.outcome) ->
+         match o.Campaign.status with
+         | Campaign.Crashed { exn; _ } -> exn = "drained (not run)"
+         | _ -> false)
+      outs
+  in
+  check int "exactly one task ran before the drain" 1 (List.length finished);
+  check int "the rest are drained placeholders, attempts = 0" 0
+    (List.fold_left (fun a (o : Campaign.outcome) -> a + o.Campaign.attempts)
+       0 drained);
+  check int "drained + finished covers the campaign" (List.length params)
+    (List.length drained + List.length finished);
+  (* the journal holds only the finished outcome; resume runs the rest *)
+  match Campaign.resume ~journal:path ~config prog attribution_world params with
+  | Error e -> Alcotest.fail e
+  | Ok outs' ->
+    Alcotest.(check string) "resume completes the drained campaign"
+      reference (Campaign.render outs')
+
+(* The parallel paths honour [stop] too — and never invent outcomes for
+   tasks the drain skipped. *)
+let test_campaign_drain_parallel () =
+  let prog = instrumented attribution_src in
+  let config = attribution_config in
+  let params = campaign_params config in
+  let outs =
+    Campaign.run ~jobs:4 ~mode:`Parallel
+      ~stop:(fun () -> true)
+      ~config prog attribution_world params
+  in
+  check bool "an immediate stop drains every task" true
+    (List.for_all
+       (fun (o : Campaign.outcome) ->
+          match o.Campaign.status with
+          | Campaign.Crashed { exn; _ } -> exn = "drained (not run)"
+          | _ -> false)
+       outs)
+
 let qcheck_world =
   World.(
     empty
@@ -796,6 +860,10 @@ let tests =
       `Quick test_campaign_resume_complete;
     Alcotest.test_case "resume rejects a fingerprint mismatch" `Quick
       test_campaign_resume_fingerprint_mismatch;
+    Alcotest.test_case "drain finishes in-flight, resume completes" `Quick
+      test_campaign_drain_and_resume;
+    Alcotest.test_case "parallel campaigns honour stop" `Quick
+      test_campaign_drain_parallel;
     qtest "P14 campaign jobs=4 deterministic" 40 Gen_minic.gen_program
       prop_campaign_deterministic;
     qtest "P15 kill-anywhere resume renders identically" 10

@@ -22,6 +22,7 @@ let () =
       ("obs", Test_obs.tests);
       ("campaign", Test_campaign.tests);
       ("store", Test_store.tests);
+      ("queue", Test_queue.tests);
       ("fault", Test_fault.tests);
       ("sched", Test_sched.tests);
       ("prof", Test_prof.tests);

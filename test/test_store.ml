@@ -219,6 +219,121 @@ let test_append_after_close_rejected () =
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* v2: lease-queue journals.                                           *)
+
+let v2_entries =
+  [ Store.Lease { index = 0; owner = "w1"; epoch = 0; deadline_us = 500 };
+    Store.Heartbeat { owner = "w1"; deadline_us = 900 };
+    Store.Outcome { index = 0; payload = "ok 1 aa" };
+    Store.Release { index = 1; owner = "w2"; epoch = 3 };
+    Store.Outcome { index = 1; payload = "with\nnewline" } ]
+
+let test_v2_round_trip () =
+  with_tmp @@ fun path ->
+  let t = Store.checkpoint_entries ~path manifest [ List.hd v2_entries ] in
+  List.iter (Store.append_entry t) (List.tl v2_entries);
+  Store.close t;
+  match Store.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    check int "v2 header detected" 2 l.Store.l_version;
+    check bool "entries survive in file order" true
+      (l.Store.l_entries = v2_entries);
+    check bool "l_outcomes is the Outcome projection" true
+      (l.Store.l_outcomes = [ (0, "ok 1 aa"); (1, "with\nnewline") ]);
+    check int "nothing torn" 0 l.Store.l_torn
+
+(* v1 files still load as version 1, and lease-queue records cannot be
+   appended to them (they would be invisible to v1 readers). *)
+let test_v1_rejects_lease_entries () =
+  with_tmp @@ fun path ->
+  let t = Store.checkpoint ~path manifest [] in
+  Fun.protect ~finally:(fun () -> Store.close t) @@ fun () ->
+  (match Store.load ~path with
+   | Error e -> Alcotest.fail e
+   | Ok l -> check int "v1 header detected" 1 l.Store.l_version);
+  match
+    Store.append_entry t
+      (Store.Lease { index = 0; owner = "w"; epoch = 0; deadline_us = 1 })
+  with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Multi-writer tear discipline: damage in the MIDDLE of a v2 journal
+   (a worker SIGKILLed mid-write, peers kept appending) loses exactly
+   the damaged record — v1's drop-the-suffix rule would throw away the
+   valid records after it, which other live writers own. *)
+let test_v2_damage_drops_record_not_suffix () =
+  with_tmp @@ fun path ->
+  let t = Store.checkpoint_entries ~path manifest [] in
+  List.iter (Store.append_entry t) v2_entries;
+  Store.close t;
+  let text = read_all path in
+  let i = find_sub text "w2" in
+  let b = Bytes.of_string text in
+  Bytes.set b i 'W';
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (Bytes.to_string b));
+  match Store.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    check int "exactly the damaged record is torn" 1 l.Store.l_torn;
+    check bool "records after the damage survive" true
+      (l.Store.l_entries
+       = List.filter (fun e -> e <> List.nth v2_entries 3) v2_entries)
+
+(* A killed writer's half-line is terminated by the next appender's
+   leading newline, so it fails its checksum in isolation. *)
+let test_v2_half_line_isolated () =
+  with_tmp @@ fun path ->
+  let t = Store.checkpoint_entries ~path manifest [] in
+  Store.append_entry t
+    (Store.Lease { index = 0; owner = "w1"; epoch = 0; deadline_us = 9 });
+  Store.close t;
+  (* a peer died mid-write: no trailing newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "\nl 0123456789abcdef 1 w";
+  close_out oc;
+  (* a healthy peer appends after it, leading newline first *)
+  let line =
+    Store.entry_line
+      (Store.Outcome { index = 0; payload = "done" })
+  in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc ("\n" ^ line);
+  close_out oc;
+  match Store.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    check int "the half-line alone is torn" 1 l.Store.l_torn;
+    check bool "both healthy records survive" true
+      (l.Store.l_entries
+       = [ Store.Lease { index = 0; owner = "w1"; epoch = 0; deadline_us = 9 };
+           Store.Outcome { index = 0; payload = "done" } ])
+
+let test_entry_line_rejects_spacey_owner () =
+  match
+    Store.entry_line
+      (Store.Lease { index = 0; owner = "two words"; epoch = 0;
+                     deadline_us = 0 })
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ?sync is a durability knob, not a format change: a synced store
+   loads back exactly like an unsynced one. *)
+let test_sync_smoke () =
+  with_tmp @@ fun path ->
+  let t = Store.checkpoint_entries ~path ~sync:true manifest [] in
+  Store.append_entry t (Store.Outcome { index = 0; payload = "ok" });
+  Store.close t;
+  match Store.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    check bool "synced store loads back" true
+      (l.Store.l_outcomes = [ (0, "ok") ] && l.Store.l_torn = 0)
+
 let tests =
   [ Alcotest.test_case "fnv-1a known vector" `Quick test_fnv_known_vector;
     Alcotest.test_case "escape round-trips payloads" `Quick
@@ -236,4 +351,15 @@ let tests =
     Alcotest.test_case "corrupt manifest is a hard error" `Quick
       test_corrupt_manifest_is_error;
     Alcotest.test_case "append after close rejected" `Quick
-      test_append_after_close_rejected ]
+      test_append_after_close_rejected;
+    Alcotest.test_case "v2 entry round-trip" `Quick test_v2_round_trip;
+    Alcotest.test_case "v1 rejects lease entries" `Quick
+      test_v1_rejects_lease_entries;
+    Alcotest.test_case "v2 damage drops the record, not the suffix" `Quick
+      test_v2_damage_drops_record_not_suffix;
+    Alcotest.test_case "v2 half-written line is isolated" `Quick
+      test_v2_half_line_isolated;
+    Alcotest.test_case "entry_line rejects owners with spaces" `Quick
+      test_entry_line_rejects_spacey_owner;
+    Alcotest.test_case "sync mode loads back identically" `Quick
+      test_sync_smoke ]
