@@ -222,6 +222,56 @@ let kernel_campaign_service () =
        in
        run_campaign_service ~master ~path ())
 
+(* Incremental-campaign kernel: a long-prefix workload — the dominant
+   source-free compute runs before the single recv source, so every
+   mutation variant shares that prefix.  Full mode re-executes it once
+   per task; incremental mode snapshots the slave at the decouple point
+   and replays only each task's suffix.  The JSON "incremental" entry
+   gates byte-identical tables and the >= 1.5x wall-time floor. *)
+let incremental_src =
+  "fn main() {\n\
+   \  let acc = 0;\n\
+   \  for (let i = 0; i < 60000; i = i + 1) {\n\
+   \    acc = (acc * 31 + i) % 65521;\n\
+   \  }\n\
+   \  let c = socket(\"input\");\n\
+   \  let m = recv(c);\n\
+   \  if (atoi(m) + (acc % 7) > 40) { send(c, \"hot\"); }\n\
+   \  else { send(c, \"cold\"); }\n\
+   }\n"
+
+let incremental_world =
+  Ldx_osim.World.(empty |> with_endpoint "input" [ "57" ])
+
+let incremental_config =
+  { Engine.default_config with
+    Engine.sources = [ Engine.source ~sys:"recv" () ];
+    sinks = Engine.Network_outputs }
+
+let incremental_prepared =
+  lazy
+    (fst
+       (Counter.instrument
+          (Ldx_cfg.Lower.lower_program
+             (Ldx_lang.Parser.parse_exn incremental_src))))
+
+(* 24 mutation variants sharing slave seed/trace/sched — the shape the
+   prefix-sharing eligibility check wants, and above the 20-task
+   acceptance floor.  Same task list in smoke and full runs: the gated
+   fields are deterministic. *)
+let incremental_params =
+  List.init 24 (fun i ->
+      { (Campaign.params_of_config incremental_config) with
+        Campaign.label = Printf.sprintf "rr%02d" i;
+        strategy = Ldx_core.Mutation.Random_replace i })
+
+let run_incremental ?obs ~incremental () =
+  Campaign.run ~jobs:1 ?obs ~incremental ~config:incremental_config
+    (Lazy.force incremental_prepared) incremental_world incremental_params
+
+let kernel_campaign_incremental () =
+  ignore (run_incremental ~incremental:true ())
+
 (* Schedule-sweep kernel: the Table 4 concurrency rows re-verified
    across bounded-exploration interleavings (>= 20 distinct schedules
    per workload at full size) — each explored schedule is one complete
@@ -331,6 +381,7 @@ let all_kernels =
     ("campaign_parallel", Staged.stage kernel_campaign_parallel);
     ("campaign_journal", Staged.stage kernel_campaign_journal);
     ("campaign_service", Staged.stage kernel_campaign_service);
+    ("campaign_incremental", Staged.stage kernel_campaign_incremental);
     ("sched_sweep", Staged.stage kernel_sched_sweep);
     ("chaos_faults", Staged.stage kernel_chaos);
     ("ablation_alignment", Staged.stage kernel_ablation_align);
@@ -654,6 +705,60 @@ let durable_summary () =
         if journaled_s > 0. then J.Float (1. -. (resume_s /. journaled_s))
         else J.Null ) ]
 
+(* Incremental entry: the long-prefix campaign run with full slave
+   passes and with decouple-point snapshots, timed (min-of-3: the ratio
+   gates CI) and byte-compared.  Deterministic fields — task count,
+   whether a decouple point was found, the shared prefix cycles, table
+   identity — are gated exactly; the speedup gates against the 1.5x
+   floor in wall-time-checking runs. *)
+let incremental_summary () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let best f =
+    let t1 = time f in
+    let t2 = time f in
+    let t3 = time f in
+    Float.min t1 (Float.min t2 t3)
+  in
+  ignore (run_incremental ~incremental:false ());
+  let baseline_s = best (fun () -> run_incremental ~incremental:false ()) in
+  ignore (run_incremental ~incremental:true ());
+  let incremental_s = best (fun () -> run_incremental ~incremental:true ()) in
+  let full_table =
+    Campaign.render (run_incremental ~incremental:false ())
+  in
+  (* probe run with a recording sink: did the campaign actually share a
+     prefix (snap.captured/restored), and how many cycles it covered *)
+  let rc = Ldx_obs.Recorder.create () in
+  let incr_table =
+    Campaign.render
+      (run_incremental ~obs:(Ldx_obs.Recorder.sink rc) ~incremental:true ())
+  in
+  let snap = Ldx_obs.Recorder.snapshot rc in
+  let c name = Ldx_obs.Metrics.counter snap name in
+  let prefix_cycles =
+    (* one Snapshot_captured per campaign: the histogram's max IS the
+       shared prefix's cycle count *)
+    match List.assoc_opt "snap.prefix_cycles" snap.Ldx_obs.Metrics.hists with
+    | Some h -> h.Ldx_obs.Metrics.h_max
+    | None -> 0
+  in
+  J.Obj
+    [ ("tasks", J.Int (List.length incremental_params));
+      ("decoupled", J.Bool (c "snap.captured" > 0));
+      ("suffixes_replayed", J.Int (c "snap.restored"));
+      ("prefix_cycles", J.Int prefix_cycles);
+      ("tables_identical", J.Bool (String.equal full_table incr_table));
+      ("baseline_s", J.Float baseline_s);
+      ("incremental_s", J.Float incremental_s);
+      ("speedup_floor", J.Float 1.5);
+      ( "speedup",
+        if incremental_s > 0. then J.Float (baseline_s /. incremental_s)
+        else J.Null ) ]
+
 (* Schedule-sweep entry: per concurrency workload, how many distinct
    interleavings were explored and whether the leak verdict is stable
    across all of them (the Table 4 claim, lifted over schedules). *)
@@ -688,6 +793,7 @@ let write_bench_json ~counters rows =
         ("time_unit", J.Str "ns_per_run");
         ("wall_times", wall_times_json rows);
         ("campaign", campaign_comparison ());
+        ("incremental", incremental_summary ());
         ("durable", durable_summary ());
         ("service", service_summary ());
         ("sched_sweep", sched_sweep_summary ());

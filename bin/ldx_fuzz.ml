@@ -15,6 +15,8 @@
 open Cmdliner
 module Gen_minic = Ldx_genprog.Gen_minic
 module Engine = Ldx_core.Engine
+module Campaign = Ldx_core.Campaign
+module Mutation = Ldx_core.Mutation
 module Sched_sweep = Ldx_core.Sched_sweep
 module Counter = Ldx_instrument.Counter
 module Lower = Ldx_cfg.Lower
@@ -116,15 +118,46 @@ let check_chaos (p : Ldx_lang.Ast.program) (plan : Fault.t) : failure option =
         f_program = src }
   else None
 
+(* Incremental-campaign identity: a strategy-sweep campaign over the
+   generated program, run once with full slave passes and once with the
+   shared prefix snapshotted and only suffixes replayed, must render
+   byte-identical tables.  Any divergence means a snapshot missed state
+   (or restored it wrong) — the core soundness bar of lib/snap. *)
+let check_incremental (p : Ldx_lang.Ast.program) : failure option =
+  let src = Gen_minic.print_program p in
+  let instp, _ = Counter.instrument (Lower.lower_program p) in
+  let config =
+    { Engine.default_config with
+      Engine.sources = [ Engine.source ~sys:"recv" () ] }
+  in
+  let params = Campaign.of_strategies config Mutation.all_strategies in
+  let full =
+    Campaign.render (Campaign.run ~config instp test_world params)
+  in
+  let incr =
+    Campaign.render
+      (Campaign.run ~incremental:true ~config instp test_world params)
+  in
+  if String.equal full incr then None
+  else
+    Some
+      { f_check = "incremental campaign identity";
+        f_detail =
+          Printf.sprintf "tables differ\n--- full ---\n%s--- incremental ---\n%s"
+            full incr;
+        f_program = src }
+
 type task =
   | Check_seq of Ldx_lang.Ast.program
   | Check_conc of Ldx_lang.Ast.program * int * int
   | Check_chaos of Ldx_lang.Ast.program * Fault.t
+  | Check_incr of Ldx_lang.Ast.program
 
 let check_task = function
   | Check_seq p -> check_program p
   | Check_conc (p, ms, ss) -> check_concurrent p ms ss
   | Check_chaos (p, plan) -> check_chaos p plan
+  | Check_incr p -> check_incremental p
 
 (* Programs and scheduler seeds are drawn up front from the one seeded
    generator state, so the task list — and therefore any reported
@@ -149,6 +182,15 @@ let make_chaos_tasks runs rand =
   let programs = QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_program in
   Array.of_list
     (List.map (fun p -> Check_chaos (p, Fault.random ~rand ())) programs)
+
+(* Incremental tasks: sequential and concurrent programs both, since
+   snapshots must capture scheduler and blocked-thread state too. *)
+let make_incr_tasks runs rand =
+  let sequential = QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_program in
+  let concurrent =
+    QCheck2.Gen.generate ~n:runs ~rand Gen_minic.gen_conc_program
+  in
+  Array.of_list (List.map (fun p -> Check_incr p) (sequential @ concurrent))
 
 (* Check tasks across [jobs] domains (the calling domain participates).
    Tasks preceding the lowest failing index are always checked, so the
@@ -205,10 +247,8 @@ let check_sequential (tasks : task array) : (int * failure) option =
    task list is a pure function of those, so matching fingerprints mean
    identical task arrays and journaled indexes replay soundly. *)
 
-let fuzz_fingerprint ~runs ~seed ~chaos =
-  Store.fingerprint
-    [ "ldx-fuzz/1"; string_of_int runs; string_of_int seed;
-      (if chaos then "chaos" else "invariants") ]
+let fuzz_fingerprint ~runs ~seed ~cls =
+  Store.fingerprint [ "ldx-fuzz/1"; string_of_int runs; string_of_int seed; cls ]
 
 let encode_outcome = function
   | None -> "ok"
@@ -311,6 +351,17 @@ let chaos_arg =
                yields zero reports — any leak is a false positive in \
                the causality inference.")
 
+let incremental_arg =
+  Arg.(value & flag
+       & info [ "incremental" ]
+         ~doc:"Incremental-campaign mode: for each generated program \
+               (sequential and concurrent), run a strategy-sweep \
+               campaign with full slave passes and again with \
+               decouple-point snapshots replaying only each task's \
+               suffix, and check the rendered tables are \
+               byte-identical.  Any difference is a snapshot \
+               soundness bug.")
+
 let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"FILE"
@@ -382,7 +433,7 @@ let explore_schedules bound =
   end
   else `Error (false, "schedule invariant violated")
 
-let fuzz runs seed jobs chaos sched_explore journal resume =
+let fuzz runs seed jobs chaos incremental sched_explore journal resume =
   match sched_explore with
   | Some bound -> explore_schedules bound
   | None ->
@@ -398,7 +449,14 @@ let fuzz runs seed jobs chaos sched_explore journal resume =
    end);
   let rand = Random.State.make [| seed |] in
   let tasks =
-    if chaos then make_chaos_tasks runs rand else make_tasks runs rand
+    if chaos then make_chaos_tasks runs rand
+    else if incremental then make_incr_tasks runs rand
+    else make_tasks runs rand
+  in
+  let cls =
+    if chaos then "chaos"
+    else if incremental then "incremental"
+    else "invariants"
   in
   let outcome =
     match journal with
@@ -408,7 +466,7 @@ let fuzz runs seed jobs chaos sched_explore journal resume =
       (match
          check_durable ~path ~resume
            ~stop:(fun () -> Atomic.get draining)
-           ~fp:(fuzz_fingerprint ~runs ~seed ~chaos) tasks
+           ~fp:(fuzz_fingerprint ~runs ~seed ~cls) tasks
        with
        | outcome -> outcome
        | exception Drained ->
@@ -427,7 +485,9 @@ let fuzz runs seed jobs chaos sched_explore journal resume =
   | Ok None ->
     Printf.printf "ok: %d %s checked, all invariants hold\n"
       (Array.length tasks)
-      (if chaos then "(program, fault plan) pairs" else "programs");
+      (if chaos then "(program, fault plan) pairs"
+       else if incremental then "incremental-campaign programs"
+       else "programs");
     `Ok ()
   | Ok (Some (i, f)) ->
     Printf.printf "FAILURE after %d programs\ncheck:  %s\ndetail: %s\n\n%s\n"
@@ -442,6 +502,6 @@ let cmd =
     Term.(
       ret
         (const fuzz $ runs_arg $ seed_arg $ jobs_arg $ chaos_arg
-         $ sched_explore_arg $ journal_arg $ resume_arg))
+         $ incremental_arg $ sched_explore_arg $ journal_arg $ resume_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -255,6 +255,17 @@ let sync_flag =
                process crashes; --sync also survives power loss, at \
                one disk round-trip per task.")
 
+let incremental_flag =
+  Arg.(value & flag
+       & info [ "incremental" ]
+         ~doc:"Campaign modes: execute the shared slave prefix once, \
+               snapshot at the first divergence-relevant decouple point \
+               and replay only each task's suffix from the snapshot.  \
+               The rendered table is byte-identical to a full campaign \
+               at any --jobs; tasks whose effective config diverges \
+               from the shared prefix (retry jitter, deadlines, custom \
+               schedules) fall back to full slave passes automatically.")
+
 let build_world files endpoints =
   let w = ref World.empty in
   List.iter
@@ -296,6 +307,7 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
     metrics metrics_json profile_flag profile_json profile_folded progress
     faults fault_seed sched_policy sched_seed sched_replay sched_record journal
     resume task_deadline max_retries backoff retry_budget abort_after sync
+    incremental
   =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* sinks = parse_sinks sink in
@@ -501,7 +513,7 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
     | Ok prog ->
       let attrs =
         Ldx_core.Attribute.per_source ~config ~jobs ?obs ?retry
-          ?deadline:task_deadline prog world
+          ?deadline:task_deadline ~incremental prog world
       in
       print_string (Ldx_core.Attribute.render attrs);
       emit_observability ()
@@ -537,7 +549,7 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
           (match
              Ldx_core.Campaign.resume ~jobs ?obs ?retry
                ?deadline:task_deadline ?runner:abort_runner ~journal:path
-               ~stop ~sync ~config prog world params
+               ~stop ~sync ~incremental ~config prog world params
            with
            | Ok outs ->
              Printf.eprintf "resumed campaign from %s\n%!" path;
@@ -546,8 +558,8 @@ let run prog_file workload files endpoints sources sink strategy verbose trace
         | _, false ->
           Ok
             (Ldx_core.Campaign.run ~jobs ?obs ?retry ?deadline:task_deadline
-               ?runner:abort_runner ?journal ~stop ~sync ~config prog world
-               params)
+               ?runner:abort_runner ?journal ~stop ~sync ~incremental ~config
+               prog world params)
       in
       (match outs with
        | Error e -> `Error (false, e)
@@ -644,6 +656,6 @@ let cmd =
          $ profile_folded $ progress $ faults $ fault_seed $ sched_policy
          $ sched_seed $ sched_replay $ sched_record $ journal_arg $ resume_arg
          $ task_deadline $ max_retries $ backoff $ retry_budget
-         $ abort_after $ sync_flag))
+         $ abort_after $ sync_flag $ incremental_flag))
 
 let () = exit (Cmd.eval cmd)

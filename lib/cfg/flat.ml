@@ -103,6 +103,14 @@ type 'v func = {
   nparams : int;           (* params occupy slots 0..nparams-1, in order *)
   slot_names : string array;      (* slot -> source name (trap messages) *)
   slot_of : (string, int) Hashtbl.t;  (* name -> slot (tree mode, setjmp) *)
+  instr_runs : int array;
+  (* [instr_runs.(pc)] is the length of the maximal run of consecutive
+     pure-bookkeeping instrumentation instructions (cnt_add, loop_enter,
+     loop_exit — NOT loop_back, which is a barrier) starting at [pc];
+     0 when [code.(pc)] is any other opcode.  Runs never cross block
+     boundaries (every block ends in a non-instrumentation terminator),
+     so all instructions of a run share [i_bid].  The VM's batched fast
+     path uses this to retire a whole run in one dispatch. *)
 }
 
 type 'v program = {
@@ -270,6 +278,14 @@ let compile_func (cs : 'v consts) (prog : Ir.program)
        | Ir.Ret None -> emit (mk op_ret bi)
        | Ir.Ret (Some e) -> emit (mk op_ret bi ~e1:(cexpr e)))
     f.Ir.blocks;
+  let instr_runs = Array.make (Array.length code) 0 in
+  for pc = Array.length code - 1 downto 0 do
+    match code.(pc).op with
+    | 5 (* cnt_add *) | 6 (* loop_enter *) | 8 (* loop_exit *) ->
+      instr_runs.(pc) <-
+        1 + (if pc + 1 < Array.length code then instr_runs.(pc + 1) else 0)
+    | _ -> ()
+  done;
   { f_ir = f;
     code;
     block_pc;
@@ -277,7 +293,8 @@ let compile_func (cs : 'v consts) (prog : Ir.program)
     nslots = Array.length slot_names;
     nparams = List.length f.Ir.params;
     slot_names;
-    slot_of }
+    slot_of;
+    instr_runs }
 
 let compile (cs : 'v consts) (prog : Ir.program) : 'v program =
   let nf = Array.length prog.Ir.funcs in

@@ -21,9 +21,10 @@ type attribution = {
    instead of 2K.  [jobs > 1] fans the slave passes out over a domain
    pool; results are identical to the sequential ones. *)
 let per_source ?(config = Engine.default_config) ?(jobs = 1) ?obs ?retry
-    ?deadline (prog : Ir.program) (world : World.t) : attribution list =
+    ?deadline ?incremental (prog : Ir.program) (world : World.t) :
+  attribution list =
   let outs =
-    Campaign.run ~jobs ?obs ?retry ?deadline ~config prog world
+    Campaign.run ~jobs ?obs ?retry ?deadline ?incremental ~config prog world
       (Campaign.of_sources config)
   in
   List.map2

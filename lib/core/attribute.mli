@@ -22,7 +22,7 @@ type attribution = {
     verdict. *)
 val per_source :
   ?config:Engine.config -> ?jobs:int -> ?obs:Ldx_obs.Sink.t ->
-  ?retry:Campaign.retry_policy -> ?deadline:int ->
+  ?retry:Campaign.retry_policy -> ?deadline:int -> ?incremental:bool ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> attribution list
 
 val source_to_string : Engine.source_spec -> string

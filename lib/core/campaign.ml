@@ -586,10 +586,66 @@ let run_collected ~retry ?deadline ?obs ~runner ~jobs ~journal ~t0 ~stop
 
 (* ---------- the campaign ---------- *)
 
+(* Is an incremental prefix sound for this fan-out?  Every task must
+   share the prefix-relevant slave fields (seed, scheduler, trace
+   recording); [sources], [strategy] and [check_final_state] are free to
+   vary — they only act at or after the decouple point.  A caller's
+   custom runner can't be short-circuited, and a [?deadline] lowers
+   per-task fuel (changing the prefix machine), so both force the full
+   path. *)
+let incremental_eligible ~user_runner ~deadline (params : slave_params list) :
+  bool =
+  Option.is_none user_runner && deadline = None
+  && (match params with
+      | [] -> false
+      | p0 :: rest ->
+        List.for_all
+          (fun p ->
+             p.slave_seed = p0.slave_seed
+             && p.record_trace = p0.record_trace
+             && p.sched = p0.sched)
+          rest)
+
+(* Build the incremental runner: one shared slave prefix (executed here,
+   on the calling domain, before any fan-out), then per-task suffix
+   resumes.  Attempt-0 task configs match the snapshot's fingerprint by
+   construction; retries jitter the slave seed, which changes the
+   fingerprint and falls back to a full pass automatically.  Any
+   surprise during the prefix falls back to the full path — incremental
+   mode is an optimization, never a behavior change. *)
+let incremental_runner ?obs (config : Engine.config) (prog : Ir.program)
+    (world : World.t) (mo : Engine.master_out)
+    (params : slave_params list) : runner =
+  let p0 = List.hd params in
+  let specs = List.concat_map (fun p -> p.sources) params in
+  let prefix_cfg = apply config { p0 with sources = [] } in
+  match Engine.slave_prefix ?obs prefix_cfg ~specs prog world mo with
+  | Engine.Prefix_done so ->
+    (* no syscall base-matches any task's sources: the whole slave run
+       is shared, and each first attempt finalizes the one outcome under
+       its own config (final-state checking may differ per task) *)
+    let fp0 = Engine.slave_fingerprint prefix_cfg prog world in
+    fun ?obs cfg prog world mo ->
+      if String.equal fp0 (Engine.slave_fingerprint cfg prog world) then
+        Engine.finalize_result ?obs cfg mo so
+      else default_runner ?obs cfg prog world mo
+  | Engine.Prefix_paused ss ->
+    fun ?obs cfg prog world mo ->
+      if
+        String.equal ss.Engine.ss_fingerprint
+          (Engine.slave_fingerprint cfg prog world)
+      then
+        Engine.finalize_result ?obs cfg mo
+          (Engine.slave_resume ?obs cfg prog world mo ss)
+      else default_runner ?obs cfg prog world mo
+  | exception _ -> default_runner
+
 let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~stop ~sync
+    ~incremental
     ~(pre : (int * (status * int)) list) ~(pre_raw : (int * string) list)
     ~(config : Engine.config) (prog : Ir.program) (world : World.t)
     (params : slave_params list) : outcome list =
+  let user_runner = runner in
   let runner = Option.value runner ~default:default_runner in
   let tasks = Array.of_list params in
   let n = Array.length tasks in
@@ -628,6 +684,14 @@ let run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~stop ~sync
          ~finally:(fun () ->
            Obs.Sink.emit_opt obs (Obs.Event.Phase_end Obs.Event.Master_run))
          (fun () -> Engine.master_pass ?obs config prog world)
+     in
+     (* incremental fan-out: one shared slave prefix now, per-task
+        suffix resumes below (threaded through the runner seam, so
+        retry containment and telemetry are untouched) *)
+     let runner =
+       if incremental && incremental_eligible ~user_runner ~deadline params
+       then incremental_runner ?obs config prog world mo params
+       else runner
      in
      let nmiss = List.length missing in
      (* mode resolution.  [`Auto] goes parallel only when it can
@@ -745,15 +809,16 @@ let never_stop () = false
 
 let run ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
     ?runner ?journal ?(stop = never_stop) ?(sync = false)
-    ~(config : Engine.config) (prog : Ir.program) (world : World.t)
-    (params : slave_params list) : outcome list =
+    ?(incremental = false) ~(config : Engine.config) (prog : Ir.program)
+    (world : World.t) (params : slave_params list) : outcome list =
   run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner ~journal ~stop ~sync
-    ~pre:[] ~pre_raw:[] ~config prog world params
+    ~incremental ~pre:[] ~pre_raw:[] ~config prog world params
 
 let resume ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
     ?runner ~journal ?(stop = never_stop) ?(sync = false)
-    ~(config : Engine.config) (prog : Ir.program) (world : World.t)
-    (params : slave_params list) : (outcome list, string) result =
+    ?(incremental = false) ~(config : Engine.config) (prog : Ir.program)
+    (world : World.t) (params : slave_params list) :
+  (outcome list, string) result =
   match Store.load ~path:journal with
   | Error e -> Error e
   | Ok loaded ->
@@ -788,8 +853,8 @@ let resume ?(jobs = 1) ?(mode = `Auto) ?obs ?(retry = no_retries) ?deadline
              torn = loaded.Store.l_torn });
       Ok
         (run_impl ~jobs ~mode ~obs ~retry ~deadline ~runner
-           ~journal:(Some journal) ~stop ~sync ~pre ~pre_raw ~config prog
-           world params)
+           ~journal:(Some journal) ~stop ~sync ~incremental ~pre ~pre_raw
+           ~config prog world params)
     end
 
 (* ---------- the cross-process campaign service ---------- *)

@@ -191,12 +191,27 @@ type runner =
 
     [?sync] (default off) makes the journal [fsync] on checkpoint and
     every append — power-loss durability at one disk round-trip per
-    task (overhead measured in bench, "durable" entry). *)
+    task (overhead measured in bench, "durable" entry).
+
+    [?incremental] (default off) executes the shared slave prefix ONCE
+    — pausing at the first syscall any task's source spec base-matches
+    and capturing a decouple-point snapshot ({!Engine.slave_prefix}) —
+    then replays only each task's suffix from the snapshot
+    ({!Engine.slave_resume}).  Outcomes, and therefore {!render}ed
+    tables, are byte-identical to the full path at any [jobs] (pinned
+    by the test suite); only wall-clock time and the event stream
+    (which gains [Snapshot_captured]/[Snapshot_restored] and loses
+    per-task prefix events) change.  The mode silently falls back to
+    full passes when it cannot be sound or cannot win: a custom
+    [?runner], a [?deadline], tasks that disagree on a prefix-relevant
+    slave field ([slave_seed], [sched], [record_trace]), retry attempts
+    (jittered seeds change the snapshot fingerprint), or a prefix that
+    fails to reach a decouple point. *)
 val run :
   ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
   ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?deadline:int ->
   ?runner:runner -> ?journal:string ->
-  ?stop:(unit -> bool) -> ?sync:bool ->
+  ?stop:(unit -> bool) -> ?sync:bool -> ?incremental:bool ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   outcome list
@@ -217,12 +232,17 @@ val run :
     [Error] when the journal is unreadable, corrupt in its manifest
     section, or fingerprint-mismatched (the journaled outcomes were
     recorded under a different configuration and replaying them would
-    be unsound). *)
+    be unsound).
+
+    [?incremental] behaves as in {!run} and applies only to the
+    missing tasks; it is deliberately NOT part of the campaign
+    fingerprint — a journal written by a full campaign resumes
+    incrementally (and vice versa) to a byte-identical table. *)
 val resume :
   ?jobs:int -> ?mode:[ `Auto | `Sequential | `Parallel ] ->
   ?obs:Ldx_obs.Sink.t -> ?retry:retry_policy -> ?deadline:int ->
   ?runner:runner -> journal:string ->
-  ?stop:(unit -> bool) -> ?sync:bool ->
+  ?stop:(unit -> bool) -> ?sync:bool -> ?incremental:bool ->
   config:Engine.config ->
   Ldx_cfg.Ir.program -> Ldx_osim.World.t -> slave_params list ->
   (outcome list, string) result

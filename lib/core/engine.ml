@@ -133,6 +133,24 @@ let contains hay needle =
       in
       scan 0)
 
+(* Stateless base match of one spec against a dynamic syscall event —
+   everything except the [src_nth] occurrence filter.  Shared by
+   {!source_matcher} and the decouple-point pause predicate
+   ({!slave_prefix}), which must fire on the FIRST base match of ANY
+   spec precisely so that no occurrence counter has advanced when the
+   snapshot is taken — a fresh matcher on resume is then exact. *)
+let spec_base_match (spec : source_spec) ~(sys : string) ~(site : int)
+    ~(args : Sval.t list) ~(resources : string list) : bool =
+  (match spec.src_sys with None -> true | Some s -> String.equal s sys)
+  && (match spec.src_site with None -> true | Some s -> s = site)
+  && (match spec.src_arg with
+      | None -> true
+      | Some sub ->
+        List.exists (fun r -> contains r sub) resources
+        || (match args with
+            | Sval.S a :: _ -> contains a sub
+            | _ -> false))
+
 (* Stateful source predicate over one execution's dynamic syscall stream.
    The [src_nth] occurrence counters are keyed by each spec's INDEX in
    [config.sources]: every configured spec counts its own matches, even
@@ -149,17 +167,7 @@ let source_matcher (config : config) =
     let hit = ref false in
     Array.iteri
       (fun i (spec : source_spec) ->
-         let base =
-           (match spec.src_sys with None -> true | Some s -> String.equal s sys)
-           && (match spec.src_site with None -> true | Some s -> s = site)
-           && (match spec.src_arg with
-               | None -> true
-               | Some sub ->
-                 List.exists (fun r -> contains r sub) resources
-                 || (match args with
-                     | Sval.S a :: _ -> contains a sub
-                     | _ -> false))
-         in
+         let base = spec_base_match spec ~sys ~site ~args ~resources in
          let this =
            if not base then false
            else
@@ -442,13 +450,27 @@ let queue_for queues idx =
     Hashtbl.replace queues idx q;
     q
 
-(* Run one execution to completion, retrying thread ops that block.
-   [on_os_syscall] services non-thread syscalls and returns the value the
-   execution observes. *)
-let run_side (m : Machine.t)
+(* Run one execution, retrying thread ops that block.  [on_os_syscall]
+   services non-thread syscalls and returns the value the execution
+   observes.
+
+   [run_side_gen] is the resumable generalization behind decouple-point
+   snapshots: [blocked] is externalized (so a paused side's blocked set
+   can be captured and rebuilt), [?pause] is consulted for every
+   non-thread-op syscall BEFORE it is serviced (returning [`Paused th]
+   with the thread still [Awaiting] — the machine state at that moment
+   is exactly the pre-service state a snapshot must capture), and
+   [?first] services one already-pending thread before re-entering the
+   event loop — the resume hook, replaying the service step the pause
+   skipped.  With neither option this is bit-identical to the
+   historical [run_side]. *)
+let run_side_gen (m : Machine.t) ~(blocked : Machine.thread list ref)
+    ?(pause : (Machine.thread -> Machine.pending -> bool) option)
+    ?(first : Machine.thread option)
     ~(on_os_syscall : Machine.thread -> Machine.pending -> Value.t)
-    ~(on_stuck : Machine.thread list -> bool) : unit =
-  let blocked : Machine.thread list ref = ref [] in
+    ~(on_stuck : Machine.thread list -> bool) () :
+  [ `Done | `Paused of Machine.thread ] =
+  let paused = ref None in
   let service th =
     let p = Machine.pending_of th in
     if Driver.is_thread_op p.Machine.sys then begin
@@ -456,6 +478,8 @@ let run_side (m : Machine.t)
       | `Done v -> Machine.provide_result m th v
       | `Block -> blocked := th :: !blocked
     end
+    else if (match pause with Some f -> f th p | None -> false) then
+      paused := Some th
     else begin
       let v = on_os_syscall th p in
       Machine.provide_result m th v
@@ -478,14 +502,19 @@ let run_side (m : Machine.t)
       bs;
     !progress
   in
+  (* service one thread, then the blocked retries — the common step of
+     the event loop and the [?first] resume entry *)
+  let step th =
+    (try service th with Value.Trap msg ->
+       m.Machine.trap <- Some msg;
+       m.Machine.finished <- true);
+    if !paused = None then ignore (retry_blocked ())
+  in
   let rec loop () =
     match Machine.run_until_event m with
     | Machine.Ev_syscall th ->
-      (try service th with Value.Trap msg ->
-         m.Machine.trap <- Some msg;
-         m.Machine.finished <- true);
-      ignore (retry_blocked ());
-      if not m.Machine.finished then loop ()
+      step th;
+      if !paused = None && not m.Machine.finished then loop ()
     | Machine.Ev_barrier th ->
       Machine.release_barrier m th;
       loop ()
@@ -505,7 +534,20 @@ let run_side (m : Machine.t)
     | Machine.Ev_done -> ()
     | Machine.Ev_trap _ -> ()
   in
-  loop ()
+  (match first with
+   | Some th ->
+     step th;
+     if !paused = None && not m.Machine.finished then loop ()
+   | None -> loop ());
+  match !paused with Some th -> `Paused th | None -> `Done
+
+let run_side (m : Machine.t)
+    ~(on_os_syscall : Machine.thread -> Machine.pending -> Value.t)
+    ~(on_stuck : Machine.thread list -> bool) : unit =
+  let blocked = ref [] in
+  match run_side_gen m ~blocked ~on_os_syscall ~on_stuck () with
+  | `Done -> ()
+  | `Paused _ -> assert false (* no pause predicate installed *)
 
 let master_pass ?obs ?prof (config : config) (prog : Ir.program)
     (world : World.t) : master_out =
@@ -575,8 +617,62 @@ type slave_out = {
   sos : Os.t;                  (* the slave's private OS (final state) *)
 }
 
-let slave_pass ?obs ?prof (config : config) (prog : Ir.program)
-    (world : World.t) (mo : master_out) : slave_out =
+(* All mutable state of one slave pass, externalized so a pass can be
+   paused at a decouple point, snapshotted, and resumed any number of
+   times — each resume rebuilds a private context, so one recorded
+   master plus one prefix snapshot back any number of suffix replays. *)
+type slave_ctx = {
+  sc_config : config;
+  sc_obs : Obs.Sink.t option;
+  sc_mo : master_out;
+  sc_m : Machine.t;
+  sc_os : Os.t;
+  sc_grants : (string, int Queue.t) Hashtbl.t;
+      (* master lock-grant order, consumed by the replay gate *)
+  sc_tainted_locks : (string, unit) Hashtbl.t;
+  sc_tainted_resources : (string, unit) Hashtbl.t;
+  sc_cursors : (int, int ref) Hashtbl.t;
+      (* per-thread read cursors over the master's frozen record arrays:
+         the slave never mutates [sc_mo], so one recorded master replays
+         under any number of (possibly concurrent) slave passes *)
+  sc_is_sink : string -> int -> Sval.t list -> bool;
+  sc_is_source :
+    sys:string -> site:int -> args:Sval.t list -> resources:string list ->
+    bool;
+  mutable sc_reports : sink_report list;        (* reversed *)
+  mutable sc_diffs : int;
+  mutable sc_diffs_before_first : int;          (* -1 until first report *)
+  mutable sc_mutated : int;
+  mutable sc_trace : trace_entry list;          (* reversed *)
+  sc_blocked : Machine.thread list ref;
+}
+
+(* --- schedule replay gate over the master's lock-grant order --- *)
+let install_slave_gate (ctx : slave_ctx) : unit =
+  ctx.sc_m.Machine.lock_gate <-
+    Some
+      (fun key idx ->
+         if Hashtbl.mem ctx.sc_tainted_locks key then true
+         else
+           match Hashtbl.find_opt ctx.sc_grants key with
+           | None ->
+             (* the master never touched this lock: a schedule difference;
+                taint it and stop gating (Sec. 7) *)
+             Hashtbl.replace ctx.sc_tainted_locks key ();
+             true
+           | Some q ->
+             if Queue.is_empty q then begin
+               Hashtbl.replace ctx.sc_tainted_locks key ();
+               true
+             end
+             else if Queue.peek q = idx then begin
+               ignore (Queue.pop q);
+               true
+             end
+             else false)
+
+let fresh_slave_ctx ?obs ?prof (config : config) (prog : Ir.program)
+    (world : World.t) (mo : master_out) : slave_ctx =
   let os = Os.create ~pid:1001 world in
   (* the slave's OS instantiates the SAME immutable plan with fresh
      occurrence counters: replaying from scratch, its fault schedule
@@ -594,264 +690,492 @@ let slave_pass ?obs ?prof (config : config) (prog : Ir.program)
   (match obs with
    | Some s -> install_obs s Obs.Event.Slave m os
    | None -> ());
-  let is_sink = sink_pred config.sinks in
-  (* --- schedule replay gate over the master's lock-grant order --- *)
   let grants : (string, int Queue.t) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun (key, idx) -> Queue.add idx (queue_for grants key))
     mo.mlock_trace;
-  let tainted_locks : (string, unit) Hashtbl.t = Hashtbl.create 4 in
-  m.Machine.lock_gate <-
-    Some
-      (fun key idx ->
-         if Hashtbl.mem tainted_locks key then true
-         else
-           match Hashtbl.find_opt grants key with
-           | None ->
-             (* the master never touched this lock: a schedule difference;
-                taint it and stop gating (Sec. 7) *)
-             Hashtbl.replace tainted_locks key ();
-             true
-           | Some q ->
-             if Queue.is_empty q then begin
-               Hashtbl.replace tainted_locks key ();
-               true
-             end
-             else if Queue.peek q = idx then begin
-               ignore (Queue.pop q);
-               true
-             end
-             else false);
-  (* --- divergence bookkeeping --- *)
-  let reports = ref [] in
-  let diffs = ref 0 in
-  let diffs_before_first = ref (-1) in
-  let trace = ref [] in
-  (* One alignment decision: feeds the (opt-in) trace log and the (opt-in)
-     observability sink.  [master_ts] is the producing master cycle stamp,
-     -1 when there is no master counterpart; the slave stamp is read off
-     the slave clock at the call, so in the copy path this runs after the
-     fast-forward. *)
-  let note ~tid ~pos ~action ~sinkp ~master_ts ~master ~slave =
-    if config.record_trace then
-      trace :=
-        { t_pos = Align.to_string pos; t_action = action;
-          t_master = master; t_slave = slave }
-        :: !trace;
-    match obs with
-    | None -> ()
-    | Some s ->
-      Obs.Sink.emit s
-        (Obs.Event.Couple
-           { tid; pos = Align.to_string pos;
-             decision = decision_of_action action; sink = sinkp;
-             master_sys = Option.map fst master;
-             slave_sys = Option.map fst slave;
-             master_ts; slave_ts = m.Machine.cycles })
+  let ctx =
+    { sc_config = config;
+      sc_obs = obs;
+      sc_mo = mo;
+      sc_m = m;
+      sc_os = os;
+      sc_grants = grants;
+      sc_tainted_locks = Hashtbl.create 4;
+      sc_tainted_resources = Hashtbl.create 8;
+      sc_cursors = Hashtbl.create 4;
+      sc_is_sink = sink_pred config.sinks;
+      sc_is_source = source_matcher config;
+      sc_reports = [];
+      sc_diffs = 0;
+      sc_diffs_before_first = -1;
+      sc_mutated = 0;
+      sc_trace = [];
+      sc_blocked = ref [] }
   in
-  let tainted_resources : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  let report kind ~sys ~site ~pos ~master_args ~slave_args =
-    if !diffs_before_first < 0 then diffs_before_first := !diffs;
-    (match obs with
-     | None -> ()
-     | Some s ->
-       Obs.Sink.emit s
-         (Obs.Event.Divergence
-            { case = case_of_kind kind; kind = kind_to_string kind; sys;
-              site; pos = Align.to_string pos }));
-    reports :=
-      { kind; sys; site; position = Align.to_string pos;
-        master_args; slave_args }
-      :: !reports
+  install_slave_gate ctx;
+  ctx
+(* One alignment decision: feeds the (opt-in) trace log and the (opt-in)
+   observability sink.  [master_ts] is the producing master cycle stamp,
+   -1 when there is no master counterpart; the slave stamp is read off
+   the slave clock at the call, so in the copy path this runs after the
+   fast-forward. *)
+let slave_note (ctx : slave_ctx) ~tid ~pos ~action ~sinkp ~master_ts ~master
+    ~slave =
+  if ctx.sc_config.record_trace then
+    ctx.sc_trace <-
+      { t_pos = Align.to_string pos; t_action = action;
+        t_master = master; t_slave = slave }
+      :: ctx.sc_trace;
+  match ctx.sc_obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.emit s
+      (Obs.Event.Couple
+         { tid; pos = Align.to_string pos;
+           decision = decision_of_action action; sink = sinkp;
+           master_sys = Option.map fst master;
+           slave_sys = Option.map fst slave;
+           master_ts; slave_ts = ctx.sc_m.Machine.cycles })
+
+let slave_report (ctx : slave_ctx) kind ~sys ~site ~pos ~master_args
+    ~slave_args =
+  if ctx.sc_diffs_before_first < 0 then
+    ctx.sc_diffs_before_first <- ctx.sc_diffs;
+  (match ctx.sc_obs with
+   | None -> ()
+   | Some s ->
+     Obs.Sink.emit s
+       (Obs.Event.Divergence
+          { case = case_of_kind kind; kind = kind_to_string kind; sys;
+            site; pos = Align.to_string pos }));
+  ctx.sc_reports <-
+    { kind; sys; site; position = Align.to_string pos;
+      master_args; slave_args }
+    :: ctx.sc_reports
+
+let slave_taint (ctx : slave_ctx) rs =
+  List.iter (fun r -> Hashtbl.replace ctx.sc_tainted_resources r ()) rs
+
+let drop_master_only (ctx : slave_ctx) ~tid (r : record) =
+  ctx.sc_diffs <- ctx.sc_diffs + 1;
+  slave_taint ctx (Os.resource_of_syscall ctx.sc_os r.rsys r.rargs);
+  slave_note ctx ~tid ~pos:r.rpos ~action:T_master_only ~sinkp:r.rsink
+    ~master_ts:r.rcyc ~master:(Some (r.rsys, r.rargs)) ~slave:None;
+  if r.rsink then
+    slave_report ctx Missing_in_slave ~sys:r.rsys ~site:r.rsite ~pos:r.rpos
+      ~master_args:(Some r.rargs) ~slave_args:None
+
+(* --- source mutation --- *)
+let maybe_mutate (ctx : slave_ctx) ~sys ~site ~pos ~args ~resources
+    (v : Sval.t) : Sval.t =
+  if ctx.sc_is_source ~sys ~site ~args ~resources then begin
+    let v' = Mutation.mutate ctx.sc_config.strategy v in
+    if not (Sval.equal v' v) then begin
+      ctx.sc_mutated <- ctx.sc_mutated + 1;
+      match ctx.sc_obs with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.emit s
+          (Obs.Event.Mutation
+             { sys; site; pos = Align.to_string pos;
+               before = Sval.to_string v; after = Sval.to_string v' })
+    end;
+    v'
+  end
+  else v
+
+let cursor_for (ctx : slave_ctx) tid =
+  match Hashtbl.find_opt ctx.sc_cursors tid with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace ctx.sc_cursors tid c;
+    c
+
+(* --- the slave syscall wrapper --- *)
+let slave_on_os_syscall (ctx : slave_ctx) th (p : Machine.pending) : Value.t =
+  let os = ctx.sc_os and m = ctx.sc_m in
+  let sys = p.Machine.sys and site = p.Machine.site in
+  let sargs = List.map Value.to_sval p.Machine.sysargs in
+  let pos = Align.of_thread th in
+  let resources = Os.resource_of_syscall os sys sargs in
+  let sinkp = ctx.sc_is_sink sys site sargs in
+  let tid = th.Machine.spawn_index in
+  let recs = records_for ctx.sc_mo tid in
+  let cur = cursor_for ctx tid in
+  (* skip past outcomes the slave has passed: master-only syscalls *)
+  while !cur < Array.length recs && Align.compare recs.(!cur).rpos pos < 0 do
+    drop_master_only ctx ~tid recs.(!cur);
+    incr cur
+  done;
+  let private_exec () =
+    slave_taint ctx resources;
+    try Os.exec ~site os sys sargs with Os.Os_error _ -> Sval.I (-1)
   in
-  let taint rs = List.iter (fun r -> Hashtbl.replace tainted_resources r ()) rs in
-  let drop_master_only ~tid (r : record) =
-    incr diffs;
-    taint (Os.resource_of_syscall os r.rsys r.rargs);
-    note ~tid ~pos:r.rpos ~action:T_master_only ~sinkp:r.rsink
-      ~master_ts:r.rcyc ~master:(Some (r.rsys, r.rargs)) ~slave:None;
-    if r.rsink then
-      report Missing_in_slave ~sys:r.rsys ~site:r.rsite ~pos:r.rpos
-        ~master_args:(Some r.rargs) ~slave_args:None
+  let slave_only () =
+    ctx.sc_diffs <- ctx.sc_diffs + 1;
+    slave_note ctx ~tid ~pos ~action:T_slave_only ~sinkp ~master_ts:(-1)
+      ~master:None ~slave:(Some (sys, sargs));
+    if sinkp then
+      slave_report ctx Missing_in_master ~sys ~site ~pos ~master_args:None
+        ~slave_args:(Some sargs);
+    private_exec ()
   in
-  (* --- source mutation --- *)
-  let mutated = ref 0 in
-  let is_source = source_matcher config in
-  let maybe_mutate ~sys ~site ~pos ~args ~resources (v : Sval.t) : Sval.t =
-    if is_source ~sys ~site ~args ~resources then begin
-      let v' = Mutation.mutate config.strategy v in
-      if not (Sval.equal v' v) then begin
-        incr mutated;
-        match obs with
-        | None -> ()
-        | Some s ->
-          Obs.Sink.emit s
-            (Obs.Event.Mutation
-               { sys; site; pos = Align.to_string pos;
-                 before = Sval.to_string v; after = Sval.to_string v' })
-      end;
-      v'
-    end
-    else v
-  in
-  (* --- the slave syscall wrapper --- *)
-  (* Per-thread read cursors over the master's frozen record arrays: the
-     slave never mutates [mo], so one recorded master replays under any
-     number of (possibly concurrent) slave passes. *)
-  let cursors : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
-  let cursor_for tid =
-    match Hashtbl.find_opt cursors tid with
-    | Some c -> c
-    | None ->
-      let c = ref 0 in
-      Hashtbl.replace cursors tid c;
-      c
-  in
-  let on_os_syscall th (p : Machine.pending) : Value.t =
-    let sys = p.Machine.sys and site = p.Machine.site in
-    let sargs = List.map Value.to_sval p.Machine.sysargs in
-    let pos = Align.of_thread th in
-    let resources = Os.resource_of_syscall os sys sargs in
-    let sinkp = is_sink sys site sargs in
-    let tid = th.Machine.spawn_index in
-    let recs = records_for mo tid in
-    let cur = cursor_for tid in
-    (* skip past outcomes the slave has passed: master-only syscalls *)
-    while !cur < Array.length recs && Align.compare recs.(!cur).rpos pos < 0 do
-      drop_master_only ~tid recs.(!cur);
-      incr cur
-    done;
-    let private_exec () =
-      taint resources;
-      try Os.exec ~site os sys sargs with Os.Os_error _ -> Sval.I (-1)
-    in
-    let slave_only () =
-      incr diffs;
-      note ~tid ~pos ~action:T_slave_only ~sinkp ~master_ts:(-1) ~master:None
-        ~slave:(Some (sys, sargs));
-      if sinkp then
-        report Missing_in_master ~sys ~site ~pos ~master_args:None
-          ~slave_args:(Some sargs);
-      private_exec ()
-    in
-    let res =
-      if !cur >= Array.length recs then slave_only ()
-      else begin
-        let r = recs.(!cur) in
-        let c = Align.compare r.rpos pos in
-        if c > 0 then slave_only ()
-        else if r.rsite = site then begin
-          incr cur;
-          let res_tainted = List.exists (Hashtbl.mem tainted_resources) resources in
-          if res_tainted then begin
-            (* control-flow aligned but on a diverged resource: decoupled *)
-            incr diffs;
-            note ~tid ~pos ~action:T_decoupled ~sinkp ~master_ts:r.rcyc
-              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
-            if sinkp && not (Sval.list_equal r.rargs sargs) then
-              report Args_differ ~sys ~site ~pos ~master_args:(Some r.rargs)
-                ~slave_args:(Some sargs);
-            private_exec ()
-          end
-          else if Sval.list_equal r.rargs sargs then begin
-            (* fully aligned: copy the master's outcome.  The private
-               execution (discarded) still consults the fault plan, so
-               the slave's occurrence counters advance in lockstep with
-               the master's while coupled — which is what makes a later
-               decoupling replay the remaining schedule identically. *)
-            (try ignore (Os.exec ~site os sys sargs) with Os.Os_error _ -> ());
-            let before = m.Machine.cycles in
-            m.Machine.cycles <- max m.Machine.cycles r.rcyc + Cost.share_copy;
-            if sinkp then m.Machine.cycles <- m.Machine.cycles + Cost.sink_compare;
-            (match prof with
-             | Some p ->
-               (* decompose the clock delta so engine categories plus
-                  per-op cycles sum exactly to the slave's clock *)
-               let stall = max before r.rcyc - before in
-               if stall > 0 then
-                 Profile.charge_engine p ~cat:Profile.eng_couple_stall
-                   ~cycles:stall;
-               Profile.charge_engine p ~cat:Profile.eng_share_copy
-                 ~cycles:Cost.share_copy;
-               if sinkp then
-                 Profile.charge_engine p ~cat:Profile.eng_sink_compare
-                   ~cycles:Cost.sink_compare
-             | None -> ());
-            note ~tid ~pos
-              ~action:(if sinkp then T_sink_match else T_copied)
-              ~sinkp ~master_ts:r.rcyc
-              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
-            r.rresult
-          end
-          else begin
-            (* case 3: aligned, same PC, different parameters *)
-            incr diffs;
-            note ~tid ~pos ~action:T_args_differ ~sinkp ~master_ts:r.rcyc
-              ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
-            if sinkp then
-              report Args_differ ~sys ~site ~pos ~master_args:(Some r.rargs)
-                ~slave_args:(Some sargs);
-            taint (Os.resource_of_syscall os r.rsys r.rargs);
-            private_exec ()
-          end
-        end
-        else begin
-          (* case 2: same counter, different PC — both run independently.
-             ONE path-diff syscall pair = one difference (the accounting
-             previously incremented twice here, inflating syscall_diffs
-             and Table 2's diffs_before_first_report). *)
-          incr cur;
-          incr diffs;
-          note ~tid ~pos ~action:T_path_diff ~sinkp ~master_ts:r.rcyc
+  let res =
+    if !cur >= Array.length recs then slave_only ()
+    else begin
+      let r = recs.(!cur) in
+      let c = Align.compare r.rpos pos in
+      if c > 0 then slave_only ()
+      else if r.rsite = site then begin
+        incr cur;
+        let res_tainted =
+          List.exists (Hashtbl.mem ctx.sc_tainted_resources) resources
+        in
+        if res_tainted then begin
+          (* control-flow aligned but on a diverged resource: decoupled *)
+          ctx.sc_diffs <- ctx.sc_diffs + 1;
+          slave_note ctx ~tid ~pos ~action:T_decoupled ~sinkp ~master_ts:r.rcyc
             ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
-          taint (Os.resource_of_syscall os r.rsys r.rargs);
-          if r.rsink || sinkp then
-            report Different_syscall ~sys:(if sinkp then sys else r.rsys)
-              ~site:(if sinkp then site else r.rsite) ~pos
+          if sinkp && not (Sval.list_equal r.rargs sargs) then
+            slave_report ctx Args_differ ~sys ~site ~pos
               ~master_args:(Some r.rargs) ~slave_args:(Some sargs);
           private_exec ()
         end
+        else if Sval.list_equal r.rargs sargs then begin
+          (* fully aligned: copy the master's outcome.  The private
+             execution (discarded) still consults the fault plan, so
+             the slave's occurrence counters advance in lockstep with
+             the master's while coupled — which is what makes a later
+             decoupling replay the remaining schedule identically. *)
+          (try ignore (Os.exec ~site os sys sargs) with Os.Os_error _ -> ());
+          let before = m.Machine.cycles in
+          m.Machine.cycles <- max m.Machine.cycles r.rcyc + Cost.share_copy;
+          if sinkp then m.Machine.cycles <- m.Machine.cycles + Cost.sink_compare;
+          (match m.Machine.prof with
+           | Some p ->
+             (* decompose the clock delta so engine categories plus
+                per-op cycles sum exactly to the slave's clock *)
+             let stall = max before r.rcyc - before in
+             if stall > 0 then
+               Profile.charge_engine p ~cat:Profile.eng_couple_stall
+                 ~cycles:stall;
+             Profile.charge_engine p ~cat:Profile.eng_share_copy
+               ~cycles:Cost.share_copy;
+             if sinkp then
+               Profile.charge_engine p ~cat:Profile.eng_sink_compare
+                 ~cycles:Cost.sink_compare
+           | None -> ());
+          slave_note ctx ~tid ~pos
+            ~action:(if sinkp then T_sink_match else T_copied)
+            ~sinkp ~master_ts:r.rcyc
+            ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
+          r.rresult
+        end
+        else begin
+          (* case 3: aligned, same PC, different parameters *)
+          ctx.sc_diffs <- ctx.sc_diffs + 1;
+          slave_note ctx ~tid ~pos ~action:T_args_differ ~sinkp
+            ~master_ts:r.rcyc ~master:(Some (r.rsys, r.rargs))
+            ~slave:(Some (sys, sargs));
+          if sinkp then
+            slave_report ctx Args_differ ~sys ~site ~pos
+              ~master_args:(Some r.rargs) ~slave_args:(Some sargs);
+          slave_taint ctx (Os.resource_of_syscall os r.rsys r.rargs);
+          private_exec ()
+        end
       end
-    in
-    Value.of_sval (maybe_mutate ~sys ~site ~pos ~args:sargs ~resources res)
+      else begin
+        (* case 2: same counter, different PC — both run independently.
+           ONE path-diff syscall pair = one difference (the accounting
+           previously incremented twice here, inflating syscall_diffs
+           and Table 2's diffs_before_first_report). *)
+        incr cur;
+        ctx.sc_diffs <- ctx.sc_diffs + 1;
+        slave_note ctx ~tid ~pos ~action:T_path_diff ~sinkp ~master_ts:r.rcyc
+          ~master:(Some (r.rsys, r.rargs)) ~slave:(Some (sys, sargs));
+        slave_taint ctx (Os.resource_of_syscall os r.rsys r.rargs);
+        if r.rsink || sinkp then
+          slave_report ctx Different_syscall
+            ~sys:(if sinkp then sys else r.rsys)
+            ~site:(if sinkp then site else r.rsite) ~pos
+            ~master_args:(Some r.rargs) ~slave_args:(Some sargs);
+        private_exec ()
+      end
+    end
   in
-  let on_stuck blocked =
-    (* every blocked lock request whose gate refuses: taint the lock *)
-    let tainted_any = ref false in
-    List.iter
-      (fun th ->
-         match th.Machine.status with
-         | Machine.Awaiting { Machine.sys = "lock"; sysargs = [ lockv ]; _ } ->
-           (match Machine.lock_key lockv with
-            | key ->
-              if not (Hashtbl.mem tainted_locks key) then begin
-                Hashtbl.replace tainted_locks key ();
-                tainted_any := true
-              end)
-         | _ -> ())
-      blocked;
-    !tainted_any
-  in
-  run_side m ~on_os_syscall ~on_stuck;
-  (* drain leftover master outcomes (syscalls the slave never reached) in
-     ascending spawn_index order — [mo.mlog] is sorted — so leftover
-     reports and trace entries are deterministic across runs *)
+  Value.of_sval (maybe_mutate ctx ~sys ~site ~pos ~args:sargs ~resources res)
+
+let slave_on_stuck (ctx : slave_ctx) blocked =
+  (* every blocked lock request whose gate refuses: taint the lock *)
+  let tainted_any = ref false in
+  List.iter
+    (fun th ->
+       match th.Machine.status with
+       | Machine.Awaiting { Machine.sys = "lock"; sysargs = [ lockv ]; _ } ->
+         (match Machine.lock_key lockv with
+          | key ->
+            if not (Hashtbl.mem ctx.sc_tainted_locks key) then begin
+              Hashtbl.replace ctx.sc_tainted_locks key ();
+              tainted_any := true
+            end)
+       | _ -> ())
+    blocked;
+  !tainted_any
+
+(* Drain leftover master outcomes (syscalls the slave never reached) in
+   ascending spawn_index order — [mlog] is sorted — so leftover reports
+   and trace entries are deterministic across runs; then freeze the
+   accumulated bookkeeping into a [slave_out]. *)
+let slave_finalize (ctx : slave_ctx) : slave_out =
   Array.iter
     (fun (tid, recs) ->
-       let cur = cursor_for tid in
+       let cur = cursor_for ctx tid in
        while !cur < Array.length recs do
-         drop_master_only ~tid recs.(!cur);
+         drop_master_only ctx ~tid recs.(!cur);
          incr cur
        done)
-    mo.mlog;
-  emit_summary obs Obs.Event.Slave m;
-  { sreports = List.rev !reports;
-    sdiffs = !diffs;
-    sdiffs_before_first = (if !diffs_before_first < 0 then !diffs else !diffs_before_first);
-    smutated = !mutated;
-    ssummary = summary_of m;
-    strace = List.rev !trace;
-    sos = os }
+    ctx.sc_mo.mlog;
+  emit_summary ctx.sc_obs Obs.Event.Slave ctx.sc_m;
+  { sreports = List.rev ctx.sc_reports;
+    sdiffs = ctx.sc_diffs;
+    sdiffs_before_first =
+      (if ctx.sc_diffs_before_first < 0 then ctx.sc_diffs
+       else ctx.sc_diffs_before_first);
+    smutated = ctx.sc_mutated;
+    ssummary = summary_of ctx.sc_m;
+    strace = List.rev ctx.sc_trace;
+    sos = ctx.sc_os }
+
+let slave_pass ?obs ?prof (config : config) (prog : Ir.program)
+    (world : World.t) (mo : master_out) : slave_out =
+  let ctx = fresh_slave_ctx ?obs ?prof config prog world mo in
+  (match
+     run_side_gen ctx.sc_m ~blocked:ctx.sc_blocked
+       ~on_os_syscall:(slave_on_os_syscall ctx)
+       ~on_stuck:(slave_on_stuck ctx) ()
+   with
+   | `Done -> ()
+   | `Paused _ -> assert false);
+  slave_finalize ctx
+
+(* ------------------------------------------------------------------ *)
+(* Decouple-point snapshots: run the shared slave prefix once, pause at
+   the first syscall ANY fan-out task's source spec base-matches —
+   BEFORE that syscall is serviced or mutated — capture the complete
+   slave state, then replay per-task suffixes from the capture.  The
+   pause fires before any [src_nth] occurrence counter has advanced, so
+   each resume's fresh [source_matcher] sees exactly the dynamic stream
+   a from-scratch run would: suffix replays are bit-identical to full
+   slave passes. *)
+
+module Snap = Ldx_snap.Snap
+
+type slave_snapshot = {
+  ss_snap : Snap.t;                (* machine + OS + profile counters *)
+  ss_grants : (string * int list) list;
+      (* remaining (unconsumed) master lock grants, key-sorted *)
+  ss_tainted_locks : string list;            (* sorted *)
+  ss_tainted_resources : string list;        (* sorted *)
+  ss_cursors : (int * int) list;     (* spawn index -> master-log cursor *)
+  ss_reports : sink_report list;     (* reversed, as accumulated *)
+  ss_diffs : int;
+  ss_diffs_before_first : int;       (* raw accumulator: -1 if none yet *)
+  ss_mutated : int;
+  ss_trace : trace_entry list;       (* reversed *)
+  ss_blocked : int list;   (* blocked threads' spawn indices, list order *)
+  ss_paused : int;         (* spawn index of the thread paused at the point *)
+  ss_fingerprint : string; (* pins (program, world, shared slave config) *)
+}
+
+(* What a snapshot is valid against: the program, the initial world, and
+   every config field the shared prefix depends on.  Per-task fields
+   ([sources], [strategy], [check_final_state]) are deliberately NOT
+   pinned — varying them per suffix is the point.  [sinks] IS
+   prefix-relevant (sink matches cost [Cost.sink_compare] on copies), so
+   its constructor is pinned; [Custom_sinks] closures cannot be hashed
+   and all map to one tag — callers vary custom sinks per task at their
+   own risk. *)
+let slave_fingerprint (config : config) (prog : Ir.program)
+    (world : World.t) : string =
+  Ldx_store.Store.fingerprint
+    [ "ldx-slave-snap/1";
+      Marshal.to_string prog [];
+      Marshal.to_string world [];
+      Marshal.to_string config.faults [];
+      (match config.sinks with
+       | Output_syscalls -> "output"
+       | Network_outputs -> "net"
+       | File_outputs -> "file"
+       | Attack_sinks -> "attack"
+       | Custom_sinks _ -> "custom");
+      string_of_int config.slave_seed;
+      string_of_int config.max_steps;
+      string_of_bool config.record_trace;
+      string_of_bool config.record_sched;
+      (match config.slave_sched with
+       | None -> "-"
+       | Some s -> Sched.spec_to_string s) ]
+
+let snapshot_of_ctx (ctx : slave_ctx) (prog : Ir.program) (world : World.t)
+    (paused : Machine.thread) : slave_snapshot =
+  let sorted_keys tbl =
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  { ss_snap = Snap.capture ctx.sc_m;
+    ss_grants =
+      Hashtbl.fold
+        (fun k q acc -> (k, List.of_seq (Queue.to_seq q)) :: acc)
+        ctx.sc_grants []
+      |> List.sort compare;
+    ss_tainted_locks = sorted_keys ctx.sc_tainted_locks;
+    ss_tainted_resources = sorted_keys ctx.sc_tainted_resources;
+    ss_cursors =
+      Hashtbl.fold (fun tid c acc -> (tid, !c) :: acc) ctx.sc_cursors []
+      |> List.sort compare;
+    ss_reports = ctx.sc_reports;
+    ss_diffs = ctx.sc_diffs;
+    ss_diffs_before_first = ctx.sc_diffs_before_first;
+    ss_mutated = ctx.sc_mutated;
+    ss_trace = ctx.sc_trace;
+    ss_blocked =
+      List.map (fun th -> th.Machine.spawn_index) !(ctx.sc_blocked);
+    ss_paused = paused.Machine.spawn_index;
+    ss_fingerprint = slave_fingerprint ctx.sc_config prog world }
+
+type prefix_out =
+  | Prefix_paused of slave_snapshot
+      (** the decouple point was reached; resume per task *)
+  | Prefix_done of slave_out
+      (** no syscall base-matched any spec: the whole run is shared *)
+
+(* Run the shared slave prefix under [config] (whose own sources must be
+   a subset of [specs]) and pause at the first base match of any spec in
+   [specs] — the union of every fan-out task's sources. *)
+let slave_prefix ?obs ?prof (config : config)
+    ~(specs : source_spec list) (prog : Ir.program) (world : World.t)
+    (mo : master_out) : prefix_out =
+  let ctx = fresh_slave_ctx ?obs ?prof config prog world mo in
+  let pause _th (p : Machine.pending) =
+    let sargs = List.map Value.to_sval p.Machine.sysargs in
+    let resources =
+      Os.resource_of_syscall ctx.sc_os p.Machine.sys sargs
+    in
+    List.exists
+      (fun spec ->
+         spec_base_match spec ~sys:p.Machine.sys ~site:p.Machine.site
+           ~args:sargs ~resources)
+      specs
+  in
+  match
+    run_side_gen ctx.sc_m ~blocked:ctx.sc_blocked ~pause
+      ~on_os_syscall:(slave_on_os_syscall ctx)
+      ~on_stuck:(slave_on_stuck ctx) ()
+  with
+  | `Done -> Prefix_done (slave_finalize ctx)
+  | `Paused th ->
+    let m = ctx.sc_m in
+    (match ctx.sc_obs with
+     | None -> ()
+     | Some s ->
+       Obs.Sink.emit s
+         (Obs.Event.Snapshot_captured
+            { prefix_cycles = m.Machine.cycles;
+              prefix_steps = m.Machine.steps;
+              prefix_syscalls = m.Machine.syscalls }));
+    Prefix_paused (snapshot_of_ctx ctx prog world th)
+
+let ctx_of_snapshot ?obs ?sched (config : config) (prog : Ir.program)
+    (world : World.t) (mo : master_out) (ss : slave_snapshot) :
+  slave_ctx * Machine.thread =
+  if not
+      (String.equal ss.ss_fingerprint (slave_fingerprint config prog world))
+  then
+    invalid_arg
+      "Engine.slave_resume: snapshot does not match this \
+       program/world/config";
+  let m =
+    Snap.restore ?sched ~fprog:mo.mmachine.Machine.fprog prog ss.ss_snap
+  in
+  let os = m.Machine.os in
+  (match obs with
+   | Some s -> install_obs s Obs.Event.Slave m os
+   | None -> ());
+  let grants : (string, int Queue.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (key, idxs) ->
+       let q = Queue.create () in
+       List.iter (fun i -> Queue.add i q) idxs;
+       Hashtbl.replace grants key q)
+    ss.ss_grants;
+  let tbl_of keys =
+    let t = Hashtbl.create (max 4 (List.length keys)) in
+    List.iter (fun k -> Hashtbl.replace t k ()) keys;
+    t
+  in
+  let cursors : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (tid, v) -> Hashtbl.replace cursors tid (ref v))
+    ss.ss_cursors;
+  let thread_of idx =
+    match
+      List.find_opt
+        (fun th -> th.Machine.spawn_index = idx)
+        m.Machine.threads
+    with
+    | Some th -> th
+    | None -> invalid_arg "Engine.slave_resume: unknown thread in snapshot"
+  in
+  let ctx =
+    { sc_config = config;
+      sc_obs = obs;
+      sc_mo = mo;
+      sc_m = m;
+      sc_os = os;
+      sc_grants = grants;
+      sc_tainted_locks = tbl_of ss.ss_tainted_locks;
+      sc_tainted_resources = tbl_of ss.ss_tainted_resources;
+      sc_cursors = cursors;
+      sc_is_sink = sink_pred config.sinks;
+      sc_is_source = source_matcher config;
+      sc_reports = ss.ss_reports;
+      sc_diffs = ss.ss_diffs;
+      sc_diffs_before_first = ss.ss_diffs_before_first;
+      sc_mutated = ss.ss_mutated;
+      sc_trace = ss.ss_trace;
+      sc_blocked = ref (List.map thread_of ss.ss_blocked) }
+  in
+  install_slave_gate ctx;
+  (ctx, thread_of ss.ss_paused)
+
+(* Resume one task's suffix from a prefix snapshot.  The snapshot is
+   read-only here (restore copies everything), so any number of resumes
+   — including concurrent ones from different domains — share one
+   capture.  Raises [Invalid_argument] if the snapshot was taken against
+   a different program, world, or shared slave config. *)
+let slave_resume ?obs ?sched ?(label = "") (config : config)
+    (prog : Ir.program) (world : World.t) (mo : master_out)
+    (ss : slave_snapshot) : slave_out =
+  let ctx, paused = ctx_of_snapshot ?obs ?sched config prog world mo ss in
+  let prefix_cycles = ctx.sc_m.Machine.cycles in
+  (match
+     run_side_gen ctx.sc_m ~blocked:ctx.sc_blocked ~first:paused
+       ~on_os_syscall:(slave_on_os_syscall ctx)
+       ~on_stuck:(slave_on_stuck ctx) ()
+   with
+   | `Done -> ()
+   | `Paused _ -> assert false);
+  let out = slave_finalize ctx in
+  (match obs with
+   | None -> ()
+   | Some s ->
+     Obs.Sink.emit s
+       (Obs.Event.Snapshot_restored
+          { label;
+            prefix_cycles;
+            suffix_cycles = ctx.sc_m.Machine.cycles - prefix_cycles }));
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Final-state comparison (future-work extension: leaks through file    *)
@@ -908,12 +1232,12 @@ let final_state_reports (mos : Os.t) (sos : Os.t) : sink_report list =
    layer's "1 master + K slaves" depends on this, and on [master_pass]
    never reading the slave-only config fields ([sources], [strategy],
    [slave_seed], [record_trace]). *)
-let run_with_master ?obs ?prof (config : config) (prog : Ir.program)
-    (world : World.t) (mo : master_out) : result =
-  let so =
-    with_phase obs Obs.Event.Slave_run (fun () ->
-        slave_pass ?obs ?prof config prog world mo)
-  in
+(* Fold one slave outcome against its master recording into a [result]
+   — the tail of [run_with_master], shared with the incremental path
+   (where the same [slave_out] may finalize under several per-task
+   configs, each with its own [check_final_state]). *)
+let finalize_result ?obs (config : config) (mo : master_out)
+    (so : slave_out) : result =
   let state_reports =
     if config.check_final_state then
       with_phase obs Obs.Event.Final_state (fun () ->
@@ -954,6 +1278,14 @@ let run_with_master ?obs ?prof (config : config) (prog : Ir.program)
     dyn_cnt_max = mm.Machine.cnt_max;
     max_seg_depth = mm.Machine.max_seg_depth;
     master_schedule = mo.msched }
+
+let run_with_master ?obs ?prof (config : config) (prog : Ir.program)
+    (world : World.t) (mo : master_out) : result =
+  let so =
+    with_phase obs Obs.Event.Slave_run (fun () ->
+        slave_pass ?obs ?prof config prog world mo)
+  in
+  finalize_result ?obs config mo so
 
 (* Dual profile: one per side, so master-vs-slave overhead is
    decomposable.  Cross-run aggregation works too — pass the same pair

@@ -237,6 +237,92 @@ val master_pass :
   ?obs:Ldx_obs.Sink.t -> ?prof:Ldx_vm.Profile.t -> config -> Ir.program ->
   World.t -> master_out
 
+(** {1 Decouple-point snapshots}
+
+    The incremental dual-execution path: run the shared slave prefix
+    ONCE, pause at the first syscall any fan-out task's source spec
+    base-matches — before it is serviced or mutated, and before any
+    [src_nth] occurrence counter advances — capture the complete slave
+    state, then replay each task's suffix from the capture.  Suffix
+    replays are bit-identical to from-scratch slave passes under the
+    same config ([test_snapshot.ml] asserts this). *)
+
+(** One slave pass's outcome, before it is folded into a {!result}. *)
+type slave_out = {
+  sreports : sink_report list;
+  sdiffs : int;
+  sdiffs_before_first : int;
+  smutated : int;
+  ssummary : exec_summary;
+  strace : trace_entry list;
+  sos : Os.t;                 (** the slave's private OS (final state) *)
+}
+
+(** Complete slave-side state at a decouple point: the machine/OS/profile
+    snapshot ({!Ldx_snap.Snap.t}) plus the engine bookkeeping layered on
+    top — unconsumed lock grants, taint sets, master-log cursors,
+    divergence accumulators, the paused and blocked threads — and a
+    fingerprint pinning the (program, world, shared slave config) it is
+    valid against.  Pure data: structurally comparable, marshalable,
+    and safely shared read-only across domains (every resume copies). *)
+type slave_snapshot = {
+  ss_snap : Ldx_snap.Snap.t;
+  ss_grants : (string * int list) list;
+  ss_tainted_locks : string list;
+  ss_tainted_resources : string list;
+  ss_cursors : (int * int) list;
+  ss_reports : sink_report list;     (** reversed, as accumulated *)
+  ss_diffs : int;
+  ss_diffs_before_first : int;       (** raw accumulator: -1 if none yet *)
+  ss_mutated : int;
+  ss_trace : trace_entry list;       (** reversed *)
+  ss_blocked : int list;
+  ss_paused : int;
+  ss_fingerprint : string;
+}
+
+(** What a snapshot is valid against — see {!slave_snapshot}.  Per-task
+    fields ([sources], [strategy], [check_final_state]) are deliberately
+    not pinned. *)
+val slave_fingerprint : config -> Ir.program -> World.t -> string
+
+type prefix_out =
+  | Prefix_paused of slave_snapshot
+      (** the decouple point was reached; resume per task *)
+  | Prefix_done of slave_out
+      (** no syscall base-matched any spec: the whole run is shared and
+          each task finalizes this same outcome *)
+
+(** Run the shared slave prefix under [config] — whose own [sources]
+    must be a subset of [specs], the union of every fan-out task's
+    sources — and pause at the first base match of any spec.  Emits
+    [Snapshot_captured] on pause. *)
+val slave_prefix :
+  ?obs:Ldx_obs.Sink.t -> ?prof:Ldx_vm.Profile.t -> config ->
+  specs:source_spec list -> Ir.program -> World.t -> master_out ->
+  prefix_out
+
+(** Resume one task's suffix from a prefix snapshot; emits
+    [Snapshot_restored] (tagged [?label]) when the suffix completes.
+    The snapshot's profile counters are rebuilt into a private profile,
+    so per-resume profiles stay exact.  [?sched] replaces the restored
+    machine's scheduler state — the suffix-replay exploration hook
+    ({!Sched_sweep.explore_suffix} perturbs only the interleaving after
+    the decouple point); omitted, the suffix continues the snapshot's
+    recorded schedule exactly.  Raises [Invalid_argument] if the
+    snapshot's fingerprint does not match (program, world, shared slave
+    config). *)
+val slave_resume :
+  ?obs:Ldx_obs.Sink.t -> ?sched:Sched.state -> ?label:string -> config ->
+  Ir.program -> World.t -> master_out -> slave_snapshot -> slave_out
+
+(** Fold one slave outcome against its master recording into a
+    {!result} — the tail of {!run_with_master}, exposed so incremental
+    callers can finalize a shared or resumed [slave_out] under each
+    per-task config. *)
+val finalize_result :
+  ?obs:Ldx_obs.Sink.t -> config -> master_out -> slave_out -> result
+
 (** {1 Entry points}
 
     [?obs] threads an observability sink ({!Ldx_obs.Sink.t}) through

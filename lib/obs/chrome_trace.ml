@@ -14,6 +14,12 @@ let tid_sched = 999
    instants of the campaign durability layer. *)
 let tid_journal = 998
 
+(* Snapshot lane on the engine track: a capture instant at the decouple
+   point, then one slice per restored suffix (duration = suffix
+   cycles), so the prefix/suffix split of an incremental campaign is
+   directly visible. *)
+let tid_snap = 997
+
 (* Per-task campaign lanes on the engine track: task [i] gets lane
    [tid_task_base + i], carrying a begin instant and one slice whose
    duration is the task's deterministic virtual wall.  Tasks are laid
@@ -269,6 +275,28 @@ let of_events (events : Event.t list) : Json.t =
            (obj ~name:("worker " ^ kind) ~cat:"service" ~ph:"i" ~ts:!now
               ~pid:pid_engine ~tid:tid_journal
               (("s", Json.Str "t") :: args [ ("owner", Json.Str owner) ]))
+       | Event.Snapshot_captured { prefix_cycles; prefix_steps; prefix_syscalls }
+         ->
+         tick prefix_cycles;
+         lane pid_engine tid_snap;
+         emit
+           (obj ~name:"capture" ~cat:"snap" ~ph:"i" ~ts:prefix_cycles
+              ~pid:pid_engine ~tid:tid_snap
+              (("s", Json.Str "t")
+               :: args
+                    [ ("prefix_cycles", Json.Int prefix_cycles);
+                      ("prefix_steps", Json.Int prefix_steps);
+                      ("prefix_syscalls", Json.Int prefix_syscalls) ]))
+       | Event.Snapshot_restored { label; prefix_cycles; suffix_cycles } ->
+         tick (prefix_cycles + suffix_cycles);
+         lane pid_engine tid_snap;
+         emit
+           (obj ~name:("resume " ^ label) ~cat:"snap" ~ph:"X" ~ts:prefix_cycles
+              ~pid:pid_engine ~tid:tid_snap
+              (("dur", Json.Int suffix_cycles)
+               :: args
+                    [ ("prefix_cycles", Json.Int prefix_cycles);
+                      ("suffix_cycles", Json.Int suffix_cycles) ]))
        | Event.Os_call _ | Event.Cnt_sample _ -> ()
        | Event.Run_summary { side; cycles; steps; syscalls; cnt_instrs; trap }
          ->
@@ -308,6 +336,7 @@ let of_events (events : Event.t list) : Json.t =
                      Json.Str
                        (if tid = tid_sched then "sched"
                         else if tid = tid_journal then "journal"
+                        else if tid = tid_snap then "snapshot"
                         else
                           match Hashtbl.find_opt task_labels tid with
                           | Some l -> l

@@ -144,6 +144,16 @@ type t =
     }
   | Lease_expired of { index : int; owner : string; epoch : int }
   | Worker_event of { owner : string; kind : string }
+  | Snapshot_captured of {
+      prefix_cycles : int;     (* slave clock at the decouple point *)
+      prefix_steps : int;
+      prefix_syscalls : int;   (* syscalls serviced in the shared prefix *)
+    }
+  | Snapshot_restored of {
+      label : string;          (* task whose suffix ran from the snapshot *)
+      prefix_cycles : int;     (* inherited from the snapshot *)
+      suffix_cycles : int;     (* cycles the suffix added after restore *)
+    }
 
 let to_string = function
   | Phase_begin p -> Printf.sprintf "phase-begin %s" (phase_to_string p)
@@ -208,3 +218,9 @@ let to_string = function
   | Lease_expired { index; owner; epoch } ->
     Printf.sprintf "lease-expired #%d %s e%d" index owner epoch
   | Worker_event { owner; kind } -> Printf.sprintf "worker %s %s" owner kind
+  | Snapshot_captured { prefix_cycles; prefix_steps; prefix_syscalls } ->
+    Printf.sprintf "snapshot-captured prefix_cycles=%d steps=%d syscalls=%d"
+      prefix_cycles prefix_steps prefix_syscalls
+  | Snapshot_restored { label; prefix_cycles; suffix_cycles } ->
+    Printf.sprintf "snapshot-restored %s prefix=%d suffix=%d" label
+      prefix_cycles suffix_cycles

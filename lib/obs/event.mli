@@ -211,6 +211,16 @@ type t =
           (** ["start"], ["drain"], ["complete"], ["spawned"],
               ["exited"], ["respawned"] or ["killed"] *)
     }
+  | Snapshot_captured of {
+      prefix_cycles : int;     (** slave clock at the decouple point *)
+      prefix_steps : int;
+      prefix_syscalls : int;   (** syscalls serviced in the shared prefix *)
+    }
+  | Snapshot_restored of {
+      label : string;          (** task whose suffix ran from the snapshot *)
+      prefix_cycles : int;     (** inherited from the snapshot *)
+      suffix_cycles : int;     (** cycles the suffix added after restore *)
+    }
 
 (** Short human-readable rendering (debug sinks, logs). *)
 val to_string : t -> string

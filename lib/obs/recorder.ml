@@ -99,6 +99,12 @@ let absorb t (ev : Event.t) =
     if reclaimed then Metrics.incr m "queue.reclaims"
   | Event.Lease_expired _ -> Metrics.incr m "queue.expiries"
   | Event.Worker_event { kind; _ } -> Metrics.incr m ("service.worker." ^ kind)
+  | Event.Snapshot_captured { prefix_cycles; _ } ->
+    Metrics.incr m "snap.captured";
+    Metrics.observe m "snap.prefix_cycles" prefix_cycles
+  | Event.Snapshot_restored { suffix_cycles; _ } ->
+    Metrics.incr m "snap.restored";
+    Metrics.observe m "snap.suffix_cycles" suffix_cycles
 
 let sink t =
   Sink.of_fn

@@ -35,6 +35,9 @@
       heartbeat events, with [campaign.completed] /
       [campaign.cycles_done] / [campaign.eta_cycles] gauges from the
       latest heartbeat (ETA in virtual cycles, mean-based);
+    - [snap.captured] / [snap.restored] — decouple-point snapshots
+      taken and suffixes resumed from them (the incremental-campaign
+      path);
     - [sched.decisions.*] — scheduling decisions per side, and
       [sched.preemptions.*] — decisions that switched away from a
       still-runnable thread;
@@ -49,7 +52,9 @@
     granted quanta per side), and per-task campaign telemetry:
     [campaign.queue_us] / [campaign.run_us] (wall-clock queue-wait vs
     run-time split — nondeterministic, never golden-pinned) and
-    [campaign.wall_cycles] (deterministic virtual wall per task). *)
+    [campaign.wall_cycles] (deterministic virtual wall per task), and
+    [snap.prefix_cycles] / [snap.suffix_cycles] (shared-prefix cost at
+    capture, per-task suffix cost after restore). *)
 
 type t
 

@@ -81,6 +81,40 @@ let clone ?(pid = 1001) (t : t) : t =
     on_exec = None;
     on_fault = None }
 
+(* Exact deep copy for snapshotting: unlike [clone] (which models a
+   freshly forked slave process — new pid, empty stdout, no exit code),
+   [copy] preserves every observable field so a restored execution
+   continues exactly where the original stood.  Hooks are process-local
+   wiring and are never copied; consumers reinstall them. *)
+let copy (t : t) : t =
+  let fds = Hashtbl.create (max 8 (Hashtbl.length t.fds)) in
+  Hashtbl.iter
+    (fun fd e ->
+       let e' =
+         match e with
+         | Fd_file { path; pos } -> Fd_file { path; pos }
+         | Fd_sock name -> Fd_sock name
+       in
+       Hashtbl.replace fds fd e')
+    t.fds;
+  let stdout = Buffer.create (max 64 (Buffer.length t.stdout)) in
+  Buffer.add_buffer stdout t.stdout;
+  { vfs = Vfs.clone t.vfs;
+    net = Net.clone t.net;
+    pid = t.pid;
+    fds;
+    next_fd = t.next_fd;
+    clock = t.clock;
+    rng = t.rng;
+    stdout;
+    next_addr = t.next_addr;
+    malloc_log = t.malloc_log;
+    retaddr_log = t.retaddr_log;
+    exit_code = t.exit_code;
+    faults = Option.map Fault.copy_state t.faults;
+    on_exec = None;
+    on_fault = None }
+
 exception Os_error of string
 
 let alloc_fd t e =

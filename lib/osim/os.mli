@@ -45,6 +45,12 @@ val create : ?pid:int -> World.t -> t
     empty.  Used to give the slave a private OS. *)
 val clone : ?pid:int -> t -> t
 
+(** Exact deep copy for snapshotting: unlike {!clone}, preserves pid,
+    stdout contents and exit code, so a restored execution continues
+    exactly where the original stood.  Hooks are never copied;
+    consumers reinstall them after restore. *)
+val copy : t -> t
+
 (** Raised on malformed syscall invocations (wrong arity/types). *)
 exception Os_error of string
 

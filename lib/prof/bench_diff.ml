@@ -79,6 +79,63 @@ let compare_walls ~buf ~checks ~regressions ~threshold base cur =
        | _ -> ())
     base
 
+(* Incremental-campaign entry: its deterministic fields (task count,
+   decouple verdict, shared prefix cycles, table identity) must match
+   the baseline exactly — they derive from the virtual-cycle model, so
+   this holds on any host.  The measured speedup must clear the floor
+   the run itself carries; like wall times it is skipped under
+   [cycles_only], where host timing is meaningless. *)
+let incremental_det_fields =
+  [ "tasks"; "decoupled"; "suffixes_replayed"; "prefix_cycles";
+    "tables_identical" ]
+
+let compare_incremental ~buf ~checks ~regressions ~cycles_only base cur =
+  match (base, cur) with
+  | None, _ -> ()  (* baseline predates the incremental entry *)
+  | Some _, None ->
+    incr checks;
+    incr regressions;
+    Buffer.add_string buf
+      "REGRESSION incremental                  missing from current run\n"
+  | Some bf, Some cf ->
+    List.iter
+      (fun key ->
+         match List.assoc_opt key bf with
+         | None -> ()
+         | Some bval ->
+           incr checks;
+           let cval = List.assoc_opt key cf in
+           if cval <> Some bval then begin
+             incr regressions;
+             Buffer.add_string buf
+               (Printf.sprintf "REGRESSION %-28s %-18s %s -> %s\n"
+                  "incremental" key (scalar_to_string bval)
+                  (match cval with
+                   | Some v -> scalar_to_string v
+                   | None -> "missing"))
+           end)
+      incremental_det_fields;
+    if not cycles_only then begin
+      incr checks;
+      let floor =
+        Option.value
+          (Option.bind (List.assoc_opt "speedup_floor" cf) J.to_float)
+          ~default:1.5
+      in
+      match Option.bind (List.assoc_opt "speedup" cf) J.to_float with
+      | Some s when s >= floor -> ()
+      | Some s ->
+        incr regressions;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "REGRESSION %-28s speedup %.2fx below the %.2fx floor\n"
+             "incremental" s floor)
+      | None ->
+        incr regressions;
+        Buffer.add_string buf
+          "REGRESSION incremental                  speedup missing\n"
+    end
+
 let compare ?(threshold = 0.3) ?(cycles_only = false) ~baseline ~current () =
   let* () = check_schema baseline in
   let* () = check_schema current in
@@ -87,6 +144,12 @@ let compare ?(threshold = 0.3) ?(cycles_only = false) ~baseline ~current () =
   let buf = Buffer.create 512 in
   let checks = ref 0 and regressions = ref 0 in
   compare_counters ~buf ~checks ~regressions bcounters ccounters;
+  let section name j =
+    match J.member name j with Some (J.Obj f) -> Some f | _ -> None
+  in
+  compare_incremental ~buf ~checks ~regressions ~cycles_only
+    (section "incremental" baseline)
+    (section "incremental" current);
   let* () =
     if cycles_only then Ok ()
     else

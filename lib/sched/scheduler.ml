@@ -97,6 +97,13 @@ let copy (st : state) : state =
     replay_cursor = Option.map Schedule.copy_cursor st.replay_cursor;
     rev_log = [] }
 
+(* Snapshot copy: like [copy] but the decision log survives (the log
+   list is immutable, so sharing its cells is safe), so a restored
+   execution's recorded trace covers the pre-snapshot prefix too. *)
+let copy_full (st : state) : state =
+  { st with
+    replay_cursor = Option.map Schedule.copy_cursor st.replay_cursor }
+
 let decisions (st : state) = st.index
 let preemptions (st : state) = st.preemptions
 

@@ -77,6 +77,11 @@ val spec_of : state -> spec
     decision log. *)
 val copy : state -> state
 
+(** Like {!copy} but the recorded decision log survives — the snapshot
+    variant ([Machine.snapshot]): a restored execution's trace covers
+    the pre-snapshot prefix. *)
+val copy_full : state -> state
+
 (** Decisions made so far. *)
 val decisions : state -> int
 

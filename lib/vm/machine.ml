@@ -579,6 +579,42 @@ let syscall_event t (th : thread) (frame : frame) (p : pending) : event option =
 
 exception Trapped of string
 
+(* Batched retirement of a maximal run of [n] consecutive bookkeeping
+   instructions (cnt_add / loop_enter / loop_exit) starting at [pc0].
+   Only entered when the whole run fits in the remaining quantum and
+   fuel, so dispatch, fuel and quantum checks happen once per run
+   instead of once per instruction.  Accounting is per-instruction and
+   identical to the unbatched arms (the first instruction's step was
+   already counted by the caller), so steps, cycles, instr_events and
+   profile attribution stay bit-identical — including mid-run traps on
+   malformed loop stacks. *)
+let exec_instr_run t (th : thread) (frame : frame)
+    (code : Value.t Flat.finstr array) (pc0 : int) (n : int) : unit =
+  let seg = cur_seg th in
+  for pc = pc0 to pc0 + n - 1 do
+    let ins = Array.unsafe_get code pc in
+    if pc > pc0 then t.steps <- t.steps + 1;
+    t.instr_events <- t.instr_events + 1;
+    match ins.Flat.op with
+    | 5 (* cnt_add *) ->
+      charge t frame Profile.op_cnt_add Cost.cnt_instr;
+      seg.cnt <- seg.cnt + ins.Flat.a
+    | 6 (* loop_enter *) ->
+      charge t frame Profile.op_loop_enter Cost.cnt_instr;
+      seg.loops <- (ins.Flat.a, 0) :: seg.loops
+    | _ (* loop_exit *) ->
+      charge t frame Profile.op_loop_exit Cost.cnt_instr;
+      let pops = ins.Flat.pops in
+      for pi = 0 to Array.length pops - 1 do
+        let l = Array.unsafe_get pops pi in
+        match seg.loops with
+        | (l', _) :: rest when l' = l -> seg.loops <- rest
+        | _ -> trap "loop_exit L%d: loop stack mismatch" l
+      done;
+      seg.cnt <- seg.cnt + ins.Flat.b
+  done;
+  frame.idx <- pc0 + n
+
 (* Execute up to [q0] instructions of [th] (which must be Runnable).
    Returns the event that ended the quantum early, or [None] when the
    quantum (or the thread's runnability) ran out.  The current frame's
@@ -678,16 +714,32 @@ let run_quantum_flat t (th : thread) (q0 : int) : event option =
           { sys = ins.Flat.name; sysargs = vargs; dst = ins.Flat.dst_name;
             dst_slot = ins.Flat.dst; site = ins.Flat.b }
       | 5 (* cnt_add *) ->
-        charge t frame Profile.op_cnt_add Cost.cnt_instr;
-        t.instr_events <- t.instr_events + 1;
-        (cur_seg th).cnt <- (cur_seg th).cnt + ins.Flat.a;
-        run frame code regs names (q - 1)
+        let pc0 = frame.idx - 1 in
+        let n = Array.unsafe_get frame.fl.Flat.instr_runs pc0 in
+        if n > 1 && n <= q && t.steps + n - 1 <= t.max_steps then begin
+          exec_instr_run t th frame code pc0 n;
+          run frame code regs names (q - n)
+        end
+        else begin
+          charge t frame Profile.op_cnt_add Cost.cnt_instr;
+          t.instr_events <- t.instr_events + 1;
+          (cur_seg th).cnt <- (cur_seg th).cnt + ins.Flat.a;
+          run frame code regs names (q - 1)
+        end
       | 6 (* loop_enter *) ->
-        charge t frame Profile.op_loop_enter Cost.cnt_instr;
-        t.instr_events <- t.instr_events + 1;
-        let seg = cur_seg th in
-        seg.loops <- (ins.Flat.a, 0) :: seg.loops;
-        run frame code regs names (q - 1)
+        let pc0 = frame.idx - 1 in
+        let n = Array.unsafe_get frame.fl.Flat.instr_runs pc0 in
+        if n > 1 && n <= q && t.steps + n - 1 <= t.max_steps then begin
+          exec_instr_run t th frame code pc0 n;
+          run frame code regs names (q - n)
+        end
+        else begin
+          charge t frame Profile.op_loop_enter Cost.cnt_instr;
+          t.instr_events <- t.instr_events + 1;
+          let seg = cur_seg th in
+          seg.loops <- (ins.Flat.a, 0) :: seg.loops;
+          run frame code regs names (q - 1)
+        end
       | 7 (* loop_back *) ->
         t.instr_events <- t.instr_events + 1;
         (* step counted here; the Cost.barrier cycles land in the same
@@ -696,18 +748,26 @@ let run_quantum_flat t (th : thread) (q0 : int) : event option =
         th.status <- At_barrier { loop = ins.Flat.a; dec = ins.Flat.b };
         Some (Ev_barrier th)
       | 8 (* loop_exit *) ->
-        charge t frame Profile.op_loop_exit Cost.cnt_instr;
-        t.instr_events <- t.instr_events + 1;
-        let seg = cur_seg th in
-        let pops = ins.Flat.pops in
-        for pi = 0 to Array.length pops - 1 do
-          let l = Array.unsafe_get pops pi in
-          match seg.loops with
-          | (l', _) :: rest when l' = l -> seg.loops <- rest
-          | _ -> trap "loop_exit L%d: loop stack mismatch" l
-        done;
-        seg.cnt <- seg.cnt + ins.Flat.b;
-        run frame code regs names (q - 1)
+        let pc0 = frame.idx - 1 in
+        let n = Array.unsafe_get frame.fl.Flat.instr_runs pc0 in
+        if n > 1 && n <= q && t.steps + n - 1 <= t.max_steps then begin
+          exec_instr_run t th frame code pc0 n;
+          run frame code regs names (q - n)
+        end
+        else begin
+          charge t frame Profile.op_loop_exit Cost.cnt_instr;
+          t.instr_events <- t.instr_events + 1;
+          let seg = cur_seg th in
+          let pops = ins.Flat.pops in
+          for pi = 0 to Array.length pops - 1 do
+            let l = Array.unsafe_get pops pi in
+            (match seg.loops with
+             | (l', _) :: rest when l' = l -> seg.loops <- rest
+             | _ -> trap "loop_exit L%d: loop stack mismatch" l)
+          done;
+          seg.cnt <- seg.cnt + ins.Flat.b;
+          run frame code regs names (q - 1)
+        end
       | 9 (* jump *) ->
         charge t frame Profile.op_jump Cost.instr;
         frame.idx <- ins.Flat.a;
@@ -1042,3 +1102,338 @@ let result_of_main t =
 let dyn_cnt_avg t =
   if t.cnt_samples = 0 then 0.0
   else float_of_int t.cnt_sum /. float_of_int t.cnt_samples
+
+(* ------------------------------------------------------------------ *)
+(* Decouple-point snapshots (the machine half of lib/snap).
+
+   A [snapshot] is a canonical, self-contained pure-data projection of
+   the machine: no Hashtbls (sorted assoc lists instead), no closures,
+   no aliases into the live machine.  Values are deep-copied through a
+   physical-identity memo, so aliasing — including cyclic arrays — is
+   preserved INSIDE the snapshot but severed from the original; the
+   machine may keep running after [snapshot], and one snapshot supports
+   any number of [restore]s (restore deep-copies again).  The canonical
+   form is what makes snapshots comparison- and Marshal-stable: equal
+   machine states project to structurally equal snapshots regardless of
+   Hashtbl capacity or insertion history — the property [Ldx_snap]'s
+   [equal] and [fingerprint] rest on.
+
+   NOT captured: the program ([prog]/[fprog] are immutable and shared —
+   [restore] takes them as inputs), the profile (pass [?prof] to
+   [restore]), the obs hooks and lock gate (consumers reinstall after
+   restore), the OS world (the caller's business: [Os.copy] here, a
+   canonical projection in [Ldx_snap]), and the scratch buffers
+   (rebuilt on demand).  Capture is a pull operation — a machine that
+   is never snapshotted pays nothing. *)
+
+type sframe = {
+  sf_fname : string;
+  sf_bid : int;
+  sf_idx : int;
+  sf_regs : Value.t array;   (* undef slots hold [Unit]; see [sf_undef] *)
+  sf_undef : bool array;     (* per-slot: the live slot was the sentinel *)
+  sf_ret_dst : int;
+  sf_fresh : bool;
+}
+
+type sjmp = {
+  sj_key : string;
+  sj_frames : int list;      (* frame-table indexes, top first *)
+  sj_bid : int;
+  sj_idx : int;
+  sj_dst : int;
+  sj_segs : (int * (int * int) list) list;
+}
+
+type spending = {
+  sp_sys : string;
+  sp_args : Value.t list;
+  sp_dst : string option;
+  sp_dst_slot : int;
+  sp_site : int;
+}
+
+type sstatus =
+  | S_runnable
+  | S_awaiting of spending
+  | S_at_barrier of barrier
+  | S_finished of Value.t
+
+type sthread = {
+  sth_tid : int;
+  sth_spawn : int;
+  sth_table : sframe array;
+      (* every frame reachable from the stack or a jmp_buf, in first-
+         encounter order (stack top first, then key-sorted jmp_bufs) *)
+  sth_stack : int list;      (* th.frames as table indexes, top first *)
+  sth_segs : (int * (int * int) list) list;  (* (cnt, loops), top first *)
+  sth_status : sstatus;
+  sth_jmps : sjmp list;      (* key-sorted *)
+  sth_alarm : (int * int) option;
+  sth_signals : int list;
+}
+
+type snapshot = {
+  sn_vm : vm_mode;
+  sn_threads : sthread array;          (* creation order *)
+  sn_next_tid : int;
+  sn_spawn_count : int;
+  sn_locks : (string * (int option * int)) list;
+      (* key-sorted: lock -> (owner tid, acquisitions) *)
+  sn_handlers : (int * string) list;   (* signo-sorted *)
+  sn_lock_trace : (string * int) list;
+  sn_sched : Sched.state;              (* private copy, log preserved *)
+  sn_steps : int;
+  sn_cycles : int;
+  sn_syscalls : int;
+  sn_instr_events : int;
+  sn_finished : bool;
+  sn_trap : string option;
+  sn_max_steps : int;
+  sn_cnt_sum : int;
+  sn_cnt_max : int;
+  sn_cnt_samples : int;
+  sn_max_seg_depth : int;
+}
+
+(* Deep value copy through a memo keyed on the payload array's physical
+   identity.  Registering the destination BEFORE copying elements makes
+   cyclic arrays (a.(0) == a) terminate; keying on identity keeps
+   aliased arrays aliased in the copy — sharing is semantics here: a
+   store through one alias must stay visible through the other after
+   restore.  The memo is an assoc list scanned with [==]: captures see
+   few distinct arrays, and an O(n^2) scan beats dragging in a
+   physical-equality hashtable.  Zero-length payloads are skipped (all
+   zero-length arrays share one atom, including [undef]'s payload). *)
+let rec copy_value (memo : (Value.t array * Value.t array) list ref)
+    (v : Value.t) : Value.t =
+  match v with
+  | Unit | Int _ | Str _ | Fptr _ -> v
+  | Arr a ->
+    if Array.length a = 0 then Arr [||]
+    else begin
+      let rec find = function
+        | [] -> None
+        | (src, dst) :: rest -> if src == a then Some dst else find rest
+      in
+      match find !memo with
+      | Some dst -> Arr dst
+      | None ->
+        let dst = Array.make (Array.length a) Unit in
+        memo := (a, dst) :: !memo;
+        Array.iteri (fun i x -> dst.(i) <- copy_value memo x) a;
+        Arr dst
+    end
+
+let snapshot (t : t) : snapshot =
+  let vmemo = ref [] in
+  let cv v = copy_value vmemo v in
+  let snap_frame (f : frame) : sframe =
+    let n = Array.length f.regs in
+    let regs = Array.make n Unit and und = Array.make n false in
+    for i = 0 to n - 1 do
+      let v = f.regs.(i) in
+      (* [undef] is structurally an [Arr [||]], indistinguishable from a
+         legitimate empty array — mask it out by physical identity.  It
+         only ever lives directly in register slots (reads of it trap
+         before it can flow anywhere else). *)
+      if v == undef then und.(i) <- true else regs.(i) <- cv v
+    done;
+    { sf_fname = f.fn.Ir.fname; sf_bid = f.bid; sf_idx = f.idx;
+      sf_regs = regs; sf_undef = und; sf_ret_dst = f.ret_dst;
+      sf_fresh = f.fresh }
+  in
+  let snap_thread (th : thread) : sthread =
+    (* Frame table: frames form a DAG, not a stack — jmp_bufs ALIAS live
+       frames (and may keep popped frames reachable), and restore must
+       rebuild exactly that shape.  Dedup by physical identity into a
+       table; stacks become index lists.  jmp_bufs are key-sorted before
+       traversal so table order never depends on Hashtbl iteration. *)
+    let fmemo : (frame * int) list ref = ref [] in
+    let rev_table = ref [] and ntable = ref 0 in
+    let index_of (f : frame) : int =
+      let rec find = function
+        | [] -> None
+        | (g, i) :: rest -> if g == f then Some i else find rest
+      in
+      match find !fmemo with
+      | Some i -> i
+      | None ->
+        let i = !ntable in
+        incr ntable;
+        fmemo := (f, i) :: !fmemo;
+        rev_table := snap_frame f :: !rev_table;
+        i
+    in
+    let stack = List.map index_of th.frames in
+    let jmps =
+      Hashtbl.fold (fun k b acc -> (k, b) :: acc) th.jmp_bufs []
+      |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+      |> List.map (fun (key, (b : jmp_buf)) ->
+          { sj_key = key;
+            sj_frames = List.map index_of b.j_frames;
+            sj_bid = b.j_bid; sj_idx = b.j_idx; sj_dst = b.j_dst;
+            sj_segs = b.j_segs })
+    in
+    let status =
+      match th.status with
+      | Runnable -> S_runnable
+      | Awaiting p ->
+        S_awaiting { sp_sys = p.sys; sp_args = List.map cv p.sysargs;
+                     sp_dst = p.dst; sp_dst_slot = p.dst_slot;
+                     sp_site = p.site }
+      | At_barrier b -> S_at_barrier b
+      | Finished v -> S_finished (cv v)
+    in
+    { sth_tid = th.tid; sth_spawn = th.spawn_index;
+      sth_table = Array.of_list (List.rev !rev_table);
+      sth_stack = stack;
+      sth_segs = List.map (fun s -> (s.cnt, s.loops)) th.segs;
+      sth_status = status;
+      sth_jmps = jmps;
+      sth_alarm = th.alarm;
+      sth_signals = th.pending_signals }
+  in
+  let locks =
+    Hashtbl.fold
+      (fun k (l : lock_state) acc -> (k, (l.owner, l.acquisitions)) :: acc)
+      t.locks []
+    |> List.sort compare
+  in
+  let handlers =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sig_handlers []
+    |> List.sort compare
+  in
+  { sn_vm = t.vm;
+    sn_threads = Array.of_list (List.map snap_thread t.threads);
+    sn_next_tid = t.next_tid;
+    sn_spawn_count = t.spawn_count;
+    sn_locks = locks;
+    sn_handlers = handlers;
+    sn_lock_trace = t.lock_trace;
+    sn_sched = Sched.copy_full t.sched;
+    sn_steps = t.steps;
+    sn_cycles = t.cycles;
+    sn_syscalls = t.syscalls;
+    sn_instr_events = t.instr_events;
+    sn_finished = t.finished;
+    sn_trap = t.trap;
+    sn_max_steps = t.max_steps;
+    sn_cnt_sum = t.cnt_sum;
+    sn_cnt_max = t.cnt_max;
+    sn_cnt_samples = t.cnt_samples;
+    sn_max_seg_depth = t.max_seg_depth }
+
+(* Compile [prog] to the VM's flat form (the same compilation [create]
+   performs) — for restore paths that have no machine to borrow a
+   compiled program from (e.g. a snapshot arriving from another
+   process). *)
+let compile (prog : Ir.program) : Value.t Flat.program =
+  Flat.compile value_consts prog
+
+let restore ?prof ?sched ~(prog : Ir.program)
+    ~(fprog : Value.t Flat.program) (os : Ldx_osim.Os.t)
+    (snap : snapshot) : t =
+  (match prof with Some p -> Profile.attach p prog | None -> ());
+  let vmemo = ref [] in
+  let rv v = copy_value vmemo v in
+  let build_frame (sf : sframe) : frame =
+    let fi =
+      match Hashtbl.find_opt fprog.Flat.fidx sf.sf_fname with
+      | Some fi -> fi
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Machine.restore: unknown function %s" sf.sf_fname)
+    in
+    let fl = fprog.Flat.funcs.(fi) in
+    if Array.length sf.sf_regs <> fl.Flat.nslots then
+      invalid_arg
+        (Printf.sprintf
+           "Machine.restore: %s has %d slots, snapshot carries %d"
+           sf.sf_fname fl.Flat.nslots (Array.length sf.sf_regs));
+    let regs =
+      Array.init fl.Flat.nslots (fun i ->
+          if sf.sf_undef.(i) then undef else rv sf.sf_regs.(i))
+    in
+    let prof_base =
+      match prof with Some p -> Profile.base_of p sf.sf_fname | None -> 0
+    in
+    { fn = fl.Flat.f_ir; fl; bid = sf.sf_bid; idx = sf.sf_idx;
+      regs; ret_dst = sf.sf_ret_dst; fresh = sf.sf_fresh; prof_base }
+  in
+  let build_thread (st : sthread) : thread =
+    let table = Array.map build_frame st.sth_table in
+    let frame i =
+      if i < 0 || i >= Array.length table then
+        invalid_arg "Machine.restore: frame index out of range"
+      else table.(i)
+    in
+    let jmp_bufs = Hashtbl.create (max 4 (List.length st.sth_jmps)) in
+    List.iter
+      (fun sj ->
+         Hashtbl.replace jmp_bufs sj.sj_key
+           { j_frames = List.map frame sj.sj_frames;
+             j_bid = sj.sj_bid; j_idx = sj.sj_idx; j_dst = sj.sj_dst;
+             j_segs = sj.sj_segs })
+      st.sth_jmps;
+    { tid = st.sth_tid; spawn_index = st.sth_spawn;
+      frames = List.map frame st.sth_stack;
+      segs = List.map (fun (cnt, loops) -> { cnt; loops }) st.sth_segs;
+      status =
+        (match st.sth_status with
+         | S_runnable -> Runnable
+         | S_awaiting p ->
+           Awaiting { sys = p.sp_sys; sysargs = List.map rv p.sp_args;
+                      dst = p.sp_dst; dst_slot = p.sp_dst_slot;
+                      site = p.sp_site }
+         | S_at_barrier b -> At_barrier b
+         | S_finished v -> Finished (rv v));
+      jmp_bufs;
+      alarm = st.sth_alarm;
+      pending_signals = st.sth_signals }
+  in
+  if Array.length snap.sn_threads = 0 then
+    invalid_arg "Machine.restore: snapshot has no threads";
+  let threads = Array.to_list (Array.map build_thread snap.sn_threads) in
+  let locks = Hashtbl.create 8 in
+  List.iter
+    (fun (k, (owner, acquisitions)) ->
+       Hashtbl.replace locks k { owner; acquisitions })
+    snap.sn_locks;
+  let sig_handlers = Hashtbl.create 4 in
+  List.iter (fun (k, v) -> Hashtbl.replace sig_handlers k v)
+    snap.sn_handlers;
+  let t =
+    { prog; fprog; vm = snap.sn_vm; os;
+      threads;
+      by_spawn = Array.make (max 4 snap.sn_spawn_count) (List.hd threads);
+      next_tid = snap.sn_next_tid;
+      spawn_count = snap.sn_spawn_count;
+      scratch = [||];
+      locks;
+      sig_handlers;
+      lock_trace = snap.sn_lock_trace;
+      lock_gate = None;
+      sched =
+        (match sched with
+         | Some s -> s
+         | None -> Sched.copy_full snap.sn_sched);
+      steps = snap.sn_steps;
+      cycles = snap.sn_cycles;
+      syscalls = snap.sn_syscalls;
+      instr_events = snap.sn_instr_events;
+      finished = snap.sn_finished;
+      trap = snap.sn_trap;
+      max_steps = snap.sn_max_steps;
+      cnt_sum = snap.sn_cnt_sum;
+      cnt_max = snap.sn_cnt_max;
+      cnt_samples = snap.sn_cnt_samples;
+      max_seg_depth = snap.sn_max_seg_depth;
+      on_obs_syscall = None;
+      on_obs_barrier = None;
+      on_obs_cnt_sample = None;
+      on_obs_sched = None;
+      prof }
+  in
+  List.iter (register_thread t) threads;
+  t

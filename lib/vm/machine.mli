@@ -251,3 +251,117 @@ val result_of_main : t -> Value.t option
 
 (** Average dynamic counter value over syscall events (Table 1). *)
 val dyn_cnt_avg : t -> float
+
+(** {2 Decouple-point snapshots}
+
+    A {!snapshot} is a canonical, self-contained pure-data projection
+    of the machine: no Hashtbls (sorted assoc lists instead), no
+    closures, no aliases into the live machine.  Equal machine states
+    project to structurally equal snapshots regardless of Hashtbl
+    capacity or insertion history, and a snapshot contains nothing
+    [Marshal] cannot serialize — the properties [Ldx_snap]'s [equal],
+    [fingerprint] and wire form rest on.
+
+    Not captured: the program (immutable, passed back to {!restore}),
+    the profile ([?prof]), the obs hooks and lock gate (reinstall after
+    restore), the OS world (snapshot it alongside — [Os.copy] or
+    [Ldx_snap]'s canonical projection), and the scratch buffers.
+    Capture is a pull operation: a machine that is never snapshotted
+    pays nothing. *)
+
+type sframe = {
+  sf_fname : string;
+  sf_bid : int;
+  sf_idx : int;
+  sf_regs : Value.t array;  (** undef slots hold [Unit]; see [sf_undef] *)
+  sf_undef : bool array;    (** per-slot: the live slot was {!Value.undef} *)
+  sf_ret_dst : int;
+  sf_fresh : bool;
+}
+
+type sjmp = {
+  sj_key : string;
+  sj_frames : int list;     (** frame-table indexes, top first *)
+  sj_bid : int;
+  sj_idx : int;
+  sj_dst : int;
+  sj_segs : (int * (int * int) list) list;
+}
+
+type spending = {
+  sp_sys : string;
+  sp_args : Value.t list;
+  sp_dst : string option;
+  sp_dst_slot : int;
+  sp_site : int;
+}
+
+type sstatus =
+  | S_runnable
+  | S_awaiting of spending
+  | S_at_barrier of barrier
+  | S_finished of Value.t
+
+type sthread = {
+  sth_tid : int;
+  sth_spawn : int;
+  sth_table : sframe array;
+      (** every frame reachable from the stack or a jmp_buf — frames
+          form a DAG (jmp_bufs alias live and popped frames), so they
+          are deduplicated by identity into a table *)
+  sth_stack : int list;     (** [th.frames] as table indexes, top first *)
+  sth_segs : (int * (int * int) list) list;
+  sth_status : sstatus;
+  sth_jmps : sjmp list;     (** key-sorted *)
+  sth_alarm : (int * int) option;
+  sth_signals : int list;
+}
+
+type snapshot = {
+  sn_vm : vm_mode;
+  sn_threads : sthread array;  (** creation order *)
+  sn_next_tid : int;
+  sn_spawn_count : int;
+  sn_locks : (string * (int option * int)) list;
+      (** key-sorted: lock -> (owner tid, acquisitions) *)
+  sn_handlers : (int * string) list;  (** signo-sorted *)
+  sn_lock_trace : (string * int) list;
+  sn_sched : Sched.state;      (** private copy, decision log preserved *)
+  sn_steps : int;
+  sn_cycles : int;
+  sn_syscalls : int;
+  sn_instr_events : int;
+  sn_finished : bool;
+  sn_trap : string option;
+  sn_max_steps : int;
+  sn_cnt_sum : int;
+  sn_cnt_max : int;
+  sn_cnt_samples : int;
+  sn_max_seg_depth : int;
+}
+
+(** Capture the complete machine state.  Values are deep-copied through
+    an identity memo (aliasing — including cyclic arrays — is preserved
+    inside the snapshot, severed from the machine), so the machine may
+    keep running and one snapshot supports any number of restores.
+    Safe at any driver-visible point (between events, or while threads
+    await the driver). *)
+val snapshot : t -> snapshot
+
+(** The compilation {!create} performs, for restore paths with no
+    machine to borrow a compiled program from (e.g. a snapshot arriving
+    from another process via [Ldx_snap]). *)
+val compile : Ir.program -> Value.t Flat.program
+
+(** Rebuild a machine from a snapshot over [os] (which must itself be a
+    copy consistent with the capture point — see [Os.copy]).  [?prof]
+    attaches a profile ({!create} discipline); [?sched] overrides the
+    snapshot's scheduler state — the suffix-replay hook: restoring with
+    an alternative schedule explores interleavings from the decouple
+    point on.  Obs hooks and the lock gate start unset.
+    @raise Invalid_argument when the snapshot does not fit [prog]
+    (unknown function, register-file shape mismatch) — the cheap guard
+    behind [Ldx_snap]'s fingerprint validation. *)
+val restore :
+  ?prof:Profile.t -> ?sched:Sched.state -> prog:Ir.program ->
+  fprog:Value.t Flat.program -> Ldx_osim.Os.t -> snapshot -> t

@@ -27,4 +27,5 @@ let () =
       ("sched", Test_sched.tests);
       ("prof", Test_prof.tests);
       ("properties", Test_properties.tests);
-      ("diff-vm", Test_diff_vm.tests) ]
+      ("diff-vm", Test_diff_vm.tests);
+      ("snapshot", Test_snapshot.tests) ]
